@@ -1,0 +1,128 @@
+// Command groupcast-node runs a live GroupCast peer over TCP: it bootstraps
+// into an overlay through known contacts, optionally hosts a communication
+// group as its rendezvous point, joins groups, and relays chat lines typed
+// on stdin to the group.
+//
+// Start a rendezvous:
+//
+//	groupcast-node -listen 127.0.0.1:7001 -create demo -capacity 100
+//
+// Join from other terminals:
+//
+//	groupcast-node -listen 127.0.0.1:7002 -contacts 127.0.0.1:7001 -join demo
+//
+// Every line typed on stdin is published to the group; received payloads are
+// printed with their sender.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"groupcast/internal/coords"
+	"groupcast/internal/node"
+	"groupcast/internal/transport"
+	"groupcast/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "groupcast-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		contacts = flag.String("contacts", "", "comma-separated bootstrap addresses")
+		create   = flag.String("create", "", "create (and advertise) a group as its rendezvous")
+		join     = flag.String("join", "", "join an existing group")
+		capacity = flag.Float64("capacity", 10, "node capacity (64 kbps connection units)")
+		seed     = flag.Int64("seed", time.Now().UnixNano(), "random seed")
+		quiet    = flag.Bool("quiet", false, "suppress status lines")
+		vivaldi  = flag.Bool("vivaldi", false, "measure live Vivaldi network coordinates from heartbeat RTTs")
+	)
+	flag.Parse()
+
+	tr, err := transport.ListenTCP(*listen)
+	if err != nil {
+		return err
+	}
+	cfg := node.DefaultConfig(*capacity, coords.Point{0, 0, 0}, *seed)
+	cfg.EnableVivaldi = *vivaldi
+	n := node.New(tr, cfg)
+	n.Start()
+	defer n.Close()
+
+	status := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	status("listening on %s", n.Addr())
+
+	var boots []string
+	for _, c := range strings.Split(*contacts, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			boots = append(boots, c)
+		}
+	}
+	if err := n.Bootstrap(boots, 5*time.Second); err != nil {
+		return fmt.Errorf("bootstrap: %w", err)
+	}
+	status("connected to %d neighbours", n.NumNeighbors())
+
+	groupID := ""
+	switch {
+	case *create != "":
+		groupID = *create
+		if err := n.CreateGroup(groupID); err != nil {
+			return err
+		}
+		if err := n.Advertise(groupID); err != nil {
+			return err
+		}
+		status("created and advertised group %q", groupID)
+	case *join != "":
+		groupID = *join
+		// The advertisement may still be in flight; retry briefly.
+		var jerr error
+		for attempt := 0; attempt < 10; attempt++ {
+			if jerr = n.Join(groupID, time.Second); jerr == nil {
+				break
+			}
+			time.Sleep(300 * time.Millisecond)
+		}
+		if jerr != nil {
+			return fmt.Errorf("join %q: %w", groupID, jerr)
+		}
+		status("joined group %q", groupID)
+	default:
+		status("no group requested; relaying only")
+	}
+
+	n.SetPayloadHandler(func(gid string, from wire.PeerInfo, data []byte) {
+		fmt.Printf("[%s] %s: %s\n", gid, from.Addr, data)
+	})
+
+	if groupID == "" {
+		select {} // pure relay: run until killed
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if err := n.Publish(groupID, []byte(line)); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

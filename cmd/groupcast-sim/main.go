@@ -1,0 +1,206 @@
+// Command groupcast-sim regenerates the tables and figures of the GroupCast
+// paper (MIDDLEWARE 2007) from this repository's reimplementation.
+//
+// Usage:
+//
+//	groupcast-sim -exp table1
+//	groupcast-sim -exp fig1 ... -exp fig10
+//	groupcast-sim -exp fig11..fig17   (one sweep feeds all of them)
+//	groupcast-sim -exp sweep          (figures 11-17 in one run)
+//	groupcast-sim -exp all
+//	groupcast-sim -exp sweep -sizes 1000,2000,4000 -groups 10 -frac 0.1
+//
+// Large sweeps (the paper's 32000-peer points) take minutes; -sizes trims
+// them. -exact replaces the GNP coordinate estimates with true underlay
+// latencies (faster, slightly favourable to every scheme equally).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"groupcast/internal/experiments"
+	"groupcast/internal/protocol"
+	"groupcast/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "groupcast-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("groupcast-sim", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "all", "experiment: table1, fig1..fig17, sweep, ablation-{twolayer,backup,churn,fraction}, ablations, dot, timed, all")
+		seed   = fs.Int64("seed", 1, "random seed")
+		sizes  = fs.String("sizes", "1000,2000,4000,8000,16000,32000", "sweep overlay sizes")
+		groups = fs.Int("groups", 10, "groups per overlay in the sweep")
+		frac   = fs.Float64("frac", 0.1, "subscriber fraction per group")
+		exact  = fs.Bool("exact", false, "use exact underlay latencies instead of GNP coordinates")
+		topos  = fs.Int("topos", 1, "independent IP topologies to average each sweep cell over (paper: 10)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sweepCfg := experiments.DefaultSweepConfig()
+	sweepCfg.Seed = *seed
+	sweepCfg.GroupsPerOverlay = *groups
+	sweepCfg.SubscriberFraction = *frac
+	sweepCfg.UseCoordinates = !*exact
+	sweepCfg.Topologies = *topos
+	parsed, err := parseSizes(*sizes)
+	if err != nil {
+		return err
+	}
+	sweepCfg.Sizes = parsed
+
+	needsSweep := func(name string) bool {
+		switch name {
+		case "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "sweep", "all":
+			return true
+		}
+		return false
+	}
+
+	var rows []experiments.SweepRow
+	if needsSweep(*exp) {
+		fmt.Fprintf(w, "# running sweep: sizes=%v groups=%d frac=%.2f coordinates=%v\n",
+			sweepCfg.Sizes, sweepCfg.GroupsPerOverlay, sweepCfg.SubscriberFraction, sweepCfg.UseCoordinates)
+		rows, err = experiments.RunSweep(sweepCfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	runOne := func(name string) error {
+		switch name {
+		case "table1":
+			experiments.Table1(w)
+		case "fig1", "fig2", "fig3", "fig4", "fig5", "fig6":
+			n, _ := strconv.Atoi(strings.TrimPrefix(name, "fig"))
+			return experiments.FigurePreference(w, n, *seed)
+		case "fig7":
+			return experiments.Figure7(w, *seed)
+		case "fig8":
+			return experiments.Figure8(w, *seed)
+		case "fig9":
+			return experiments.Figure9(w, *seed)
+		case "fig10":
+			return experiments.Figure10(w, *seed)
+		case "fig11":
+			experiments.Figure11(w, rows)
+		case "fig12":
+			experiments.Figure12(w, rows)
+		case "fig13":
+			experiments.Figure13(w, rows)
+		case "fig14":
+			experiments.Figure14(w, rows)
+		case "fig15":
+			experiments.Figure15(w, rows)
+		case "fig16":
+			experiments.Figure16(w, rows)
+		case "fig17":
+			experiments.Figure17(w, rows)
+		case "ablation-twolayer":
+			return experiments.AblationTwoLayer(w, *seed)
+		case "ablation-backup":
+			return experiments.AblationBackupFailover(w, *seed)
+		case "ablation-churn":
+			return experiments.AblationChurn(w, *seed)
+		case "ablation-fraction":
+			return experiments.AblationFraction(w, *seed)
+		case "dot":
+			return writeDOT(w, *seed)
+		case "timed":
+			return experiments.TimedBuildReport(w, 5000, *seed)
+		case "ablations":
+			if err := experiments.AblationTwoLayer(w, *seed); err != nil {
+				return err
+			}
+			if err := experiments.AblationBackupFailover(w, *seed); err != nil {
+				return err
+			}
+			if err := experiments.AblationFraction(w, *seed); err != nil {
+				return err
+			}
+			return experiments.AblationChurn(w, *seed)
+		case "sweep":
+			experiments.Figure11(w, rows)
+			experiments.Figure12(w, rows)
+			experiments.Figure13(w, rows)
+			experiments.Figure14(w, rows)
+			experiments.Figure15(w, rows)
+			experiments.Figure16(w, rows)
+			experiments.Figure17(w, rows)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	if *exp == "all" {
+		names := []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+			"fig7", "fig8", "fig9", "fig10", "sweep"}
+		for _, name := range names {
+			if err := runOne(name); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+	return runOne(*exp)
+}
+
+// writeDOT emits Graphviz documents of a small overlay and one group tree
+// (render with: groupcast-sim -exp dot | dot -Tsvg -O).
+func writeDOT(w io.Writer, seed int64) error {
+	cfg := experiments.DefaultPipelineConfig(100, seed)
+	p, err := experiments.BuildPipeline(cfg)
+	if err != nil {
+		return err
+	}
+	g, levels, _, err := p.GroupCastOverlay(seed)
+	if err != nil {
+		return err
+	}
+	if err := viz.OverlayDOT(w, g, "groupcast-overlay"); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tree, _, _, err := protocol.BuildGroup(g, 0, rng.Perm(100)[:25], levels,
+		protocol.DefaultAdvertiseConfig(), protocol.DefaultSubscribeConfig(), rng, nil)
+	if err != nil {
+		return err
+	}
+	return viz.TreeDOT(w, tree, "group-tree")
+}
+
+func parseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 10 {
+			return nil, fmt.Errorf("bad size %q", p)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	return out, nil
+}

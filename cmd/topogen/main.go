@@ -1,0 +1,90 @@
+// Command topogen generates a transit-stub underlay topology and prints its
+// summary statistics — a quick way to inspect the IP network model behind
+// the experiments.
+//
+// Usage:
+//
+//	topogen -transit 4 -tnodes 8 -stubs 3 -snodes 6 -seed 1 [-peers 1000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"groupcast/internal/metrics"
+	"groupcast/internal/netsim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	var (
+		transit = fs.Int("transit", 4, "transit domains")
+		tnodes  = fs.Int("tnodes", 8, "routers per transit domain")
+		stubs   = fs.Int("stubs", 3, "stub domains per transit router")
+		snodes  = fs.Int("snodes", 6, "routers per stub domain")
+		seed    = fs.Int64("seed", 1, "generator seed")
+		peers   = fs.Int("peers", 0, "optionally attach N peers and report distances")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := netsim.DefaultConfig()
+	cfg.TransitDomains = *transit
+	cfg.TransitNodesPerDomain = *tnodes
+	cfg.StubDomainsPerTransitNode = *stubs
+	cfg.StubNodesPerDomain = *snodes
+	cfg.Seed = *seed
+
+	nw, err := netsim.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, nw)
+
+	// Router-level distance statistics over a sample.
+	rng := rand.New(rand.NewSource(*seed))
+	var dists []float64
+	n := nw.NumRouters()
+	for k := 0; k < 2000; k++ {
+		a := netsim.RouterID(rng.Intn(n))
+		b := netsim.RouterID(rng.Intn(n))
+		if a != b {
+			dists = append(dists, nw.RouterDistance(a, b))
+		}
+	}
+	if s, err := metrics.Summarize(dists); err == nil {
+		fmt.Fprintf(w, "router-router latency: mean %.1f ms, min %.1f, max %.1f (sampled)\n",
+			s.Mean, s.Min, s.Max)
+	}
+
+	if *peers > 0 {
+		att, err := netsim.Attach(nw, *peers, netsim.AccessLatencyRange, rng)
+		if err != nil {
+			return err
+		}
+		var pd []float64
+		for k := 0; k < 2000; k++ {
+			a := netsim.PeerID(rng.Intn(*peers))
+			b := netsim.PeerID(rng.Intn(*peers))
+			if a != b {
+				pd = append(pd, att.Distance(a, b))
+			}
+		}
+		if s, err := metrics.Summarize(pd); err == nil {
+			fmt.Fprintf(w, "peer-peer latency over %d peers: mean %.1f ms, min %.1f, max %.1f (sampled)\n",
+				*peers, s.Mean, s.Min, s.Max)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDefault(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "608 routers") {
+		t.Fatalf("output: %q", s)
+	}
+	if !strings.Contains(s, "router-router latency") {
+		t.Fatalf("no latency summary: %q", s)
+	}
+}
+
+func TestRunWithPeers(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-transit", "2", "-tnodes", "3", "-stubs", "2",
+		"-snodes", "3", "-peers", "100"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "peer-peer latency over 100 peers") {
+		t.Fatalf("output: %q", out.String())
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-transit", "0"}, &out); err == nil {
+		t.Fatal("invalid topology accepted")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

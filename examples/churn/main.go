@@ -1,0 +1,182 @@
+// Churn: exercise the overlay and spanning trees under peer churn. Peers
+// join with exponential inter-arrival times (the paper's Expo(1s) model) and
+// depart with exponential lifetimes (30% crashes); epoch-based maintenance
+// repairs the overlay and tree repair re-subscribes orphaned members. The
+// example reports connectivity, degree health, and group reachability over
+// simulated time.
+//
+// Run with:
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"groupcast/internal/overlay"
+	"groupcast/internal/peer"
+	"groupcast/internal/protocol"
+	"groupcast/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		population   = 500
+		seed         = 11
+		meanLifetime = 120_000 // ms
+		epochLen     = 5_000   // ms
+		horizon      = 180_000 // ms of simulated time
+	)
+	rng := rand.New(rand.NewSource(seed))
+
+	caps := peer.MustTable1Sampler().SampleN(population, rng)
+	xs := make([]float64, population)
+	ys := make([]float64, population)
+	for i := range xs {
+		xs[i] = rng.Float64() * 300
+		ys[i] = rng.Float64() * 300
+	}
+	uni := &overlay.Universe{
+		Caps: caps,
+		Dist: func(i, j int) float64 {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			return math.Sqrt(dx*dx + dy*dy)
+		},
+	}
+	builder, err := overlay.NewBuilder(uni, overlay.DefaultBootstrapConfig(), rng, nil)
+	if err != nil {
+		return err
+	}
+	g := builder.Graph()
+
+	engine := sim.New()
+	arrivals := peer.NewArrivalProcess(1000, rng) // Expo(1s), as in Section 4.1
+	churn := peer.NewChurnProcess(meanLifetime, 0.3, rng)
+
+	// Group state, re-created on demand once enough peers are up.
+	var (
+		tree            *protocol.Tree
+		adv             *protocol.Advertisement
+		joins           int
+		crashes, leaves int
+	)
+
+	scheduleDeparture := func(i int, at sim.Time) {
+		ev := churn.NextDeparture(at)
+		if ev.At > horizon {
+			return // survives the experiment
+		}
+		_, err := engine.At(ev.At, func(_ *sim.Engine, now sim.Time) {
+			if !g.Alive(i) {
+				return
+			}
+			if ev.Graceful {
+				builder.Leave(i)
+				leaves++
+			} else {
+				builder.Fail(i)
+				crashes++
+			}
+			if tree != nil && tree.Contains(i) && i != tree.Rendezvous {
+				protocol.RemoveFailed(g, adv, tree, i, protocol.DefaultRepairConfig(), nil)
+			}
+			_ = now
+		})
+		if err != nil {
+			log.Printf("schedule departure: %v", err)
+		}
+	}
+
+	if _, err := arrivals.ScheduleJoins(engine, population, func(i int) {
+		if err := builder.Join(i); err != nil {
+			log.Printf("join %d: %v", i, err)
+			return
+		}
+		joins++
+		scheduleDeparture(i, engine.Now())
+	}); err != nil {
+		return err
+	}
+
+	// Maintenance epochs and periodic reporting.
+	var epochFn sim.Handler
+	epochFn = func(e *sim.Engine, now sim.Time) {
+		builder.RunEpoch(overlay.DefaultMaintenanceConfig(), rng)
+		if now+epochLen <= horizon {
+			if _, err := e.After(epochLen, epochFn); err != nil {
+				log.Printf("schedule epoch: %v", err)
+			}
+		}
+	}
+	if _, err := engine.At(epochLen, epochFn); err != nil {
+		return err
+	}
+
+	// Form the group once the overlay has grown (~90 s in).
+	if _, err := engine.At(90_000, func(_ *sim.Engine, now sim.Time) {
+		alive := g.AlivePeers()
+		if len(alive) < 40 {
+			return
+		}
+		rendezvous := alive[0]
+		subs := make([]int, 0, len(alive)/4)
+		for _, idx := range rng.Perm(len(alive))[:len(alive)/4] {
+			subs = append(subs, alive[idx])
+		}
+		var results []protocol.SubscribeResult
+		var err error
+		tree, adv, results, err = protocol.BuildGroup(g, rendezvous, subs,
+			builder.ResourceLevel, protocol.DefaultAdvertiseConfig(),
+			protocol.DefaultSubscribeConfig(), rng, nil)
+		if err != nil {
+			log.Printf("build group: %v", err)
+			return
+		}
+		ok := 0
+		for _, r := range results {
+			if r.OK {
+				ok++
+			}
+		}
+		fmt.Printf("t=%6.0fs  group formed: %d/%d subscriptions ok, tree size %d\n",
+			float64(now)/1000, ok, len(subs), tree.Size())
+	}); err != nil {
+		return err
+	}
+
+	report := func(now sim.Time) {
+		var treeInfo string
+		if tree != nil {
+			reach := 0
+			if tree.Contains(tree.Rendezvous) {
+				if res, err := protocol.Publish(g, tree, tree.Rendezvous, nil); err == nil {
+					reach = len(res.Delays)
+				}
+			}
+			treeInfo = fmt.Sprintf("  members=%d reachable=%d valid=%v",
+				tree.NumMembers(), reach+1, tree.Validate() == nil)
+		}
+		fmt.Printf("t=%6.0fs  alive=%3d connected=%v joins=%d leaves=%d crashes=%d%s\n",
+			float64(now)/1000, g.NumAlive(), overlay.IsConnected(g), joins, leaves, crashes, treeInfo)
+	}
+	for t := sim.Time(30_000); t <= horizon; t += 30_000 {
+		t := t
+		if _, err := engine.At(t, func(_ *sim.Engine, now sim.Time) { report(now) }); err != nil {
+			return err
+		}
+	}
+
+	engine.RunUntil(horizon)
+	fmt.Printf("simulation done: %d events processed over %.0f simulated seconds\n",
+		engine.Processed(), float64(engine.Now())/1000)
+	return nil
+}

@@ -1,0 +1,102 @@
+// Quickstart: build a small GroupCast overlay in-process, form one
+// communication group with the utility-aware SSA scheme, publish a payload,
+// and print the tree and dissemination statistics.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"groupcast/internal/core"
+	"groupcast/internal/overlay"
+	"groupcast/internal/peer"
+	"groupcast/internal/protocol"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const n = 64
+	rng := rand.New(rand.NewSource(42))
+
+	// 1. A peer population: Table-1 capacities and planar coordinates.
+	caps := peer.MustTable1Sampler().SampleN(n, rng)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64() * 300
+		ys[i] = rng.Float64() * 300
+	}
+	uni := &overlay.Universe{
+		Caps: caps,
+		Dist: func(i, j int) float64 {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			return math.Sqrt(dx*dx + dy*dy)
+		},
+	}
+
+	// 2. The utility-aware overlay: every peer joins through the host cache
+	// and picks neighbours with the Selection Preference utility.
+	g, builder, err := overlay.BuildGroupCast(uni, overlay.DefaultBootstrapConfig(), rng, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("overlay: %d peers, %d directed edges, connected=%v\n",
+		g.NumAlive(), g.NumEdges(), overlay.IsConnected(g))
+
+	// A peer's utility view of its neighbours:
+	nbrs := g.Neighbors(0)
+	cands := make([]core.Candidate, len(nbrs))
+	for i, nb := range nbrs {
+		cands[i] = core.Candidate{Capacity: float64(uni.Caps[nb]), Distance: uni.Dist(0, nb)}
+	}
+	prefs, err := core.SelectionPreferencesFor(builder.ResourceLevel(0), cands)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("peer 0 (capacity %v, r=%.2f) neighbour preferences:\n",
+		uni.Caps[0], builder.ResourceLevel(0))
+	for i, nb := range nbrs {
+		fmt.Printf("  -> peer %2d  capacity %6v  distance %5.1f  preference %.3f\n",
+			nb, uni.Caps[nb], uni.Dist(0, nb), prefs[i])
+	}
+
+	// 3. A communication group: advertise from a rendezvous, subscribe a
+	// third of the peers, and build the spanning tree.
+	subscribers := rng.Perm(n)[:n/3]
+	tree, adv, results, err := protocol.BuildGroup(
+		g, 0, subscribers, builder.ResourceLevel,
+		protocol.DefaultAdvertiseConfig(), protocol.DefaultSubscribeConfig(), rng, nil)
+	if err != nil {
+		return err
+	}
+	ok := 0
+	for _, r := range results {
+		if r.OK {
+			ok++
+		}
+	}
+	fmt.Printf("group: advertisement reached %d/%d peers with %d messages; %d/%d subscriptions ok\n",
+		adv.NumReceived(), n, adv.Messages, ok, len(subscribers))
+	fmt.Printf("tree: %d nodes (%d members), valid=%v\n",
+		tree.Size(), tree.NumMembers(), tree.Validate() == nil)
+
+	// 4. Publish a payload from the rendezvous and report dissemination.
+	res, err := protocol.Publish(g, tree, 0, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("publish: %d overlay messages, mean member delay %.1f ms\n",
+		res.OverlayMessages, res.MeanDelay())
+	return nil
+}

@@ -1,0 +1,3 @@
+module groupcast
+
+go 1.22

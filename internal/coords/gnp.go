@@ -1,0 +1,153 @@
+package coords
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GNPConfig parameterizes the landmark embedding.
+type GNPConfig struct {
+	// Dimensions of the coordinate space (GNP typically uses 5-8).
+	Dimensions int
+	// Landmarks is how many hosts serve as landmarks.
+	Landmarks int
+	// Iterations of gradient descent per optimization.
+	Iterations int
+	// LearningRate of the descent.
+	LearningRate float64
+	// Seed for deterministic initialization.
+	Seed int64
+}
+
+// DefaultGNPConfig mirrors common GNP deployments.
+func DefaultGNPConfig() GNPConfig {
+	return GNPConfig{
+		Dimensions:   5,
+		Landmarks:    8,
+		Iterations:   400,
+		LearningRate: 0.05,
+		Seed:         1,
+	}
+}
+
+func (c GNPConfig) validate(n int) error {
+	switch {
+	case c.Dimensions < 1:
+		return fmt.Errorf("%w: dimensions %d", ErrBadConfig, c.Dimensions)
+	case c.Landmarks < c.Dimensions+1:
+		return fmt.Errorf("%w: need at least dims+1 landmarks, got %d", ErrBadConfig, c.Landmarks)
+	case n < c.Landmarks:
+		return fmt.Errorf("%w: %d hosts < %d landmarks", ErrBadConfig, n, c.Landmarks)
+	case c.Iterations < 1 || c.LearningRate <= 0:
+		return fmt.Errorf("%w: iterations/learning rate", ErrBadConfig)
+	}
+	return nil
+}
+
+// EmbedGNP computes coordinates for n hosts given a measured latency function
+// dist(i, j). The first phase places cfg.Landmarks randomly chosen hosts by
+// minimizing squared relative error among landmark pairs; the second phase
+// places every other host against the landmarks only — exactly the two-phase
+// GNP procedure, where ordinary hosts probe only the landmarks.
+func EmbedGNP(n int, dist func(i, j int) float64, cfg GNPConfig) ([]Point, error) {
+	if err := cfg.validate(n); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	landmarks := rng.Perm(n)[:cfg.Landmarks]
+
+	// Scale initial random coordinates to the measured latency magnitude so
+	// the descent starts in the right region.
+	var maxLat float64
+	for i := 0; i < len(landmarks); i++ {
+		for j := i + 1; j < len(landmarks); j++ {
+			if d := dist(landmarks[i], landmarks[j]); d > maxLat {
+				maxLat = d
+			}
+		}
+	}
+	if maxLat == 0 {
+		maxLat = 1
+	}
+
+	randomPoint := func() Point {
+		p := make(Point, cfg.Dimensions)
+		for d := range p {
+			p[d] = (rng.Float64() - 0.5) * maxLat
+		}
+		return p
+	}
+
+	// Step size decays geometrically across iterations: start big to escape
+	// the random initialization, finish small for a stable fixed point.
+	step := func(it int) float64 {
+		frac := float64(it) / float64(cfg.Iterations)
+		return cfg.LearningRate * math.Pow(0.05, frac)
+	}
+
+	// Phase 1: landmark coordinates by spring relaxation of the measured
+	// landmark-landmark latencies.
+	lm := make([]Point, cfg.Landmarks)
+	for i := range lm {
+		lm[i] = randomPoint()
+	}
+	for it := 0; it < cfg.Iterations; it++ {
+		lr := step(it)
+		for i := range lm {
+			force := make([]float64, cfg.Dimensions)
+			for j := range lm {
+				if i == j {
+					continue
+				}
+				accumulateForce(force, lm[i], lm[j], dist(landmarks[i], landmarks[j]))
+			}
+			applyForce(lm[i], force, lr/float64(len(lm)-1))
+		}
+	}
+
+	points := make([]Point, n)
+	for i, h := range landmarks {
+		points[h] = lm[i].Clone()
+	}
+
+	// Phase 2: each remaining host against the landmarks only.
+	for h := 0; h < n; h++ {
+		if points[h] != nil {
+			continue
+		}
+		p := randomPoint()
+		for it := 0; it < cfg.Iterations; it++ {
+			force := make([]float64, cfg.Dimensions)
+			for li, lh := range landmarks {
+				accumulateForce(force, p, lm[li], dist(h, lh))
+			}
+			applyForce(p, force, step(it)/float64(len(landmarks)))
+		}
+		points[h] = p
+	}
+	return points, nil
+}
+
+// accumulateForce adds the spring force pulling p toward (or pushing it away
+// from) q so that |p − q| approaches the measured latency.
+func accumulateForce(force []float64, p, q Point, measured float64) {
+	if measured <= 0 {
+		measured = 1e-3
+	}
+	est := Dist(p, q)
+	if est < 1e-9 {
+		est = 1e-9
+	}
+	// (measured − est) along the unit vector from q to p.
+	coef := (measured - est) / est
+	for d := range force {
+		force[d] += coef * (p[d] - q[d])
+	}
+}
+
+func applyForce(p Point, force []float64, lr float64) {
+	for d := range p {
+		p[d] += lr * force[d]
+	}
+}

@@ -1,0 +1,111 @@
+package coords
+
+import (
+	"math"
+	"math/rand"
+)
+
+// VivaldiConfig tunes the decentralized spring-relaxation algorithm.
+type VivaldiConfig struct {
+	// Dimensions of the coordinate space.
+	Dimensions int
+	// Ce is the adaptive timestep constant (paper: 0.25).
+	Ce float64
+	// Cc is the error-moving-average constant (paper: 0.25).
+	Cc float64
+}
+
+// DefaultVivaldiConfig uses the constants from the Vivaldi paper.
+func DefaultVivaldiConfig() VivaldiConfig {
+	return VivaldiConfig{Dimensions: 3, Ce: 0.25, Cc: 0.25}
+}
+
+// VivaldiNode is one participant's coordinate state. It is not safe for
+// concurrent use; the live runtime serializes updates through its node loop.
+type VivaldiNode struct {
+	cfg   VivaldiConfig
+	coord Point
+	err   float64
+	rng   *rand.Rand
+}
+
+// NewVivaldiNode returns a node at the origin with maximal error estimate.
+func NewVivaldiNode(cfg VivaldiConfig, seed int64) *VivaldiNode {
+	if cfg.Dimensions < 1 {
+		cfg.Dimensions = 3
+	}
+	if cfg.Ce <= 0 {
+		cfg.Ce = 0.25
+	}
+	if cfg.Cc <= 0 {
+		cfg.Cc = 0.25
+	}
+	return &VivaldiNode{
+		cfg:   cfg,
+		coord: make(Point, cfg.Dimensions),
+		err:   1,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Coord returns a copy of the node's current coordinate.
+func (v *VivaldiNode) Coord() Point { return v.coord.Clone() }
+
+// ErrorEstimate returns the node's current confidence value (lower is
+// better), in [0, 1].
+func (v *VivaldiNode) ErrorEstimate() float64 { return v.err }
+
+// Update folds in one RTT measurement against a remote node's coordinate and
+// error estimate. rtt and coordinates share units (ms).
+func (v *VivaldiNode) Update(remote Point, remoteErr, rtt float64) {
+	if rtt <= 0 {
+		return
+	}
+	if remoteErr < 1e-6 {
+		remoteErr = 1e-6
+	}
+	est := Dist(v.coord, remote)
+
+	// Sample confidence balance.
+	w := v.err / (v.err + remoteErr)
+
+	// Relative error of this sample updates the moving average.
+	es := math.Abs(est-rtt) / rtt
+	v.err = es*v.cfg.Cc*w + v.err*(1-v.cfg.Cc*w)
+	if v.err > 1 {
+		v.err = 1
+	}
+
+	// Move along the force direction by an adaptive timestep.
+	delta := v.cfg.Ce * w
+	dir := v.direction(remote, est)
+	for d := range v.coord {
+		v.coord[d] += delta * (rtt - est) * dir[d]
+	}
+}
+
+// direction returns the unit vector from remote toward this node; when the
+// two coincide a random direction breaks the tie (as Vivaldi prescribes).
+func (v *VivaldiNode) direction(remote Point, est float64) []float64 {
+	dir := make([]float64, len(v.coord))
+	if est > 1e-9 {
+		for d := range dir {
+			dir[d] = (v.coord[d] - remote[d]) / est
+		}
+		return dir
+	}
+	var norm float64
+	for d := range dir {
+		dir[d] = v.rng.NormFloat64()
+		norm += dir[d] * dir[d]
+	}
+	norm = math.Sqrt(norm)
+	if norm < 1e-12 {
+		dir[0] = 1
+		return dir
+	}
+	for d := range dir {
+		dir[d] /= norm
+	}
+	return dir
+}

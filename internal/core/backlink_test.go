@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBackLinkProbabilityFormula(t *testing.T) {
+	cases := []struct {
+		in   BackLinkInputs
+		want float64
+	}{
+		// PB = rck²·rci + (1−rck²)·rdi
+		{BackLinkInputs{1, 1, 0}, 1},     // powerful peer, powerful requester
+		{BackLinkInputs{1, 0, 1}, 0},     // powerful peer, weak far requester... rdi ignored
+		{BackLinkInputs{0, 1, 0.5}, 0.5}, // weak peer decides by distance only
+		{BackLinkInputs{0.5, 0.8, 0.4}, 0.25*0.8 + 0.75*0.4},
+		{BackLinkInputs{0, 0, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := BackLinkProbability(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("PB(%+v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBackLinkProbabilityClampsInputs(t *testing.T) {
+	got := BackLinkProbability(BackLinkInputs{SelfCapacityRank: 5, PeerCapacityRank: -1, PeerDistanceRank: 2})
+	if got < 0 || got > 1 {
+		t.Fatalf("PB = %v outside [0,1]", got)
+	}
+}
+
+func TestBackLinkProbabilityRangeProperty(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		in := BackLinkInputs{
+			SelfCapacityRank: math.Mod(math.Abs(a), 1),
+			PeerCapacityRank: math.Mod(math.Abs(b), 1),
+			PeerDistanceRank: math.Mod(math.Abs(c), 1),
+		}
+		p := BackLinkProbability(in)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	neighbors := []Candidate{
+		{Capacity: 1, Distance: 10},
+		{Capacity: 10, Distance: 50},
+		{Capacity: 100, Distance: 200},
+		{Capacity: 1000, Distance: 400},
+	}
+	in := Ranks(100, 10, 100, neighbors)
+	// selfCap 100: neighbours with cap <= 100 → 3/4.
+	if !almostEqual(in.SelfCapacityRank, 0.75, 1e-12) {
+		t.Errorf("rc_k = %v, want 0.75", in.SelfCapacityRank)
+	}
+	// peerCap 10: 2/4.
+	if !almostEqual(in.PeerCapacityRank, 0.5, 1e-12) {
+		t.Errorf("rc_i = %v, want 0.5", in.PeerCapacityRank)
+	}
+	// peerDist 100: neighbours at distance >= 100 → 2/4.
+	if !almostEqual(in.PeerDistanceRank, 0.5, 1e-12) {
+		t.Errorf("rd_i = %v, want 0.5", in.PeerDistanceRank)
+	}
+}
+
+func TestRanksNoNeighbors(t *testing.T) {
+	in := Ranks(10, 10, 10, nil)
+	if in.SelfCapacityRank != 1 || in.PeerCapacityRank != 1 || in.PeerDistanceRank != 1 {
+		t.Fatalf("empty-neighbour ranks = %+v, want all 1", in)
+	}
+	if BackLinkProbability(in) != 1 {
+		t.Fatal("a peer with no neighbours must accept")
+	}
+}
+
+func TestPowerfulPeersPreferPowerfulRequesters(t *testing.T) {
+	// Design rationale: "powerful peers are easier to be accepted by other
+	// powerful peers as their neighbors".
+	neighbors := []Candidate{
+		{Capacity: 100, Distance: 100},
+		{Capacity: 1000, Distance: 150},
+		{Capacity: 10, Distance: 50},
+		{Capacity: 1, Distance: 20},
+	}
+	strongReq := BackLinkProbability(Ranks(1000, 10000, 300, neighbors))
+	weakReq := BackLinkProbability(Ranks(1000, 1, 300, neighbors))
+	if strongReq <= weakReq {
+		t.Fatalf("powerful target: strong requester PB %v <= weak requester PB %v", strongReq, weakReq)
+	}
+	// Weak targets decide by proximity.
+	nearReq := BackLinkProbability(Ranks(1, 1, 10, neighbors))
+	farReq := BackLinkProbability(Ranks(1, 1, 500, neighbors))
+	if nearReq <= farReq {
+		t.Fatalf("weak target: near requester PB %v <= far requester PB %v", nearReq, farReq)
+	}
+}

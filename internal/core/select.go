@@ -1,0 +1,116 @@
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// ErrBadWeights is returned when a weighted selection gets invalid weights.
+var ErrBadWeights = errors.New("core: weights must be non-negative, finite, and match the item count")
+
+// SampleOne draws one index with probability proportional to weights[i].
+// All-zero weights degrade to a uniform draw.
+func SampleOne(weights []float64, rng *rand.Rand) (int, error) {
+	if len(weights) == 0 {
+		return 0, ErrNoCandidates
+	}
+	var sum float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return 0, ErrBadWeights
+		}
+		sum += w
+	}
+	if sum == 0 {
+		return rng.Intn(len(weights)), nil
+	}
+	u := rng.Float64() * sum
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i, nil
+		}
+	}
+	return len(weights) - 1, nil
+}
+
+type esItem struct {
+	index int
+	key   float64
+}
+
+type esHeap []esItem // min-heap on key
+
+func (h esHeap) Len() int           { return len(h) }
+func (h esHeap) Less(i, j int) bool { return h[i].key < h[j].key }
+func (h esHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *esHeap) Push(x any)        { *h = append(*h, x.(esItem)) }
+func (h *esHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// SampleWithoutReplacement draws up to k distinct indices with probability
+// proportional to their weights, using the Efraimidis–Spirakis reservoir
+// scheme (each item gets key u^(1/w); the k largest keys win). Zero-weight
+// items are never selected unless every weight is zero, in which case the
+// draw is uniform. The returned order is arbitrary.
+func SampleWithoutReplacement(weights []float64, k int, rng *rand.Rand) ([]int, error) {
+	if len(weights) == 0 {
+		return nil, ErrNoCandidates
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	allZero := true
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, ErrBadWeights
+		}
+		if w > 0 {
+			allZero = false
+		}
+	}
+	if k > len(weights) {
+		k = len(weights)
+	}
+	h := make(esHeap, 0, k)
+	for i, w := range weights {
+		if allZero {
+			w = 1
+		}
+		if w == 0 {
+			continue
+		}
+		key := math.Pow(rng.Float64(), 1/w)
+		if len(h) < k {
+			heap.Push(&h, esItem{index: i, key: key})
+		} else if key > h[0].key {
+			h[0] = esItem{index: i, key: key}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]int, len(h))
+	for i, it := range h {
+		out[i] = it.index
+	}
+	return out, nil
+}
+
+// SelectByPreference scores candidates with the utility function for
+// resource level r and draws up to k of them without replacement,
+// probability proportional to Selection Preference. It returns candidate
+// indices.
+func SelectByPreference(r float64, cands []Candidate, k int, rng *rand.Rand) ([]int, error) {
+	prefs, err := SelectionPreferencesFor(r, cands)
+	if err != nil {
+		return nil, err
+	}
+	return SampleWithoutReplacement(prefs, k, rng)
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"groupcast/internal/peer"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func sumsToOne(t *testing.T, name string, ps []float64) {
+	t.Helper()
+	var sum float64
+	for _, p := range ps {
+		if p < 0 {
+			t.Fatalf("%s: negative preference %v", name, p)
+		}
+		sum += p
+	}
+	if !almostEqual(sum, 1, 1e-9) {
+		t.Fatalf("%s: preferences sum to %v, want 1", name, sum)
+	}
+}
+
+func TestDeriveParams(t *testing.T) {
+	cases := []struct {
+		r         float64
+		wantAlpha float64
+		wantBeta  float64
+		wantGamma float64
+	}{
+		{0.05, 0.95, 0.05, math.Exp(-math.Pow(math.Log(0.05), 2))},
+		{0.5, 0.5, 0.5, math.Exp(-math.Pow(math.Log(0.5), 2))},
+		{0.95, 0.05, 0.95, math.Exp(-math.Pow(math.Log(0.95), 2))},
+	}
+	for _, c := range cases {
+		p := DeriveParams(c.r)
+		if !almostEqual(p.Alpha, c.wantAlpha, 1e-12) ||
+			!almostEqual(p.Beta, c.wantBeta, 1e-12) ||
+			!almostEqual(p.Gamma, c.wantGamma, 1e-12) {
+			t.Errorf("DeriveParams(%v) = %+v", c.r, p)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("derived params invalid: %v", err)
+		}
+	}
+}
+
+func TestDeriveParamsClampsResourceLevel(t *testing.T) {
+	lo := DeriveParams(-3)
+	if lo != DeriveParams(0.01) {
+		t.Fatal("low resource level not clamped")
+	}
+	hi := DeriveParams(7)
+	if hi != DeriveParams(0.99) {
+		t.Fatal("high resource level not clamped")
+	}
+}
+
+func TestGammaReflectsDesignRationale(t *testing.T) {
+	// Weak peers must weight distance (small γ); powerful peers capacity
+	// (γ near 1).
+	weak := DeriveParams(0.05).Gamma
+	strong := DeriveParams(0.95).Gamma
+	if weak > 0.01 {
+		t.Fatalf("weak peer gamma = %v, want ≈0", weak)
+	}
+	if strong < 0.95 {
+		t.Fatalf("strong peer gamma = %v, want ≈1", strong)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{Alpha: 1, Beta: 0, Gamma: 0.5},
+		{Alpha: 0, Beta: 1.5, Gamma: 0.5},
+		{Alpha: 0, Beta: 0, Gamma: -0.1},
+		{Alpha: 0, Beta: 0, Gamma: 1.1},
+		{Alpha: math.NaN(), Beta: 0, Gamma: 0.5},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid params", p)
+		}
+	}
+	if err := (Params{Alpha: 0.5, Beta: 0.5, Gamma: 0.5}).Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+}
+
+func testCandidates(n int, seed int64) []Candidate {
+	rng := rand.New(rand.NewSource(seed))
+	caps := peer.ZipfCapacities(n, 2.0, 1000, rng)
+	dists := peer.UniformDistances(n, 0, 400, rng)
+	cands := make([]Candidate, n)
+	for i := range cands {
+		cands[i] = Candidate{Capacity: float64(caps[i]), Distance: dists[i]}
+	}
+	return cands
+}
+
+func TestDistancePreferences(t *testing.T) {
+	cands := []Candidate{
+		{Capacity: 1, Distance: 10},
+		{Capacity: 1, Distance: 200},
+		{Capacity: 1, Distance: 400},
+	}
+	dp, err := DistancePreferences(0.95, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumsToOne(t, "DP", dp)
+	if !(dp[0] > dp[1] && dp[1] > dp[2]) {
+		t.Fatalf("DP not decreasing in distance: %v", dp)
+	}
+}
+
+func TestDistancePreferencesZeroDistance(t *testing.T) {
+	cands := []Candidate{{Distance: 0}, {Distance: 100}}
+	dp, err := DistancePreferences(0.5, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumsToOne(t, "DP", dp)
+	if dp[0] <= dp[1] {
+		t.Fatalf("zero-distance candidate not preferred: %v", dp)
+	}
+	for _, p := range dp {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("non-finite preference: %v", dp)
+		}
+	}
+}
+
+func TestDistancePreferencesErrors(t *testing.T) {
+	if _, err := DistancePreferences(0.5, nil); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("empty list err = %v", err)
+	}
+	if _, err := DistancePreferences(1.0, testCandidates(3, 1)); err == nil {
+		t.Fatal("alpha = 1 accepted")
+	}
+}
+
+func TestCapacityPreferences(t *testing.T) {
+	cands := []Candidate{
+		{Capacity: 1, Distance: 10},
+		{Capacity: 10, Distance: 10},
+		{Capacity: 100, Distance: 10},
+	}
+	pc, err := CapacityPreferences(0.5, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumsToOne(t, "PC", pc)
+	if !(pc[0] < pc[1] && pc[1] < pc[2]) {
+		t.Fatalf("PC not increasing in capacity: %v", pc)
+	}
+	// Exact values for β = 0.5: shifted caps 0.5, 9.5, 99.5 over 109.5.
+	want := []float64{0.5 / 109.5, 9.5 / 109.5, 99.5 / 109.5}
+	for i := range want {
+		if !almostEqual(pc[i], want[i], 1e-12) {
+			t.Fatalf("PC = %v, want %v", pc, want)
+		}
+	}
+}
+
+func TestCapacityPreferencesFloorsBelowBeta(t *testing.T) {
+	cands := []Candidate{{Capacity: 0.1}, {Capacity: 10}}
+	pc, err := CapacityPreferences(0.9, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumsToOne(t, "PC", pc)
+	if pc[0] < 0 {
+		t.Fatalf("sub-beta capacity went negative: %v", pc)
+	}
+}
+
+func TestCapacityPreferencesErrors(t *testing.T) {
+	if _, err := CapacityPreferences(0.5, nil); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("empty list err = %v", err)
+	}
+	if _, err := CapacityPreferences(1.0, testCandidates(3, 1)); err == nil {
+		t.Fatal("beta = 1 accepted")
+	}
+}
+
+func TestSelectionPreferencesIsConvexCombination(t *testing.T) {
+	cands := testCandidates(50, 2)
+	p := DeriveParams(0.5)
+	sel, err := SelectionPreferences(p, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, _ := DistancePreferences(p.Alpha, cands)
+	pc, _ := CapacityPreferences(p.Beta, cands)
+	sumsToOne(t, "selection", sel)
+	for i := range sel {
+		want := p.Gamma*pc[i] + (1-p.Gamma)*dp[i]
+		if !almostEqual(sel[i], want, 1e-12) {
+			t.Fatalf("selection[%d] = %v, want %v", i, sel[i], want)
+		}
+	}
+}
+
+func TestSelectionPreferencesRejectsInvalidParams(t *testing.T) {
+	if _, err := SelectionPreferences(Params{Alpha: 2, Beta: 0, Gamma: 0}, testCandidates(3, 1)); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+// TestFigure1Shape reproduces Figures 1 & 4: a weak peer's (r = 0.05)
+// selection preference is dominated by distance — closer candidates get
+// higher preference regardless of capacity.
+func TestFigure1Shape(t *testing.T) {
+	cands := testCandidates(1000, 3)
+	prefs, err := SelectionPreferencesFor(0.05, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumsToOne(t, "fig1", prefs)
+	// Compare the mean preference of the nearest quartile against the
+	// farthest quartile: must differ by a large factor.
+	nearSum, farSum := 0.0, 0.0
+	nearN, farN := 0, 0
+	for i, c := range cands {
+		switch {
+		case c.Distance < 100:
+			nearSum += prefs[i]
+			nearN++
+		case c.Distance > 300:
+			farSum += prefs[i]
+			farN++
+		}
+	}
+	near := nearSum / float64(nearN)
+	far := farSum / float64(farN)
+	if near < 2*far {
+		t.Fatalf("weak peer: near mean pref %v not ≫ far %v", near, far)
+	}
+}
+
+// TestFigure3Shape reproduces Figures 3 & 6: a powerful peer's (r = 0.95)
+// preference is dominated by capacity.
+func TestFigure3Shape(t *testing.T) {
+	cands := testCandidates(1000, 4)
+	prefs, err := SelectionPreferencesFor(0.95, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumsToOne(t, "fig3", prefs)
+	bigSum, smallSum := 0.0, 0.0
+	bigN, smallN := 0, 0
+	for i, c := range cands {
+		if c.Capacity >= 10 {
+			bigSum += prefs[i]
+			bigN++
+		} else {
+			smallSum += prefs[i]
+			smallN++
+		}
+	}
+	if bigN == 0 || smallN == 0 {
+		t.Skip("degenerate capacity draw")
+	}
+	big := bigSum / float64(bigN)
+	small := smallSum / float64(smallN)
+	if big < 5*small {
+		t.Fatalf("powerful peer: high-cap mean pref %v not ≫ low-cap %v", big, small)
+	}
+}
+
+func TestPreferencesDistributionProperty(t *testing.T) {
+	// Property: for any resource level and candidate list, preferences are a
+	// probability distribution with finite entries.
+	f := func(seed int64, rRaw float64, n uint8) bool {
+		r := math.Abs(math.Mod(rRaw, 1))
+		cands := testCandidates(int(n%100)+1, seed)
+		prefs, err := SelectionPreferencesFor(r, cands)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, p := range prefs {
+			if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+				return false
+			}
+			sum += p
+		}
+		return almostEqual(sum, 1, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

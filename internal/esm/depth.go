@@ -1,0 +1,56 @@
+package esm
+
+import (
+	"groupcast/internal/protocol"
+)
+
+// DepthStats summarize the shape of a dissemination tree.
+type DepthStats struct {
+	// MaxDepth is the deepest node's hop distance from the rendezvous.
+	MaxDepth int
+	// MeanMemberDepth is the mean hop depth over members (rendezvous
+	// excluded).
+	MeanMemberDepth float64
+	// MaxFanout is the largest child count of any node.
+	MaxFanout int
+	// Forwarders counts on-tree non-member nodes.
+	Forwarders int
+}
+
+// TreeDepthStats computes the tree shape metrics used by the examples and
+// ablation reports. Hop depths use the rendezvous-rooted structure.
+func TreeDepthStats(t *protocol.Tree) DepthStats {
+	var s DepthStats
+	depth := map[int]int{t.Rendezvous: 0}
+	queue := []int{t.Rendezvous}
+	var memberDepthSum float64
+	members := 0
+	for len(queue) > 0 {
+		node := queue[0]
+		queue = queue[1:]
+		kids := t.Children[node]
+		if len(kids) > s.MaxFanout {
+			s.MaxFanout = len(kids)
+		}
+		d := depth[node]
+		if d > s.MaxDepth {
+			s.MaxDepth = d
+		}
+		if node != t.Rendezvous {
+			if t.Members[node] {
+				memberDepthSum += float64(d)
+				members++
+			} else {
+				s.Forwarders++
+			}
+		}
+		for _, k := range kids {
+			depth[k] = d + 1
+			queue = append(queue, k)
+		}
+	}
+	if members > 0 {
+		s.MeanMemberDepth = memberDepthSum / float64(members)
+	}
+	return s
+}

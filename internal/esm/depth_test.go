@@ -1,0 +1,61 @@
+package esm
+
+import (
+	"testing"
+
+	"groupcast/internal/protocol"
+)
+
+func TestTreeDepthStatsHandBuilt(t *testing.T) {
+	// 0 ── 1 ── 2 (member)
+	//  └── 3 (member)
+	tr := protocol.NewTree(0)
+	tr.Parent[1] = 0
+	tr.Parent[2] = 1
+	tr.Parent[3] = 0
+	tr.Children[0] = []int{1, 3}
+	tr.Children[1] = []int{2}
+	tr.Members[2] = true
+	tr.Members[3] = true
+
+	s := TreeDepthStats(tr)
+	if s.MaxDepth != 2 {
+		t.Fatalf("max depth = %d, want 2", s.MaxDepth)
+	}
+	// Members 2 (depth 2) and 3 (depth 1): mean 1.5.
+	if s.MeanMemberDepth != 1.5 {
+		t.Fatalf("mean member depth = %v, want 1.5", s.MeanMemberDepth)
+	}
+	if s.MaxFanout != 2 {
+		t.Fatalf("max fanout = %d, want 2", s.MaxFanout)
+	}
+	if s.Forwarders != 1 { // node 1 is a pure forwarder
+		t.Fatalf("forwarders = %d, want 1", s.Forwarders)
+	}
+}
+
+func TestTreeDepthStatsSingleton(t *testing.T) {
+	s := TreeDepthStats(protocol.NewTree(5))
+	if s.MaxDepth != 0 || s.MeanMemberDepth != 0 || s.MaxFanout != 0 || s.Forwarders != 0 {
+		t.Fatalf("singleton stats = %+v", s)
+	}
+}
+
+func TestTreeDepthStatsRealTree(t *testing.T) {
+	env, g, levels := testEnv(t, 300, 71)
+	tree := buildTree(t, env, g, levels, 0, 40, 72)
+	s := TreeDepthStats(tree)
+	if s.MaxDepth < 1 {
+		t.Fatalf("real tree depth = %d", s.MaxDepth)
+	}
+	if s.MeanMemberDepth <= 0 || s.MeanMemberDepth > float64(s.MaxDepth) {
+		t.Fatalf("mean member depth %v outside (0, %d]", s.MeanMemberDepth, s.MaxDepth)
+	}
+	if s.MaxFanout < 1 {
+		t.Fatalf("max fanout = %d", s.MaxFanout)
+	}
+	// Depths bounded by advertisement TTL + search TTLs.
+	if s.MaxDepth > 15 {
+		t.Fatalf("implausible depth %d", s.MaxDepth)
+	}
+}

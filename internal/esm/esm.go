@@ -1,0 +1,171 @@
+// Package esm evaluates end-system multicast over GroupCast spanning trees
+// against IP multicast on the simulated underlay, computing the paper's four
+// application metrics (Sections 4.3-4.4):
+//
+//   - relative delay penalty: mean ESM delay / mean IP multicast delay,
+//   - link stress: IP messages of the ESM tree / IP messages of the IP
+//     multicast tree over the same subscribers,
+//   - node stress: mean fan-out of non-leaf peers in the dissemination tree,
+//   - overload index: (fraction of overloaded peers) × (mean workload excess
+//     over capacity among them).
+package esm
+
+import (
+	"errors"
+
+	"groupcast/internal/netsim"
+	"groupcast/internal/overlay"
+	"groupcast/internal/protocol"
+)
+
+// Env ties an overlay experiment to its underlay: every overlay peer i is
+// the attached end host netsim.PeerID(i).
+type Env struct {
+	Att *netsim.Attachment
+	Uni *overlay.Universe
+}
+
+// NewEnv validates that the attachment and universe describe the same peers.
+func NewEnv(att *netsim.Attachment, uni *overlay.Universe) (*Env, error) {
+	if att == nil || uni == nil {
+		return nil, errors.New("esm: nil attachment or universe")
+	}
+	if att.NumPeers() != uni.N() {
+		return nil, errors.New("esm: attachment and universe disagree on peer count")
+	}
+	return &Env{Att: att, Uni: uni}, nil
+}
+
+// TreeMetrics are the evaluation results for one dissemination tree.
+type TreeMetrics struct {
+	// ESMMeanDelay is the mean source→member latency over tree paths on the
+	// real underlay, ms.
+	ESMMeanDelay float64
+	// IPMeanDelay is the mean source→member unicast latency (= IP multicast
+	// delay), ms.
+	IPMeanDelay float64
+	// DelayPenalty = ESMMeanDelay / IPMeanDelay (the paper's relative delay
+	// penalty, lower bound 1).
+	DelayPenalty float64
+	// ESMIPMessages is how many IP-link crossings one payload needs over the
+	// ESM tree.
+	ESMIPMessages int
+	// IPMulticastMessages is the IP multicast tree's link count.
+	IPMulticastMessages int
+	// LinkStress = ESMIPMessages / IPMulticastMessages.
+	LinkStress float64
+	// NodeStress is the mean fan-out of non-leaf tree peers.
+	NodeStress float64
+	// OverloadedFraction is the share of tree peers whose fan-out exceeds
+	// their capacity.
+	OverloadedFraction float64
+	// MeanExcess is the mean (fan-out − capacity) over overloaded peers.
+	MeanExcess float64
+	// OverloadIndex = OverloadedFraction × MeanExcess.
+	OverloadIndex float64
+	// Members is the number of group members receiving the payload.
+	Members int
+}
+
+// Evaluate measures one payload disseminated from source over the spanning
+// tree, comparing against IP multicast from the same source to the same
+// members.
+func (e *Env) Evaluate(t *protocol.Tree, source int) (TreeMetrics, error) {
+	if !t.Contains(source) {
+		return TreeMetrics{}, protocol.ErrNotOnTree
+	}
+	var m TreeMetrics
+
+	// Walk the dissemination tree from the source, accumulating true
+	// underlay latencies and per-node fan-outs.
+	type hop struct {
+		node  int
+		from  int
+		delay float64
+	}
+	fanout := make(map[int]int)
+	var delaySum float64
+	queue := []hop{{node: source, from: -1}}
+	for len(queue) > 0 {
+		h := queue[0]
+		queue = queue[1:]
+		for _, nb := range treeNeighbors(t, h.node) {
+			if nb == h.from {
+				continue
+			}
+			fanout[h.node]++
+			d := h.delay + e.Att.Distance(netsim.PeerID(h.node), netsim.PeerID(nb))
+			m.ESMIPMessages += len(e.Att.PathLinks(netsim.PeerID(h.node), netsim.PeerID(nb)))
+			if t.Members[nb] {
+				delaySum += d
+				m.Members++
+			}
+			queue = append(queue, hop{node: nb, from: h.node, delay: d})
+		}
+	}
+	if m.Members > 0 {
+		m.ESMMeanDelay = delaySum / float64(m.Members)
+	}
+
+	// IP multicast over the same member set.
+	members := make([]netsim.PeerID, 0, len(t.Members))
+	for mem := range t.Members {
+		if mem != source {
+			members = append(members, netsim.PeerID(mem))
+		}
+	}
+	ip := e.Att.BuildMulticastTree(netsim.PeerID(source), members)
+	m.IPMeanDelay = ip.MeanDelay()
+	m.IPMulticastMessages = ip.NumMessages()
+	if m.IPMeanDelay > 0 {
+		m.DelayPenalty = m.ESMMeanDelay / m.IPMeanDelay
+	}
+	if m.IPMulticastMessages > 0 {
+		m.LinkStress = float64(m.ESMIPMessages) / float64(m.IPMulticastMessages)
+	}
+
+	// Node stress: mean fan-out over non-leaf tree peers.
+	var fanSum float64
+	nonLeaf := 0
+	for _, f := range fanout {
+		if f > 0 {
+			fanSum += float64(f)
+			nonLeaf++
+		}
+	}
+	if nonLeaf > 0 {
+		m.NodeStress = fanSum / float64(nonLeaf)
+	}
+
+	// Overload: a peer is overloaded when its forwarding fan-out exceeds the
+	// number of payload connections its capacity allows.
+	overloaded := 0
+	var excess float64
+	for node, f := range fanout {
+		capacity := float64(e.Uni.Caps[node])
+		if float64(f) > capacity {
+			overloaded++
+			excess += float64(f) - capacity
+		}
+	}
+	total := t.Size()
+	if total > 0 {
+		m.OverloadedFraction = float64(overloaded) / float64(total)
+	}
+	if overloaded > 0 {
+		m.MeanExcess = excess / float64(overloaded)
+	}
+	m.OverloadIndex = m.OverloadedFraction * m.MeanExcess
+	return m, nil
+}
+
+// treeNeighbors mirrors protocol's tree adjacency (parent + children).
+func treeNeighbors(t *protocol.Tree, node int) []int {
+	kids := t.Children[node]
+	out := make([]int, 0, len(kids)+1)
+	if node != t.Rendezvous {
+		out = append(out, t.Parent[node])
+	}
+	out = append(out, kids...)
+	return out
+}

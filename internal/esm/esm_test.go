@@ -1,0 +1,197 @@
+package esm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"groupcast/internal/netsim"
+	"groupcast/internal/overlay"
+	"groupcast/internal/peer"
+	"groupcast/internal/protocol"
+)
+
+// testEnv builds a small underlay + universe + overlay + group.
+func testEnv(t *testing.T, n int, seed int64) (*Env, *overlay.Graph, protocol.ResourceLevels) {
+	t.Helper()
+	cfg := netsim.DefaultConfig()
+	cfg.TransitDomains = 2
+	cfg.TransitNodesPerDomain = 4
+	cfg.StubDomainsPerTransitNode = 2
+	cfg.StubNodesPerDomain = 4
+	cfg.Seed = seed
+	nw, err := netsim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	att, err := netsim.Attach(nw, n, netsim.AccessLatencyRange, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := peer.MustTable1Sampler().SampleN(n, rng)
+	uni := &overlay.Universe{
+		Caps: caps,
+		Dist: func(i, j int) float64 {
+			return att.Distance(netsim.PeerID(i), netsim.PeerID(j))
+		},
+	}
+	env, err := NewEnv(att, uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, b, err := overlay.BuildGroupCast(uni, overlay.DefaultBootstrapConfig(), rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, g, b.ResourceLevel
+}
+
+func buildTree(t *testing.T, env *Env, g *overlay.Graph, levels protocol.ResourceLevels,
+	rendezvous, nSubs int, seed int64) *protocol.Tree {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	subs := rng.Perm(g.NumAlive())[:nSubs]
+	tree, _, _, err := protocol.BuildGroup(g, rendezvous, subs, levels,
+		protocol.DefaultAdvertiseConfig(), protocol.DefaultSubscribeConfig(), rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestNewEnvValidation(t *testing.T) {
+	if _, err := NewEnv(nil, nil); err == nil {
+		t.Fatal("nil inputs accepted")
+	}
+	env, g, _ := testEnv(t, 50, 1)
+	_ = g
+	smaller := &overlay.Universe{Caps: env.Uni.Caps[:10], Dist: env.Uni.Dist}
+	if _, err := NewEnv(env.Att, smaller); err == nil {
+		t.Fatal("mismatched sizes accepted")
+	}
+}
+
+func TestEvaluateBasics(t *testing.T) {
+	env, g, levels := testEnv(t, 300, 2)
+	tree := buildTree(t, env, g, levels, 0, 40, 3)
+	m, err := env.Evaluate(tree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Members == 0 {
+		t.Fatal("no members evaluated")
+	}
+	// The ESM delay cannot beat IP multicast (delay penalty >= 1).
+	if m.DelayPenalty < 1 {
+		t.Fatalf("delay penalty %v < 1", m.DelayPenalty)
+	}
+	// ESM crosses at least as many links as the merged IP tree.
+	if m.LinkStress < 1 {
+		t.Fatalf("link stress %v < 1", m.LinkStress)
+	}
+	if m.ESMIPMessages < m.IPMulticastMessages {
+		t.Fatalf("ESM messages %d < IP %d", m.ESMIPMessages, m.IPMulticastMessages)
+	}
+	if m.NodeStress < 1 {
+		t.Fatalf("node stress %v < 1 (every non-leaf forwards at least once)", m.NodeStress)
+	}
+	if m.OverloadIndex < 0 {
+		t.Fatalf("overload index %v < 0", m.OverloadIndex)
+	}
+	if m.OverloadedFraction < 0 || m.OverloadedFraction > 1 {
+		t.Fatalf("overloaded fraction %v", m.OverloadedFraction)
+	}
+}
+
+func TestEvaluateOffTreeSource(t *testing.T) {
+	env, g, levels := testEnv(t, 100, 4)
+	tree := buildTree(t, env, g, levels, 0, 10, 5)
+	var off = -1
+	for _, p := range g.AlivePeers() {
+		if !tree.Contains(p) {
+			off = p
+			break
+		}
+	}
+	if off == -1 {
+		t.Skip("everyone on tree")
+	}
+	if _, err := env.Evaluate(tree, off); !errors.Is(err, protocol.ErrNotOnTree) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEvaluateSingletonTree(t *testing.T) {
+	env, _, _ := testEnv(t, 30, 6)
+	tree := protocol.NewTree(0)
+	m, err := env.Evaluate(tree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Members != 0 || m.ESMIPMessages != 0 || m.DelayPenalty != 0 {
+		t.Fatalf("singleton metrics = %+v", m)
+	}
+}
+
+func TestEvaluateFromMemberSource(t *testing.T) {
+	env, g, levels := testEnv(t, 200, 7)
+	tree := buildTree(t, env, g, levels, 0, 25, 8)
+	var src = -1
+	for m := range tree.Members {
+		if m != 0 {
+			src = m
+			break
+		}
+	}
+	if src == -1 {
+		t.Skip("no member")
+	}
+	m, err := env.Evaluate(tree, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DelayPenalty < 1 || m.LinkStress < 1 {
+		t.Fatalf("member-source metrics out of range: %+v", m)
+	}
+}
+
+func TestOverloadAccountsCapacity(t *testing.T) {
+	// A hand-built star tree rooted at a capacity-1 peer with many children
+	// must be overloaded.
+	env, g, _ := testEnv(t, 100, 9)
+	var weak = -1
+	for _, p := range g.AlivePeers() {
+		if env.Uni.Caps[p] == 1 {
+			weak = p
+			break
+		}
+	}
+	if weak == -1 {
+		t.Skip("no capacity-1 peer")
+	}
+	tree := protocol.NewTree(weak)
+	added := 0
+	for _, p := range g.AlivePeers() {
+		if p == weak {
+			continue
+		}
+		tree.Parent[p] = weak
+		tree.Children[weak] = append(tree.Children[weak], p)
+		tree.Members[p] = true
+		if added++; added >= 10 {
+			break
+		}
+	}
+	m, err := env.Evaluate(tree, weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OverloadedFraction == 0 || m.OverloadIndex == 0 {
+		t.Fatalf("star on weak root not overloaded: %+v", m)
+	}
+	// 10 children on capacity 1: excess 9.
+	if m.MeanExcess != 9 {
+		t.Fatalf("mean excess = %v, want 9", m.MeanExcess)
+	}
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"groupcast/internal/metrics"
+	"groupcast/internal/overlay"
+	"groupcast/internal/peer"
+	"groupcast/internal/protocol"
+	"groupcast/internal/sim"
+)
+
+// AblationTwoLayer compares the flat utility-aware overlay against the
+// supernode two-layer architecture the paper sketches in Section 6, on
+// lookup behaviour and the application metrics.
+func AblationTwoLayer(w io.Writer, seed int64) error {
+	const n = 2000
+	p, err := BuildPipeline(DefaultPipelineConfig(n, seed))
+	if err != nil {
+		return err
+	}
+	flat, flatLevels, _, err := p.GroupCastOverlay(seed)
+	if err != nil {
+		return err
+	}
+	two, err := overlay.BuildTwoLayer(p.Uni, overlay.DefaultTwoLayerConfig(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	twoLevels := protocol.ExactLevels(p.Uni)
+
+	fmt.Fprintln(w, "# Ablation: flat GroupCast overlay vs two-layer supernode overlay (Section 6), 2000 peers")
+	fmt.Fprintf(w, "%-12s %-10s %-10s %-12s %-12s %-12s %-10s\n",
+		"overlay", "ad msgs", "success", "mean hops", "delay pen.", "link stress", "overload")
+	for _, c := range []struct {
+		name   string
+		g      *overlay.Graph
+		levels protocol.ResourceLevels
+	}{
+		{"flat", flat, flatLevels},
+		{"two-layer", two, twoLevels},
+	} {
+		rng := rand.New(rand.NewSource(seed + 7))
+		subs := rng.Perm(n)[:n/10]
+		tree, adv, results, err := protocol.BuildGroup(c.g, 0, subs, c.levels,
+			protocol.DefaultAdvertiseConfig(), protocol.DefaultSubscribeConfig(), rng, nil)
+		if err != nil {
+			return err
+		}
+		ok := 0
+		for _, r := range results {
+			if r.OK {
+				ok++
+			}
+		}
+		m, err := p.Env.Evaluate(tree, 0)
+		if err != nil {
+			return err
+		}
+		hops, _ := overlay.PathLengthStats(c.g, 10, rng)
+		fmt.Fprintf(w, "%-12s %-10d %-10.3f %-12.2f %-12.2f %-12.2f %-10.4f\n",
+			c.name, adv.Messages, float64(ok)/float64(len(subs)), hops,
+			m.DelayPenalty, m.LinkStress, m.OverloadIndex)
+	}
+	return nil
+}
+
+// AblationBackupFailover compares tree repair with precomputed backup access
+// points (the replication extension [35]) against the searching repair, over
+// a burst of interior-node failures.
+func AblationBackupFailover(w io.Writer, seed int64) error {
+	const n = 2000
+	const failures = 20
+	p, err := BuildPipeline(DefaultPipelineConfig(n, seed))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "# Ablation: tree repair via backup access points vs ripple search, 2000 peers, 20 failures")
+	fmt.Fprintf(w, "%-10s %-12s %-12s %-12s %-12s\n",
+		"mode", "reattached", "dropped", "search msgs", "join msgs")
+
+	for _, mode := range []string{"search", "backup"} {
+		g, levels, _, err := p.GroupCastOverlay(seed)
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(seed + 9))
+		subs := rng.Perm(n)[:n/10]
+		tree, adv, _, err := protocol.BuildGroup(g, 0, subs, levels,
+			protocol.DefaultAdvertiseConfig(), protocol.DefaultSubscribeConfig(), rng, nil)
+		if err != nil {
+			return err
+		}
+		var backups map[int]protocol.BackupSet
+		if mode == "backup" {
+			backups = protocol.ComputeBackups(g, tree, 4)
+		}
+		var reattached, dropped, searchMsgs, joinMsgs int
+		failed := 0
+		for _, e := range tree.Edges() {
+			if failed >= failures {
+				break
+			}
+			node := e[0]
+			if node == 0 || !tree.Contains(node) || !g.Alive(node) || len(tree.Children[node]) == 0 {
+				continue
+			}
+			g.RemovePeer(node)
+			if mode == "backup" {
+				res := protocol.RemoveFailedWithBackups(g, adv, tree, node, backups,
+					protocol.DefaultRepairConfig(), nil)
+				reattached += res.Reattached
+				dropped += len(res.Dropped)
+				searchMsgs += res.SearchMessages
+				joinMsgs += res.JoinMessages
+			} else {
+				res := protocol.RemoveFailed(g, adv, tree, node, protocol.DefaultRepairConfig(), nil)
+				reattached += res.Reattached
+				dropped += len(res.Dropped)
+				searchMsgs += res.SearchMessages
+				joinMsgs += res.JoinMessages
+			}
+			failed++
+		}
+		fmt.Fprintf(w, "%-10s %-12d %-12d %-12d %-12d\n",
+			mode, reattached, dropped, searchMsgs, joinMsgs)
+	}
+	return nil
+}
+
+// AblationChurn drives the overlay through an event-driven churn storm with
+// the adaptive epoch controller and reports connectivity and repair effort
+// over simulated time.
+func AblationChurn(w io.Writer, seed int64) error {
+	const (
+		population   = 800
+		meanLifetime = 90_000
+		horizon      = 240_000
+	)
+	rng := rand.New(rand.NewSource(seed))
+	caps := peer.MustTable1Sampler().SampleN(population, rng)
+	xs := peer.UniformDistances(population, 0, 300, rng)
+	ys := peer.UniformDistances(population, 0, 300, rng)
+	uni := &overlay.Universe{
+		Caps: caps,
+		Dist: func(i, j int) float64 {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			// Manhattan keeps it cheap; only ordering matters here.
+			if dx < 0 {
+				dx = -dx
+			}
+			if dy < 0 {
+				dy = -dy
+			}
+			return dx + dy
+		},
+	}
+	b, err := overlay.NewBuilder(uni, overlay.DefaultBootstrapConfig(), rng, metrics.NewCounters())
+	if err != nil {
+		return err
+	}
+	g := b.Graph()
+	engine := sim.New()
+	arrivals := peer.NewArrivalProcess(300, rng)
+	churn := peer.NewChurnProcess(meanLifetime, 0.5, rng)
+	ctl := overlay.NewEpochController(5000, 1000, 30000, 4)
+
+	if _, err := arrivals.ScheduleJoins(engine, population, func(i int) {
+		if err := b.Join(i); err != nil {
+			return
+		}
+		ev := churn.NextDeparture(engine.Now())
+		if ev.At > horizon {
+			return
+		}
+		if _, err := engine.At(ev.At, func(*sim.Engine, sim.Time) {
+			if !g.Alive(i) {
+				return
+			}
+			if ev.Graceful {
+				b.Leave(i)
+			} else {
+				b.Fail(i)
+			}
+		}); err != nil {
+			return
+		}
+	}); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "# Ablation: overlay under churn with adaptive epochs (800 joins, Expo lifetimes, 50% crashes)")
+	fmt.Fprintf(w, "%-10s %-8s %-10s %-10s %-12s\n", "t (s)", "alive", "connected", "repairs", "epoch (ms)")
+	var schedule func(at sim.Time)
+	schedule = func(at sim.Time) {
+		if at > horizon {
+			return
+		}
+		if _, err := engine.At(at, func(_ *sim.Engine, now sim.Time) {
+			repairs := b.RunEpoch(overlay.DefaultMaintenanceConfig(), rng)
+			next := ctl.Observe(repairs)
+			fmt.Fprintf(w, "%-10.0f %-8d %-10v %-10d %-12.0f\n",
+				float64(now)/1000, g.NumAlive(), overlay.IsConnected(g), repairs, next)
+			schedule(now + sim.Time(next))
+		}); err != nil {
+			return
+		}
+	}
+	schedule(sim.Time(ctl.Duration()))
+	engine.RunUntil(horizon)
+	return nil
+}

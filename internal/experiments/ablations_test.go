@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestAblationTwoLayerWriter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var b bytes.Buffer
+	if err := AblationTwoLayer(&b, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "flat") || !strings.Contains(out, "two-layer") {
+		t.Fatalf("output incomplete:\n%s", out)
+	}
+}
+
+func TestAblationBackupFailoverWriter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var b bytes.Buffer
+	if err := AblationBackupFailover(&b, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "search") || !strings.Contains(out, "backup") {
+		t.Fatalf("output incomplete:\n%s", out)
+	}
+	// Backups must eliminate most of the search traffic (failure order is
+	// map-iteration dependent, so require a strict reduction, not zero).
+	searches := map[string]int{}
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) >= 5 && (fields[0] == "search" || fields[0] == "backup") {
+			var v int
+			if _, err := fmt.Sscanf(fields[3], "%d", &v); err != nil {
+				t.Fatalf("line %q malformed", line)
+			}
+			searches[fields[0]] = v
+		}
+	}
+	if searches["backup"] >= searches["search"] {
+		t.Fatalf("backup repair searches %d not below searching repair %d",
+			searches["backup"], searches["search"])
+	}
+}
+
+func TestAblationChurnWriter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var b bytes.Buffer
+	if err := AblationChurn(&b, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "epoch (ms)") {
+		t.Fatalf("output incomplete:\n%s", out)
+	}
+	// At least a handful of epochs must have run.
+	if strings.Count(out, "\n") < 8 {
+		t.Fatalf("too few epochs:\n%s", out)
+	}
+	// The overlay must stay connected (the column says "true" everywhere).
+	if strings.Contains(out, "false") {
+		t.Fatalf("overlay disconnected during churn:\n%s", out)
+	}
+}

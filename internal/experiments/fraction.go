@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"groupcast/internal/protocol"
+)
+
+// FractionRow is one cell of the SSA parameter study: announcement fraction
+// and TTL against coverage, cost and subscription success.
+type FractionRow struct {
+	Fraction      float64
+	TTL           int
+	AdMessages    float64
+	ReceivingRate float64
+	SuccessRate   float64
+}
+
+// SSAParameterStudy sweeps the SSA forwarding fraction and TTL on one
+// GroupCast overlay — the design-choice study behind the paper's fixed
+// "pre-specified fraction" (we default to 0.4) and TTL. Averaged over
+// `groups` rendezvous points.
+func SSAParameterStudy(n int, fractions []float64, ttls []int, groups int, seed int64) ([]FractionRow, error) {
+	p, err := BuildPipeline(DefaultPipelineConfig(n, seed))
+	if err != nil {
+		return nil, err
+	}
+	g, levels, _, err := p.GroupCastOverlay(seed)
+	if err != nil {
+		return nil, err
+	}
+	alive := g.AlivePeers()
+	var rows []FractionRow
+	for _, ttl := range ttls {
+		for _, frac := range fractions {
+			rng := rand.New(rand.NewSource(seed + int64(ttl*1000) + int64(frac*100)))
+			acfg := protocol.AdvertiseConfig{Scheme: protocol.SSA, TTL: ttl, Fraction: frac}
+			row := FractionRow{Fraction: frac, TTL: ttl}
+			for gi := 0; gi < groups; gi++ {
+				rdv := alive[rng.Intn(len(alive))]
+				subs := make([]int, 0, n/10)
+				for _, idx := range rng.Perm(len(alive))[:n/10] {
+					if alive[idx] != rdv {
+						subs = append(subs, alive[idx])
+					}
+				}
+				_, adv, results, err := protocol.BuildGroup(g, rdv, subs, levels,
+					acfg, protocol.DefaultSubscribeConfig(), rng, nil)
+				if err != nil {
+					return nil, err
+				}
+				row.AdMessages += float64(adv.Messages)
+				row.ReceivingRate += float64(adv.NumReceived()) / float64(len(alive))
+				ok := 0
+				for _, r := range results {
+					if r.OK {
+						ok++
+					}
+				}
+				row.SuccessRate += float64(ok) / float64(len(subs))
+			}
+			fg := float64(groups)
+			row.AdMessages /= fg
+			row.ReceivingRate /= fg
+			row.SuccessRate /= fg
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// AblationFraction writes the SSA parameter study: the coverage/cost
+// trade-off as the forwarding fraction and TTL vary.
+func AblationFraction(w io.Writer, seed int64) error {
+	rows, err := SSAParameterStudy(2000,
+		[]float64{0.2, 0.4, 0.6, 1.0}, []int{5, 7}, 3, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "# Ablation: SSA forwarding fraction and TTL (2000-peer GroupCast overlay)")
+	fmt.Fprintf(w, "%-6s %-10s %-12s %-16s %-14s\n",
+		"TTL", "fraction", "ad msgs", "receiving rate", "success rate")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6d %-10.1f %-12.0f %-16.3f %-14.3f\n",
+			r.TTL, r.Fraction, r.AdMessages, r.ReceivingRate, r.SuccessRate)
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSSAParameterStudyMonotonicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rows, err := SSAParameterStudy(500, []float64{0.2, 0.6, 1.0}, []int{6}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Larger fractions must cost more messages and reach more peers.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].AdMessages <= rows[i-1].AdMessages {
+			t.Errorf("fraction %.1f ad msgs %v not above %.1f's %v",
+				rows[i].Fraction, rows[i].AdMessages, rows[i-1].Fraction, rows[i-1].AdMessages)
+		}
+		if rows[i].ReceivingRate < rows[i-1].ReceivingRate-0.02 {
+			t.Errorf("receiving rate dropped with larger fraction: %v", rows)
+		}
+	}
+	// Full flooding reaches everyone.
+	last := rows[len(rows)-1]
+	if last.ReceivingRate < 0.999 {
+		t.Errorf("fraction 1.0 receiving rate %v", last.ReceivingRate)
+	}
+	// The headline: subscription success stays ~1 across the whole sweep.
+	for _, r := range rows {
+		if r.SuccessRate < 0.95 {
+			t.Errorf("fraction %.1f success rate %v", r.Fraction, r.SuccessRate)
+		}
+	}
+}
+
+func TestAblationFractionWriter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var b bytes.Buffer
+	if err := AblationFraction(&b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "fraction") {
+		t.Fatalf("output: %q", b.String())
+	}
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"groupcast/internal/metrics"
+	"groupcast/internal/netsim"
+	"groupcast/internal/overlay"
+)
+
+// DegreeDistributionResult carries a Figure 7/8 degree distribution with its
+// fitted power-law slope.
+type DegreeDistributionResult struct {
+	Points    []metrics.DegreePoint
+	Slope     float64
+	Intercept float64
+	FitOK     bool
+	MaxDegree int
+}
+
+// DegreeDistribution computes the node-degree distribution of an overlay and
+// fits a log-log line (the power-law check of Figures 7 and 8).
+func DegreeDistribution(g *overlay.Graph) DegreeDistributionResult {
+	degrees := g.Degrees()
+	hist := metrics.DegreeHistogram(degrees)
+	pts := metrics.SortedDegreePoints(hist)
+	var xs, ys []float64
+	maxDeg := 0
+	for _, p := range pts {
+		xs = append(xs, float64(p.Degree))
+		ys = append(ys, float64(p.Count))
+		if p.Degree > maxDeg {
+			maxDeg = p.Degree
+		}
+	}
+	slope, intercept, ok := metrics.LogLogSlope(xs, ys)
+	return DegreeDistributionResult{
+		Points:    pts,
+		Slope:     slope,
+		Intercept: intercept,
+		FitOK:     ok,
+		MaxDegree: maxDeg,
+	}
+}
+
+// Figure7 builds a 5000-peer GroupCast overlay and writes its log-log degree
+// distribution.
+func Figure7(w io.Writer, seed int64) error {
+	return degreeFigure(w, seed, true,
+		"# Figure 7: log-log degree distribution, GroupCast overlay, 5000 peers")
+}
+
+// Figure8 builds the 5000-peer PLOD (α = 1.8) baseline and writes its degree
+// distribution.
+func Figure8(w io.Writer, seed int64) error {
+	return degreeFigure(w, seed, false,
+		"# Figure 8: log-log degree distribution, random power-law (PLOD α=1.8), 5000 peers")
+}
+
+func degreeFigure(w io.Writer, seed int64, groupCast bool, header string) error {
+	return degreeFigureAt(w, seed, 5000, groupCast, header)
+}
+
+// degreeFigureAt is the size-parameterized core of Figures 7/8 (tests run it
+// at reduced scale).
+func degreeFigureAt(w io.Writer, seed int64, n int, groupCast bool, header string) error {
+	p, err := BuildPipeline(DefaultPipelineConfig(n, seed))
+	if err != nil {
+		return err
+	}
+	var g *overlay.Graph
+	if groupCast {
+		g, _, _, err = p.GroupCastOverlay(seed)
+	} else {
+		g, _, err = p.PLODOverlay(seed)
+	}
+	if err != nil {
+		return err
+	}
+	res := DegreeDistribution(g)
+	fmt.Fprintln(w, header)
+	fmt.Fprintf(w, "%-10s %s\n", "degree", "peers")
+	for _, pt := range res.Points {
+		fmt.Fprintf(w, "%-10d %d\n", pt.Degree, pt.Count)
+	}
+	fmt.Fprintf(w, "# log-log slope %.2f (fit ok=%v), max degree %d, clustering %.4f\n",
+		res.Slope, res.FitOK, res.MaxDegree, overlay.ClusteringCoefficient(g))
+	return nil
+}
+
+// NeighborDistanceResult summarizes Figures 9/10: per-peer mean distance to
+// overlay neighbours on the true underlay.
+type NeighborDistanceResult struct {
+	PerPeer []float64
+	Summary metrics.Summary
+}
+
+// NeighborDistances measures mean true-underlay neighbour distance per peer
+// (the coordinate estimate is what built the overlay; the figure reports the
+// real latencies it achieved).
+func (p *Pipeline) NeighborDistances(g *overlay.Graph) NeighborDistanceResult {
+	per := make([]float64, 0, g.NumAlive())
+	for _, i := range g.AlivePeers() {
+		nbrs := g.Neighbors(i)
+		if len(nbrs) == 0 {
+			continue
+		}
+		var sum float64
+		for _, j := range nbrs {
+			sum += p.Att.Distance(netsim.PeerID(i), netsim.PeerID(j))
+		}
+		per = append(per, sum/float64(len(nbrs)))
+	}
+	s, _ := metrics.Summarize(per)
+	return NeighborDistanceResult{PerPeer: per, Summary: s}
+}
+
+// Figure9 writes the mean-neighbour-distance distribution of a 1000-peer
+// GroupCast overlay; Figure10 the PLOD baseline.
+func Figure9(w io.Writer, seed int64) error {
+	return neighborFigure(w, seed, true,
+		"# Figure 9: average distance to overlay neighbours, GroupCast, 1000 peers")
+}
+
+// Figure10 is the PLOD counterpart of Figure9.
+func Figure10(w io.Writer, seed int64) error {
+	return neighborFigure(w, seed, false,
+		"# Figure 10: average distance to overlay neighbours, random power-law, 1000 peers")
+}
+
+func neighborFigure(w io.Writer, seed int64, groupCast bool, header string) error {
+	return neighborFigureAt(w, seed, 1000, groupCast, header)
+}
+
+// neighborFigureAt is the size-parameterized core of Figures 9/10.
+func neighborFigureAt(w io.Writer, seed int64, n int, groupCast bool, header string) error {
+	p, err := BuildPipeline(DefaultPipelineConfig(n, seed))
+	if err != nil {
+		return err
+	}
+	var g *overlay.Graph
+	if groupCast {
+		g, _, _, err = p.GroupCastOverlay(seed)
+	} else {
+		g, _, err = p.PLODOverlay(seed)
+	}
+	if err != nil {
+		return err
+	}
+	res := p.NeighborDistances(g)
+	fmt.Fprintln(w, header)
+	hist := metrics.Histogram(res.PerPeer, 10)
+	fmt.Fprintf(w, "%-24s %s\n", "mean distance bin (ms)", "peers")
+	for _, b := range hist {
+		fmt.Fprintf(w, "[%7.1f, %7.1f)        %d\n", b.Lo, b.Hi, b.Count)
+	}
+	fmt.Fprintf(w, "# mean %.1f ms, max %.1f ms over %d peers\n",
+		res.Summary.Mean, res.Summary.Max, res.Summary.N)
+	return nil
+}
+
+// rngFor derives a sub-seeded RNG for an experiment stage.
+func rngFor(seed int64, stage int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + stage))
+}

@@ -1,0 +1,146 @@
+// Package experiments wires the full GroupCast evaluation pipeline —
+// transit-stub underlay, peer attachment, GNP coordinates, capacities,
+// overlay construction (utility-aware and PLOD), service announcement,
+// subscription, and ESM metrics — and regenerates every table and figure of
+// the paper's Section 4. The cmd/groupcast-sim binary and the repository's
+// benchmarks both drive this package.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"groupcast/internal/coords"
+	"groupcast/internal/esm"
+	"groupcast/internal/metrics"
+	"groupcast/internal/netsim"
+	"groupcast/internal/overlay"
+	"groupcast/internal/peer"
+	"groupcast/internal/protocol"
+)
+
+// PipelineConfig describes one experimental environment.
+type PipelineConfig struct {
+	// NumPeers attached to the underlay.
+	NumPeers int
+	// Seed drives every random choice in the pipeline.
+	Seed int64
+	// Net configures the transit-stub underlay; zero value uses the default
+	// (~600 routers, the paper's GT-ITM scale).
+	Net netsim.Config
+	// UseCoordinates switches the utility function's distance estimates to a
+	// GNP embedding (as in the paper); false uses exact underlay latencies,
+	// which is faster and an upper bound on coordinate quality.
+	UseCoordinates bool
+	// GNP parameterizes the embedding when UseCoordinates is set; zero value
+	// uses a cost-reduced default adequate for utility ranking.
+	GNP coords.GNPConfig
+}
+
+// DefaultPipelineConfig returns the paper-shaped environment for n peers.
+func DefaultPipelineConfig(n int, seed int64) PipelineConfig {
+	cfg := netsim.DefaultConfig()
+	cfg.Seed = seed
+	gnp := coords.DefaultGNPConfig()
+	gnp.Iterations = 400 // ranking-quality embedding at large N
+	gnp.LearningRate = 0.5
+	gnp.Seed = seed
+	return PipelineConfig{
+		NumPeers:       n,
+		Seed:           seed,
+		Net:            cfg,
+		UseCoordinates: true,
+		GNP:            gnp,
+	}
+}
+
+// Pipeline is a fully built experimental environment.
+type Pipeline struct {
+	Cfg  PipelineConfig
+	Net  *netsim.Network
+	Att  *netsim.Attachment
+	Caps []peer.Capacity
+	// Points are the GNP coordinates when UseCoordinates is set.
+	Points []coords.Point
+	// Uni is the overlay universe: capacities plus the coordinate-based
+	// distance estimate.
+	Uni *overlay.Universe
+	// Env evaluates trees against the true underlay.
+	Env *esm.Env
+}
+
+// BuildPipeline constructs the environment: underlay, attachment, capacities
+// (Table 1), coordinates, universe, and ESM evaluator.
+func BuildPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	if cfg.NumPeers <= 0 {
+		return nil, fmt.Errorf("experiments: invalid peer count %d", cfg.NumPeers)
+	}
+	if cfg.Net.TransitDomains == 0 {
+		cfg.Net = netsim.DefaultConfig()
+		cfg.Net.Seed = cfg.Seed
+	}
+	nw, err := netsim.Generate(cfg.Net)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: underlay: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	att, err := netsim.Attach(nw, cfg.NumPeers, netsim.AccessLatencyRange, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: attach: %w", err)
+	}
+	caps := peer.MustTable1Sampler().SampleN(cfg.NumPeers, rng)
+
+	p := &Pipeline{Cfg: cfg, Net: nw, Att: att, Caps: caps}
+	trueDist := func(i, j int) float64 {
+		return att.Distance(netsim.PeerID(i), netsim.PeerID(j))
+	}
+	if cfg.UseCoordinates {
+		gnp := cfg.GNP
+		if gnp.Dimensions == 0 {
+			gnp = coords.DefaultGNPConfig()
+			gnp.Iterations = 400
+			gnp.LearningRate = 0.5
+			gnp.Seed = cfg.Seed
+		}
+		points, err := coords.EmbedGNP(cfg.NumPeers, trueDist, gnp)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: GNP embedding: %w", err)
+		}
+		p.Points = points
+		p.Uni = &overlay.Universe{
+			Caps: caps,
+			Dist: func(i, j int) float64 { return coords.Dist(points[i], points[j]) },
+		}
+	} else {
+		p.Uni = &overlay.Universe{Caps: caps, Dist: trueDist}
+	}
+	env, err := esm.NewEnv(att, p.Uni)
+	if err != nil {
+		return nil, err
+	}
+	p.Env = env
+	return p, nil
+}
+
+// GroupCastOverlay builds the utility-aware overlay over the pipeline's
+// universe and returns it with its resource-level estimates and message
+// counters.
+func (p *Pipeline) GroupCastOverlay(seed int64) (*overlay.Graph, protocol.ResourceLevels, *metrics.Counters, error) {
+	ctr := metrics.NewCounters()
+	g, b, err := overlay.BuildGroupCast(p.Uni, overlay.DefaultBootstrapConfig(),
+		rand.New(rand.NewSource(seed)), ctr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return g, b.ResourceLevel, ctr, nil
+}
+
+// PLODOverlay builds the random power-law baseline with exact resource
+// levels.
+func (p *Pipeline) PLODOverlay(seed int64) (*overlay.Graph, protocol.ResourceLevels, error) {
+	g, err := overlay.BuildPLOD(p.Uni, overlay.DefaultPLODConfig(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, protocol.ExactLevels(p.Uni), nil
+}

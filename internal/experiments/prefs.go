@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"groupcast/internal/core"
+	"groupcast/internal/peer"
+)
+
+// PrefPoint is one candidate of the Figures 1-6 simulation: its distance,
+// capacity, computed selection preference, and whether it belongs to the top
+// 20% most powerful candidates (the split the paper plots).
+type PrefPoint struct {
+	Distance   float64
+	Capacity   float64
+	Preference float64
+	Top20      bool
+}
+
+// PreferenceExperiment reproduces the synthetic study behind Figures 1-6:
+// a peer of resource level r evaluates n candidates whose capacities follow
+// Zipf(zipfS) and whose distances follow Unif(0, maxDist) ms.
+func PreferenceExperiment(r float64, n int, zipfS, maxDist float64, seed int64) ([]PrefPoint, error) {
+	rng := rand.New(rand.NewSource(seed))
+	caps := peer.ZipfCapacities(n, zipfS, 1000, rng)
+	dists := peer.UniformDistances(n, 0, maxDist, rng)
+	cands := make([]core.Candidate, n)
+	for i := range cands {
+		cands[i] = core.Candidate{Capacity: float64(caps[i]), Distance: dists[i]}
+	}
+	prefs, err := core.SelectionPreferencesFor(r, cands)
+	if err != nil {
+		return nil, err
+	}
+	// Top-20% capacity threshold.
+	sortedCaps := make([]float64, n)
+	for i, c := range caps {
+		sortedCaps[i] = float64(c)
+	}
+	sort.Float64s(sortedCaps)
+	threshold := sortedCaps[int(0.8*float64(n))]
+	points := make([]PrefPoint, n)
+	for i := range points {
+		points[i] = PrefPoint{
+			Distance:   dists[i],
+			Capacity:   float64(caps[i]),
+			Preference: prefs[i],
+			Top20:      float64(caps[i]) >= threshold,
+		}
+	}
+	return points, nil
+}
+
+// FigurePreference runs the preference experiment for one of Figures 1-6 and
+// writes a summary: binned mean preference against distance (Figs 1-3) or
+// capacity (Figs 4-6), split into the top-20% and bottom-80% capacity
+// candidate classes.
+func FigurePreference(w io.Writer, fig int, seed int64) error {
+	var r float64
+	switch fig {
+	case 1, 4:
+		r = 0.05
+	case 2, 5:
+		r = 0.50
+	case 3, 6:
+		r = 0.95
+	default:
+		return fmt.Errorf("experiments: figure %d is not a preference figure", fig)
+	}
+	byDistance := fig <= 3
+	points, err := PreferenceExperiment(r, 1000, 2.0, 400, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# Figure %d: selection preference vs %s, r_i = %.2f\n",
+		fig, map[bool]string{true: "distance", false: "capacity"}[byDistance], r)
+	fmt.Fprintf(w, "%-24s %-18s %-18s\n", "bin", "mean pref (top20%)", "mean pref (bottom80%)")
+
+	type bin struct {
+		sumTop, sumBot float64
+		nTop, nBot     int
+	}
+	const nbins = 8
+	bins := make([]bin, nbins)
+	lo, hi := binRange(points, byDistance)
+	width := (hi - lo) / nbins
+	if width == 0 {
+		width = 1
+	}
+	for _, p := range points {
+		x := p.Distance
+		if !byDistance {
+			x = p.Capacity
+		}
+		idx := int((x - lo) / width)
+		if idx >= nbins {
+			idx = nbins - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if p.Top20 {
+			bins[idx].sumTop += p.Preference
+			bins[idx].nTop++
+		} else {
+			bins[idx].sumBot += p.Preference
+			bins[idx].nBot++
+		}
+	}
+	for i, b := range bins {
+		label := fmt.Sprintf("[%.0f, %.0f)", lo+float64(i)*width, lo+float64(i+1)*width)
+		top, bot := 0.0, 0.0
+		if b.nTop > 0 {
+			top = b.sumTop / float64(b.nTop)
+		}
+		if b.nBot > 0 {
+			bot = b.sumBot / float64(b.nBot)
+		}
+		fmt.Fprintf(w, "%-24s %-18.3e %-18.3e\n", label, top, bot)
+	}
+	return nil
+}
+
+func binRange(points []PrefPoint, byDistance bool) (lo, hi float64) {
+	for i, p := range points {
+		x := p.Distance
+		if !byDistance {
+			x = p.Capacity
+		}
+		if i == 0 || x < lo {
+			lo = x
+		}
+		if i == 0 || x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Table1 writes the capacity distribution used throughout the evaluation.
+func Table1(w io.Writer) {
+	fmt.Fprintln(w, "# Table 1: capacity distribution of peers (Saroiu et al.)")
+	fmt.Fprintf(w, "%-16s %s\n", "capacity level", "percentage of peers")
+	for _, c := range peer.Table1() {
+		fmt.Fprintf(w, "%-16v %.1f%%\n", c.Level, c.Fraction*100)
+	}
+}

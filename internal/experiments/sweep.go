@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"groupcast/internal/metrics"
+	"groupcast/internal/overlay"
+	"groupcast/internal/protocol"
+)
+
+// OverlayKind names the two overlay construction schemes under comparison.
+type OverlayKind string
+
+// Overlay kinds of the evaluation.
+const (
+	KindGroupCast OverlayKind = "GroupCast"
+	KindPLOD      OverlayKind = "random-power-law"
+)
+
+// SweepConfig parameterizes the Figures 11-17 parameter sweep.
+type SweepConfig struct {
+	// Sizes are the overlay populations (paper: 1000..32000 doubling).
+	Sizes []int
+	// GroupsPerOverlay is how many rendezvous points (groups) are averaged
+	// per overlay (paper: 10).
+	GroupsPerOverlay int
+	// SubscriberFraction of the population subscribes to each group.
+	SubscriberFraction float64
+	// Seed drives the sweep.
+	Seed int64
+	// UseCoordinates propagates to the pipeline (GNP vs exact distances).
+	UseCoordinates bool
+	// Topologies is how many independent IP underlays each cell is averaged
+	// over ("Each experiment is repeated over 10 IP network topologies");
+	// 0 or 1 means a single topology.
+	Topologies int
+}
+
+// DefaultSweepConfig mirrors the paper's sweep.
+func DefaultSweepConfig() SweepConfig {
+	return SweepConfig{
+		Sizes:              []int{1000, 2000, 4000, 8000, 16000, 32000},
+		GroupsPerOverlay:   10,
+		SubscriberFraction: 0.1,
+		Seed:               1,
+		UseCoordinates:     true,
+	}
+}
+
+// SweepRow aggregates one (size, overlay, scheme) cell of the evaluation,
+// averaged over the configured number of groups.
+type SweepRow struct {
+	N       int
+	Overlay OverlayKind
+	Scheme  protocol.Scheme
+
+	// Figure 11: mean messages per group.
+	AdMessages  float64
+	SubMessages float64
+	// Figure 12: rates.
+	ReceivingRate float64
+	SuccessRate   float64
+	// Figure 13: mean ripple-search latency over subscribers that searched.
+	LookupLatencyMS float64
+
+	// Figures 14-17 (ESM application metrics, from the rendezvous source).
+	DelayPenalty  float64
+	LinkStress    float64
+	NodeStress    float64
+	OverloadIndex float64
+}
+
+// RunSweep executes the sweep and returns one row per (size, overlay,
+// scheme) combination, in deterministic order. With cfg.Topologies > 1 every
+// cell is the mean over that many independent underlays.
+func RunSweep(cfg SweepConfig) ([]SweepRow, error) {
+	if len(cfg.Sizes) == 0 {
+		cfg = DefaultSweepConfig()
+	}
+	topos := cfg.Topologies
+	if topos < 1 {
+		topos = 1
+	}
+	if topos == 1 {
+		return runSweepOnce(cfg, cfg.Seed)
+	}
+	var acc []SweepRow
+	for ti := 0; ti < topos; ti++ {
+		rows, err := runSweepOnce(cfg, cfg.Seed+int64(ti)*7919)
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = rows
+			continue
+		}
+		for i := range acc {
+			acc[i] = addRows(acc[i], rows[i])
+		}
+	}
+	for i := range acc {
+		acc[i] = scaleRow(acc[i], 1/float64(topos))
+	}
+	return acc, nil
+}
+
+// addRows sums the metric fields of two rows of the same cell.
+func addRows(a, b SweepRow) SweepRow {
+	a.AdMessages += b.AdMessages
+	a.SubMessages += b.SubMessages
+	a.ReceivingRate += b.ReceivingRate
+	a.SuccessRate += b.SuccessRate
+	a.LookupLatencyMS += b.LookupLatencyMS
+	a.DelayPenalty += b.DelayPenalty
+	a.LinkStress += b.LinkStress
+	a.NodeStress += b.NodeStress
+	a.OverloadIndex += b.OverloadIndex
+	return a
+}
+
+func scaleRow(a SweepRow, f float64) SweepRow {
+	a.AdMessages *= f
+	a.SubMessages *= f
+	a.ReceivingRate *= f
+	a.SuccessRate *= f
+	a.LookupLatencyMS *= f
+	a.DelayPenalty *= f
+	a.LinkStress *= f
+	a.NodeStress *= f
+	a.OverloadIndex *= f
+	return a
+}
+
+func runSweepOnce(cfg SweepConfig, seed int64) ([]SweepRow, error) {
+	var rows []SweepRow
+	for _, n := range cfg.Sizes {
+		pcfg := DefaultPipelineConfig(n, seed)
+		pcfg.UseCoordinates = cfg.UseCoordinates
+		p, err := BuildPipeline(pcfg)
+		if err != nil {
+			return nil, err
+		}
+		gcGraph, gcLevels, _, err := p.GroupCastOverlay(seed)
+		if err != nil {
+			return nil, err
+		}
+		plGraph, plLevels, err := p.PLODOverlay(seed)
+		if err != nil {
+			return nil, err
+		}
+		type combo struct {
+			kind   OverlayKind
+			graph  *overlay.Graph
+			levels protocol.ResourceLevels
+			scheme protocol.Scheme
+		}
+		combos := []combo{
+			{KindGroupCast, gcGraph, gcLevels, protocol.SSA},
+			{KindGroupCast, gcGraph, gcLevels, protocol.NSSA},
+			{KindPLOD, plGraph, plLevels, protocol.SSA},
+			{KindPLOD, plGraph, plLevels, protocol.NSSA},
+		}
+		for ci, c := range combos {
+			row, err := p.runCell(c.graph, c.levels, c.kind, c.scheme, cfg, seed, int64(ci))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// runCell averages GroupsPerOverlay independent groups on one overlay with
+// one announcement scheme.
+func (p *Pipeline) runCell(g *overlay.Graph, levels protocol.ResourceLevels,
+	kind OverlayKind, scheme protocol.Scheme, cfg SweepConfig, seed, comboSeed int64) (SweepRow, error) {
+	row := SweepRow{N: p.Cfg.NumPeers, Overlay: kind, Scheme: scheme}
+	rng := rngFor(seed+comboSeed, int64(p.Cfg.NumPeers))
+	acfg := protocol.DefaultAdvertiseConfig()
+	acfg.Scheme = scheme
+	scfg := protocol.DefaultSubscribeConfig()
+
+	nSubs := int(cfg.SubscriberFraction * float64(p.Cfg.NumPeers))
+	if nSubs < 2 {
+		nSubs = 2
+	}
+	alive := g.AlivePeers()
+	groups := cfg.GroupsPerOverlay
+	if groups < 1 {
+		groups = 1
+	}
+
+	var (
+		adMsgs, subMsgs, recvRate, succRate, lookupLat   float64
+		delayPen, linkStr, nodeStr, overload, latSamples float64
+		evaluated                                        int
+	)
+	for gi := 0; gi < groups; gi++ {
+		rendezvous := alive[rng.Intn(len(alive))]
+		subs := make([]int, 0, nSubs)
+		for _, idx := range rng.Perm(len(alive)) {
+			if len(subs) >= nSubs {
+				break
+			}
+			if alive[idx] != rendezvous {
+				subs = append(subs, alive[idx])
+			}
+		}
+		tree, adv, results, err := protocol.BuildGroup(g, rendezvous, subs, levels, acfg, scfg, rng, nil)
+		if err != nil {
+			return row, err
+		}
+		adMsgs += float64(adv.Messages)
+		recvRate += float64(adv.NumReceived()) / float64(len(alive))
+		ok := 0
+		var cellSub, cellLat float64
+		var searched int
+		for _, r := range results {
+			cellSub += float64(r.SearchMessages + r.JoinMessages)
+			if r.OK {
+				ok++
+			}
+			if r.UsedSearch && r.OK {
+				cellLat += r.SearchLatency
+				searched++
+			}
+		}
+		subMsgs += cellSub
+		succRate += float64(ok) / float64(len(subs))
+		if searched > 0 {
+			lookupLat += cellLat / float64(searched)
+			latSamples++
+		}
+
+		m, err := p.Env.Evaluate(tree, rendezvous)
+		if err != nil {
+			return row, err
+		}
+		delayPen += m.DelayPenalty
+		linkStr += m.LinkStress
+		nodeStr += m.NodeStress
+		overload += m.OverloadIndex
+		evaluated++
+	}
+	fg := float64(groups)
+	row.AdMessages = adMsgs / fg
+	row.SubMessages = subMsgs / fg
+	row.ReceivingRate = recvRate / fg
+	row.SuccessRate = succRate / fg
+	if latSamples > 0 {
+		row.LookupLatencyMS = lookupLat / latSamples
+	}
+	if evaluated > 0 {
+		fe := float64(evaluated)
+		row.DelayPenalty = delayPen / fe
+		row.LinkStress = linkStr / fe
+		row.NodeStress = nodeStr / fe
+		row.OverloadIndex = overload / fe
+	}
+	return row, nil
+}
+
+// Figure11 writes the service lookup message counts (advertisement +
+// subscription) for SSA and NSSA on both overlays.
+func Figure11(w io.Writer, rows []SweepRow) {
+	fmt.Fprintln(w, "# Figure 11: messages generated by service lookup schemes (mean per group)")
+	fmt.Fprintf(w, "%-8s %-18s %-6s %-14s %-14s\n", "N", "overlay", "scheme", "ad msgs", "sub msgs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8d %-18s %-6s %-14.0f %-14.0f\n",
+			r.N, r.Overlay, r.Scheme, r.AdMessages, r.SubMessages)
+	}
+}
+
+// Figure12 writes advertisement receiving rates and subscription success
+// rates for the SSA scheme.
+func Figure12(w io.Writer, rows []SweepRow) {
+	fmt.Fprintln(w, "# Figure 12: receiving rate and subscription success rate (SSA, TTL=2 search)")
+	fmt.Fprintf(w, "%-8s %-18s %-16s %-14s\n", "N", "overlay", "receiving rate", "success rate")
+	for _, r := range rows {
+		if r.Scheme != protocol.SSA {
+			continue
+		}
+		fmt.Fprintf(w, "%-8d %-18s %-16.3f %-14.3f\n", r.N, r.Overlay, r.ReceivingRate, r.SuccessRate)
+	}
+}
+
+// Figure13 writes the mean service lookup latency for the SSA scheme.
+func Figure13(w io.Writer, rows []SweepRow) {
+	fmt.Fprintln(w, "# Figure 13: service lookup latency (ms, SSA)")
+	fmt.Fprintf(w, "%-8s %-18s %s\n", "N", "overlay", "lookup latency (ms)")
+	for _, r := range rows {
+		if r.Scheme != protocol.SSA {
+			continue
+		}
+		fmt.Fprintf(w, "%-8d %-18s %.1f\n", r.N, r.Overlay, r.LookupLatencyMS)
+	}
+}
+
+// Figure14 writes relative delay penalties for all four combinations.
+func Figure14(w io.Writer, rows []SweepRow) {
+	appFigure(w, rows, "Figure 14: relative delay penalty",
+		func(r SweepRow) float64 { return r.DelayPenalty }, "%.2f")
+}
+
+// Figure15 writes link stress for all four combinations.
+func Figure15(w io.Writer, rows []SweepRow) {
+	appFigure(w, rows, "Figure 15: link stress",
+		func(r SweepRow) float64 { return r.LinkStress }, "%.2f")
+}
+
+// Figure16 writes node stress for all four combinations.
+func Figure16(w io.Writer, rows []SweepRow) {
+	appFigure(w, rows, "Figure 16: node stress",
+		func(r SweepRow) float64 { return r.NodeStress }, "%.2f")
+}
+
+// Figure17 writes the overload index for all four combinations.
+func Figure17(w io.Writer, rows []SweepRow) {
+	appFigure(w, rows, "Figure 17: overload index (log scale in the paper)",
+		func(r SweepRow) float64 { return r.OverloadIndex }, "%.4f")
+}
+
+func appFigure(w io.Writer, rows []SweepRow, title string, get func(SweepRow) float64, valueFmt string) {
+	fmt.Fprintln(w, "# "+title)
+	fmt.Fprintf(w, "%-8s %-18s %-6s %s\n", "N", "overlay", "scheme", "value")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8d %-18s %-6s "+valueFmt+"\n", r.N, r.Overlay, r.Scheme, get(r))
+	}
+}
+
+// SummaryCounters aggregates whole-sweep message tallies (useful for
+// cross-checking against per-row numbers in the CLI output).
+func SummaryCounters(rows []SweepRow) *metrics.Counters {
+	ctr := metrics.NewCounters()
+	for _, r := range rows {
+		ctr.Add(fmt.Sprintf("%s.%s.ad", r.Overlay, r.Scheme), int64(r.AdMessages))
+		ctr.Add(fmt.Sprintf("%s.%s.sub", r.Overlay, r.Scheme), int64(r.SubMessages))
+	}
+	return ctr
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"groupcast/internal/metrics"
+	"groupcast/internal/overlay"
+	"groupcast/internal/peer"
+	"groupcast/internal/protocol"
+	"groupcast/internal/sim"
+)
+
+// TimedBuildResult reports an event-driven overlay construction run.
+type TimedBuildResult struct {
+	Graph *overlay.Graph
+	// Levels are the builder's resource-level estimates.
+	Levels protocol.ResourceLevels
+	// Duration is the virtual time the construction took (ms).
+	Duration sim.Time
+	// Events is how many simulator events fired.
+	Events uint64
+	// EpochsRun counts maintenance epochs executed during construction.
+	EpochsRun int
+}
+
+// TimedOverlayBuild constructs the GroupCast overlay exactly as Section 4.1
+// describes: "peers join with intervals following an exponential
+// distribution Expo(1s)", with adaptive maintenance epochs interleaved on
+// the virtual clock. The batch builder used by the sweep produces the same
+// topology distribution; this entry point exists to validate that and to
+// drive churn studies.
+func (p *Pipeline) TimedOverlayBuild(meanJoinMillis float64, seed int64) (*TimedBuildResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	b, err := overlay.NewBuilder(p.Uni, overlay.DefaultBootstrapConfig(), rng, metrics.NewCounters())
+	if err != nil {
+		return nil, err
+	}
+	engine := sim.New()
+	arrivals := peer.NewArrivalProcess(meanJoinMillis, rng)
+	res := &TimedBuildResult{Graph: b.Graph(), Levels: b.ResourceLevel}
+
+	var joinErr error
+	last, err := arrivals.ScheduleJoins(engine, p.Uni.N(), func(i int) {
+		if err := b.Join(i); err != nil && joinErr == nil {
+			joinErr = err
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Maintenance epochs with the adaptive controller, until joins finish.
+	ctl := overlay.NewEpochController(5000, 1000, 30000, 4)
+	var epochFn sim.Handler
+	epochFn = func(e *sim.Engine, now sim.Time) {
+		repairs := b.RunEpoch(overlay.DefaultMaintenanceConfig(), rng)
+		res.EpochsRun++
+		next := sim.Time(ctl.Observe(repairs))
+		if now+next < last {
+			if _, err := e.After(next, epochFn); err != nil && joinErr == nil {
+				joinErr = err
+			}
+		}
+	}
+	if _, err := engine.At(sim.Time(ctl.Duration()), epochFn); err != nil {
+		return nil, err
+	}
+
+	engine.Run(0)
+	if joinErr != nil {
+		return nil, joinErr
+	}
+	res.Duration = engine.Now()
+	res.Events = engine.Processed()
+	return res, nil
+}
+
+// TimedBuildReport runs the event-driven construction at the Figure 7 scale
+// and writes its statistics next to the batch builder's for comparison.
+func TimedBuildReport(w io.Writer, n int, seed int64) error {
+	cfg := DefaultPipelineConfig(n, seed)
+	p, err := BuildPipeline(cfg)
+	if err != nil {
+		return err
+	}
+	timed, err := p.TimedOverlayBuild(1000, seed)
+	if err != nil {
+		return err
+	}
+	batch, _, _, err := p.GroupCastOverlay(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# Event-driven overlay construction (Expo(1s) joins) vs batch, %d peers\n", n)
+	fmt.Fprintf(w, "%-10s %-8s %-10s %-12s %-12s %-10s\n",
+		"builder", "alive", "edges", "mean degree", "clustering", "connected")
+	for _, row := range []struct {
+		name string
+		g    *overlay.Graph
+	}{{"timed", timed.Graph}, {"batch", batch}} {
+		degs := row.g.Degrees()
+		var sum float64
+		for _, d := range degs {
+			sum += float64(d)
+		}
+		mean := 0.0
+		if len(degs) > 0 {
+			mean = sum / float64(len(degs))
+		}
+		fmt.Fprintf(w, "%-10s %-8d %-10d %-12.2f %-12.4f %-10v\n",
+			row.name, row.g.NumAlive(), row.g.NumEdges(), mean,
+			overlay.ClusteringCoefficient(row.g), overlay.IsConnected(row.g))
+	}
+	fmt.Fprintf(w, "# timed build: %.0f virtual seconds, %d events, %d maintenance epochs\n",
+		float64(timed.Duration)/1000, timed.Events, timed.EpochsRun)
+	return nil
+}

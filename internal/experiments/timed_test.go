@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"groupcast/internal/overlay"
+)
+
+func TestTimedOverlayBuildMatchesBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	p, err := BuildPipeline(PipelineConfig{NumPeers: 400, Seed: 5, UseCoordinates: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timed, err := p.TimedOverlayBuild(1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timed.Graph.NumAlive() != 400 {
+		t.Fatalf("alive = %d", timed.Graph.NumAlive())
+	}
+	if !overlay.IsConnected(timed.Graph) {
+		t.Fatal("timed overlay disconnected")
+	}
+	// Virtual duration ≈ 400 joins × 1s mean.
+	if timed.Duration < 200_000 || timed.Duration > 800_000 {
+		t.Fatalf("virtual duration %v ms implausible for 400 Expo(1s) joins", timed.Duration)
+	}
+	if timed.Events < 400 {
+		t.Fatalf("events = %d", timed.Events)
+	}
+	if timed.EpochsRun == 0 {
+		t.Fatal("no maintenance epochs ran")
+	}
+	// Same degree regime as the batch builder.
+	batch, _, _, err := p.GroupCastOverlay(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanOf := func(g *overlay.Graph) float64 {
+		degs := g.Degrees()
+		var sum float64
+		for _, d := range degs {
+			sum += float64(d)
+		}
+		return sum / float64(len(degs))
+	}
+	tm, bm := meanOf(timed.Graph), meanOf(batch)
+	if tm < bm/2 || tm > bm*2 {
+		t.Fatalf("timed mean degree %v vs batch %v diverge", tm, bm)
+	}
+}
+
+func TestTimedBuildReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var b bytes.Buffer
+	if err := TimedBuildReport(&b, 300, 6); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "timed") || !strings.Contains(out, "batch") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "maintenance epochs") {
+		t.Fatalf("no epoch summary:\n%s", out)
+	}
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counters is a concurrency-safe named-counter set used to tally protocol
+// messages during experiments (advertisement messages, subscription messages,
+// probes, heartbeats, ...).
+type Counters struct {
+	mu     sync.Mutex
+	counts map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{counts: make(map[string]int64)}
+}
+
+// Add increments the named counter by delta.
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts[name] += delta
+}
+
+// Inc increments the named counter by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the current value of the named counter (zero if absent).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts = make(map[string]int64)
+}
+
+// String renders the counters sorted by name, one "name=value" per line.
+func (c *Counters) String() string {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, k := range names {
+		fmt.Fprintf(&b, "%s=%d\n", k, snap[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersBasic(t *testing.T) {
+	c := NewCounters()
+	c.Inc("a")
+	c.Add("a", 2)
+	c.Add("b", 5)
+	if got := c.Get("a"); got != 3 {
+		t.Fatalf("a = %d, want 3", got)
+	}
+	if got := c.Get("missing"); got != 0 {
+		t.Fatalf("missing = %d, want 0", got)
+	}
+	snap := c.Snapshot()
+	if snap["a"] != 3 || snap["b"] != 5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// Snapshot must be a copy.
+	snap["a"] = 100
+	if c.Get("a") != 3 {
+		t.Fatal("snapshot aliases internal state")
+	}
+	c.Reset()
+	if c.Get("a") != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	c := NewCounters()
+	c.Add("z", 1)
+	c.Add("a", 2)
+	s := c.String()
+	if !strings.Contains(s, "a=2") || !strings.Contains(s, "z=1") {
+		t.Fatalf("string = %q", s)
+	}
+	if strings.Index(s, "a=2") > strings.Index(s, "z=1") {
+		t.Fatalf("not sorted: %q", s)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc("n")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("n"); got != 16000 {
+		t.Fatalf("n = %d, want 16000", got)
+	}
+}

@@ -1,0 +1,99 @@
+// Package metrics provides small statistical helpers used by the GroupCast
+// experiments: summaries, percentiles, histograms, CCDFs and log-log linear
+// regression for estimating power-law exponents.
+package metrics
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by statistics that are undefined on empty input.
+var ErrEmpty = errors.New("metrics: empty sample")
+
+// Summary holds the usual moments of a sample.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Stddev float64
+	Sum    float64
+}
+
+// Summarize computes a Summary of xs. It returns ErrEmpty for empty input.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{
+		N:   len(xs),
+		Min: xs[0],
+		Max: xs[0],
+	}
+	for _, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.Stddev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s, nil
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It returns ErrEmpty for empty input.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) (float64, error) {
+	return Percentile(xs, 50)
+}

@@ -1,0 +1,53 @@
+package netsim
+
+// MulticastTree is an IP multicast distribution tree obtained by merging the
+// unicast shortest paths from a source peer to each subscriber — the paper's
+// simulation of IP multicast ("IP multicast systems are simulated by merging
+// the unicast routes into shortest path trees").
+type MulticastTree struct {
+	Source      PeerID
+	Subscribers []PeerID
+	// Links is the set of physical links of the merged tree (router-router
+	// links plus access links), each counted once.
+	Links map[Link]struct{}
+	// Delays maps each subscriber to its unicast latency from the source.
+	Delays map[PeerID]float64
+}
+
+// BuildMulticastTree merges the unicast routes from source to every
+// subscriber. Subscribers equal to the source are skipped.
+func (a *Attachment) BuildMulticastTree(source PeerID, subscribers []PeerID) *MulticastTree {
+	t := &MulticastTree{
+		Source: source,
+		Links:  make(map[Link]struct{}),
+		Delays: make(map[PeerID]float64, len(subscribers)),
+	}
+	for _, s := range subscribers {
+		if s == source {
+			continue
+		}
+		t.Subscribers = append(t.Subscribers, s)
+		t.Delays[s] = a.Distance(source, s)
+		for _, l := range a.PathLinks(source, s) {
+			t.Links[l] = struct{}{}
+		}
+	}
+	return t
+}
+
+// NumMessages returns how many IP messages one multicast payload generates:
+// one per distinct tree link.
+func (t *MulticastTree) NumMessages() int { return len(t.Links) }
+
+// MeanDelay returns the average source→subscriber latency of the tree, or 0
+// when there are no subscribers.
+func (t *MulticastTree) MeanDelay() float64 {
+	if len(t.Subscribers) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, d := range t.Delays {
+		sum += d
+	}
+	return sum / float64(len(t.Subscribers))
+}

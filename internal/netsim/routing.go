@@ -1,0 +1,142 @@
+package netsim
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// ErrDisconnected is returned when no route exists between two routers.
+var ErrDisconnected = errors.New("netsim: routers are disconnected")
+
+type dijkstraItem struct {
+	router RouterID
+	dist   float64
+	idx    int
+}
+
+type dijkstraHeap []*dijkstraItem
+
+func (h dijkstraHeap) Len() int           { return len(h) }
+func (h dijkstraHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h dijkstraHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *dijkstraHeap) Push(x any)        { it := x.(*dijkstraItem); it.idx = len(*h); *h = append(*h, it) }
+func (h *dijkstraHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// computeRoutes fills the all-pairs shortest-path tables by running Dijkstra
+// from every router. With the default ~600-router topologies this is cheap
+// and makes per-peer latency lookups O(1) during experiments.
+func (nw *Network) computeRoutes() error {
+	n := nw.NumRouters()
+	nw.dist = make([][]float32, n)
+	nw.nextHop = make([][]int32, n)
+	for src := 0; src < n; src++ {
+		dist, parent := nw.dijkstra(RouterID(src))
+		row := make([]float32, n)
+		hops := make([]int32, n)
+		for v := 0; v < n; v++ {
+			if math.IsInf(dist[v], 1) {
+				return ErrDisconnected
+			}
+			row[v] = float32(dist[v])
+			hops[v] = firstHop(parent, RouterID(src), RouterID(v))
+		}
+		nw.dist[src] = row
+		nw.nextHop[src] = hops
+	}
+	return nil
+}
+
+func (nw *Network) dijkstra(src RouterID) (dist []float64, parent []RouterID) {
+	n := nw.NumRouters()
+	dist = make([]float64, n)
+	parent = make([]RouterID, n)
+	items := make([]*dijkstraItem, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	dist[src] = 0
+	parent[src] = src
+	h := make(dijkstraHeap, 0, n)
+	start := &dijkstraItem{router: src, dist: 0}
+	items[src] = start
+	heap.Push(&h, start)
+	for h.Len() > 0 {
+		it := heap.Pop(&h).(*dijkstraItem)
+		if it.dist > dist[it.router] {
+			continue
+		}
+		for _, e := range nw.adj[it.router] {
+			nd := it.dist + e.lat
+			if nd < dist[e.to] {
+				dist[e.to] = nd
+				parent[e.to] = it.router
+				ni := &dijkstraItem{router: e.to, dist: nd}
+				items[e.to] = ni
+				heap.Push(&h, ni)
+			}
+		}
+	}
+	return dist, parent
+}
+
+// firstHop walks v's parent chain back to src and returns the first router
+// after src on the path src→v.
+func firstHop(parent []RouterID, src, v RouterID) int32 {
+	if src == v {
+		return int32(v)
+	}
+	cur := v
+	for parent[cur] != src {
+		cur = parent[cur]
+	}
+	return int32(cur)
+}
+
+// RouterDistance returns the shortest-path latency between two routers in ms.
+func (nw *Network) RouterDistance(a, b RouterID) float64 {
+	return float64(nw.dist[a][b])
+}
+
+// RouterPath returns the router sequence of the shortest path from a to b,
+// inclusive of both endpoints.
+func (nw *Network) RouterPath(a, b RouterID) []RouterID {
+	path := []RouterID{a}
+	cur := a
+	for cur != b {
+		cur = RouterID(nw.nextHop[cur][b])
+		path = append(path, cur)
+	}
+	return path
+}
+
+// Link identifies an undirected router link in canonical (low, high) order.
+type Link struct {
+	A RouterID
+	B RouterID
+}
+
+// NormLink returns the canonical representation of the link between a and b.
+func NormLink(a, b RouterID) Link {
+	if a > b {
+		a, b = b, a
+	}
+	return Link{A: a, B: b}
+}
+
+// PathLinks returns the links of the shortest router path from a to b.
+func (nw *Network) PathLinks(a, b RouterID) []Link {
+	path := nw.RouterPath(a, b)
+	links := make([]Link, 0, len(path)-1)
+	for i := 1; i < len(path); i++ {
+		links = append(links, NormLink(path[i-1], path[i]))
+	}
+	return links
+}

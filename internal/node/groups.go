@@ -1,0 +1,571 @@
+package node
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"groupcast/internal/core"
+	"groupcast/internal/peer"
+	"groupcast/internal/wire"
+)
+
+// CreateGroup makes this node the rendezvous point (and first member) of a
+// new communication group.
+func (n *Node) CreateGroup(groupID string) error {
+	if err := n.runnable(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.groups[groupID]; dup {
+		return fmt.Errorf("node: group %q already exists here", groupID)
+	}
+	self := n.selfInfoLocked()
+	n.groups[groupID] = &groupState{
+		rendezvous: true,
+		member:     true,
+		children:   make(map[string]wire.PeerInfo),
+		seen:       make(map[uint64]bool),
+		rdvInfo:    self,
+		rootPath:   []string{},
+	}
+	n.adSeen[groupID] = adState{upstream: "", rendezvous: self}
+	return nil
+}
+
+// Advertise floods the group's SSA announcement from this rendezvous point.
+func (n *Node) Advertise(groupID string) error {
+	if err := n.runnable(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	gs := n.groups[groupID]
+	if gs == nil || !gs.rendezvous {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q (only the rendezvous advertises)", ErrNoGroup, groupID)
+	}
+	n.mu.Unlock()
+	msgID := n.nextMsgID()
+	n.mu.Lock()
+	n.seenAds[msgID] = true
+	n.mu.Unlock()
+	self := n.selfInfo()
+	n.forwardAdvertisement(wire.Message{
+		Type:       wire.TAdvertise,
+		From:       self,
+		GroupID:    groupID,
+		Rendezvous: self,
+		TTL:        n.cfg.AdvertiseTTL,
+		MsgID:      msgID,
+	}, "")
+	return nil
+}
+
+// handleAdvertise records the reverse path and forwards the announcement to
+// a utility-selected fraction of neighbours (SSA).
+func (n *Node) handleAdvertise(msg wire.Message) {
+	n.mu.Lock()
+	if n.seenAds[msg.MsgID] {
+		n.stats.dupes.Add(1)
+		n.mu.Unlock()
+		return
+	}
+	n.seenAds[msg.MsgID] = true
+	if _, known := n.adSeen[msg.GroupID]; !known {
+		n.adSeen[msg.GroupID] = adState{upstream: msg.From.Addr, rendezvous: msg.Rendezvous}
+	}
+	n.mu.Unlock()
+	if msg.TTL <= 1 {
+		return
+	}
+	fwd := msg
+	fwd.From = n.selfInfo()
+	fwd.TTL = msg.TTL - 1
+	n.forwardAdvertisement(fwd, msg.From.Addr)
+}
+
+// forwardAdvertisement sends the announcement to ceil(fraction·|neighbours|)
+// neighbours chosen by Selection Preference.
+func (n *Node) forwardAdvertisement(msg wire.Message, upstream string) {
+	n.mu.Lock()
+	var nbrs []wire.PeerInfo
+	for _, nb := range n.neighbors {
+		if nb.info.Addr != upstream {
+			nbrs = append(nbrs, nb.info)
+		}
+	}
+	if len(nbrs) == 0 {
+		n.mu.Unlock()
+		return
+	}
+	fanout := int(math.Ceil(n.cfg.AdvertiseFraction * float64(len(nbrs))))
+	if fanout < 1 {
+		fanout = 1
+	}
+	targets := nbrs
+	if fanout < len(nbrs) {
+		self := n.selfInfoLocked()
+		sample := make([]peer.Capacity, len(nbrs))
+		cands := make([]core.Candidate, len(nbrs))
+		for i, info := range nbrs {
+			sample[i] = peer.Capacity(info.Capacity)
+			cands[i] = core.Candidate{Capacity: info.Capacity, Distance: n.dist(self, info)}
+		}
+		ri := peer.EstimateResourceLevel(peer.Capacity(n.cfg.Capacity), sample)
+		idxs, err := core.SelectByPreference(ri, cands, fanout, n.rng)
+		if err == nil {
+			targets = make([]wire.PeerInfo, len(idxs))
+			for i, idx := range idxs {
+				targets[i] = nbrs[idx]
+			}
+		}
+	}
+	n.mu.Unlock()
+	for _, info := range targets {
+		_ = n.send(info.Addr, msg)
+	}
+}
+
+// Join subscribes this node to a group: along the reverse advertisement
+// path when the announcement was received, otherwise through a TTL-scoped
+// ripple search for an access point. It blocks up to timeout for the search.
+func (n *Node) Join(groupID string, timeout time.Duration) error {
+	return n.joinInternal(groupID, timeout, true)
+}
+
+// joinInternal attaches this node to the group tree. With asMember it
+// (re)asserts membership; without, it only repairs a dangling forwarder's
+// uplink, leaving membership untouched.
+func (n *Node) joinInternal(groupID string, timeout time.Duration, asMember bool) error {
+	if err := n.runnable(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	gs := n.groups[groupID]
+	if gs != nil && (gs.rendezvous || gs.parent != "") {
+		// Already on the tree (member or forwarder): (re)assert membership.
+		// An orphaned node — on the tree record-wise but with no parent —
+		// falls through and reattaches instead.
+		if asMember {
+			gs.member = true
+		}
+		n.mu.Unlock()
+		return nil
+	}
+	ad, sawAd := n.adSeen[groupID]
+	n.mu.Unlock()
+
+	if sawAd && ad.upstream != "" {
+		return n.joinVia(groupID, ad.upstream, ad.rendezvous, timeout, asMember)
+	}
+	if sawAd && ad.upstream == "" {
+		// We are the rendezvous (handled above) or the ad record is local.
+		return nil
+	}
+
+	// Ripple search for an access point.
+	reqID, ch := n.nextReq()
+	defer n.dropReq(reqID)
+	msgID := n.nextMsgID()
+	self := n.selfInfo()
+	search := wire.Message{
+		Type:    wire.TSearch,
+		From:    self,
+		GroupID: groupID,
+		TTL:     n.cfg.SearchTTL,
+		Origin:  self,
+		ReqID:   reqID,
+		MsgID:   msgID,
+	}
+	n.mu.Lock()
+	n.seenAds[msgID] = true // don't answer our own search
+	nbrs := n.neighborAddrsLocked()
+	n.mu.Unlock()
+	for _, addr := range nbrs {
+		_ = n.send(addr, search)
+	}
+	deadline := time.After(timeout)
+	for {
+		select {
+		case hit := <-ch:
+			// Refuse access points inside our own subtree: their root path
+			// would run through us and re-attaching would orphan the group
+			// into a cycle.
+			if pathContains(hit.Path, n.self.Addr) {
+				continue
+			}
+			return n.joinVia(groupID, hit.From.Addr, hit.Rendezvous, timeout, asMember)
+		case <-deadline:
+			return fmt.Errorf("%w: %q (no access point within TTL %d)",
+				ErrJoinFailed, groupID, n.cfg.SearchTTL)
+		case <-n.stop:
+			return ErrClosed
+		}
+	}
+}
+
+// beaconGrace is how long a node trusts its tree attachment without hearing
+// a rendezvous beacon.
+func (n *Node) beaconGrace() time.Duration {
+	if n.cfg.HeartbeatInterval <= 0 {
+		return 0 // maintenance disabled: beacons aren't flowing, trust joins
+	}
+	return time.Duration(n.cfg.BeaconGraceEpochs) * n.cfg.HeartbeatInterval
+}
+
+// onTreeLocked reports whether the node currently considers itself attached
+// to the group tree with a live path to the rendezvous (fresh beacon, or
+// within the post-join grace window). Callers hold n.mu.
+func (n *Node) onTreeLocked(gs *groupState) bool {
+	if gs == nil {
+		return false
+	}
+	if gs.rendezvous {
+		return true
+	}
+	if gs.parent == "" {
+		return false
+	}
+	grace := n.beaconGrace()
+	if grace <= 0 {
+		return true
+	}
+	return time.Since(gs.lastBeacon) <= grace
+}
+
+// handleBeacon refreshes the node's root path and liveness from its parent's
+// beacon and floods it to the children. Beacons from a stale parent (one we
+// no longer hang under) are answered with a group-scoped leave so the sender
+// prunes its dead child edge.
+func (n *Node) handleBeacon(msg wire.Message) {
+	n.mu.Lock()
+	gs := n.groups[msg.GroupID]
+	if gs == nil || gs.rendezvous || gs.parent != msg.From.Addr {
+		n.mu.Unlock()
+		if msg.From.Addr != "" {
+			_ = n.send(msg.From.Addr, wire.Message{
+				Type: wire.TLeave, From: n.selfInfo(), GroupID: msg.GroupID,
+			})
+		}
+		return
+	}
+	// A beacon whose path already contains us signals a parent cycle —
+	// detach immediately; the epoch retry reattaches cleanly.
+	if pathContains(msg.Path, n.self.Addr) {
+		gs.parent = ""
+		gs.lastBeacon = time.Time{}
+		n.mu.Unlock()
+		return
+	}
+	gs.rootPath = append([]string(nil), msg.Path...)
+	gs.lastBeacon = time.Now()
+	fwd := wire.Message{
+		Type:    wire.TBeacon,
+		From:    n.selfInfoLocked(),
+		GroupID: msg.GroupID,
+		Path:    append(append([]string(nil), msg.Path...), n.self.Addr),
+	}
+	children := make([]string, 0, len(gs.children))
+	for addr := range gs.children {
+		children = append(children, addr)
+	}
+	n.mu.Unlock()
+	for _, c := range children {
+		_ = n.send(c, fwd)
+	}
+}
+
+func pathContains(path []string, addr string) bool {
+	for _, p := range path {
+		if p == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// joinVia sets parent, sends the join upstream, and waits for the immediate
+// parent's acknowledgement so the tree edge exists before the caller
+// publishes.
+func (n *Node) joinVia(groupID, parentAddr string, rdv wire.PeerInfo, timeout time.Duration, asMember bool) error {
+	n.mu.Lock()
+	gs := n.groups[groupID]
+	if gs == nil {
+		gs = &groupState{
+			children: make(map[string]wire.PeerInfo),
+			seen:     make(map[uint64]bool),
+		}
+		n.groups[groupID] = gs
+	}
+	if asMember {
+		gs.member = true
+	}
+	gs.parent = parentAddr
+	gs.rdvInfo = rdv
+	n.mu.Unlock()
+
+	reqID, ch := n.nextReq()
+	defer n.dropReq(reqID)
+	self := n.selfInfo()
+	if err := n.send(parentAddr, wire.Message{
+		Type:       wire.TJoin,
+		From:       self,
+		GroupID:    groupID,
+		Subscriber: self,
+		Rendezvous: rdv,
+		ReqID:      reqID,
+	}); err != nil {
+		return err
+	}
+	select {
+	case <-ch:
+		n.mu.Lock()
+		gs.lastBeacon = time.Now() // grace until the first beacon arrives
+		n.mu.Unlock()
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("%w: %q (parent %s did not acknowledge)",
+			ErrJoinFailed, groupID, parentAddr)
+	case <-n.stop:
+		return ErrClosed
+	}
+}
+
+// handleJoin makes the sender a tree child and, if this node is not yet on
+// the tree, continues the join along its own reverse advertisement path
+// (becoming a forwarder).
+func (n *Node) handleJoin(msg wire.Message) {
+	n.mu.Lock()
+	gs := n.groups[msg.GroupID]
+	if gs == nil {
+		gs = &groupState{
+			children: make(map[string]wire.PeerInfo),
+			seen:     make(map[uint64]bool),
+			rdvInfo:  msg.Rendezvous,
+		}
+		n.groups[msg.GroupID] = gs
+	}
+	gs.children[msg.From.Addr] = msg.From
+	onTree := gs.rendezvous || gs.parent != ""
+	var upstream string
+	if !onTree {
+		if ad, ok := n.adSeen[msg.GroupID]; ok && ad.upstream != "" {
+			upstream = ad.upstream
+			gs.parent = upstream
+		}
+	}
+	n.mu.Unlock()
+	if msg.ReqID != 0 {
+		n.mu.Lock()
+		ackPath := ownPathLocked(gs, n.self.Addr)
+		n.mu.Unlock()
+		_ = n.send(msg.From.Addr, wire.Message{
+			Type:    wire.TJoinAck,
+			From:    n.selfInfo(),
+			GroupID: msg.GroupID,
+			ReqID:   msg.ReqID,
+			Path:    ackPath,
+		})
+	}
+	if upstream != "" {
+		// Forwarded joins request an ack too (fresh correlation ID with no
+		// waiter) so this forwarder learns its root path.
+		_ = n.send(upstream, wire.Message{
+			Type:       wire.TJoin,
+			From:       n.selfInfo(),
+			GroupID:    msg.GroupID,
+			Subscriber: msg.Subscriber,
+			Rendezvous: msg.Rendezvous,
+			ReqID:      n.nextMsgID(),
+		})
+	}
+}
+
+// ownPathLocked returns the node's path to the rendezvous including itself
+// (self last): rootPath + self.
+func ownPathLocked(gs *groupState, selfAddr string) []string {
+	out := make([]string, 0, len(gs.rootPath)+1)
+	out = append(out, gs.rootPath...)
+	return append(out, selfAddr)
+}
+
+// handleJoinAck refreshes the node's root path from its parent's ack (the
+// pending waiter, if any, is signalled separately by routePending).
+func (n *Node) handleJoinAck(msg wire.Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	gs := n.groups[msg.GroupID]
+	if gs == nil || gs.parent != msg.From.Addr {
+		return
+	}
+	gs.rootPath = append([]string(nil), msg.Path...)
+}
+
+// handleSearch answers when this node can serve as an access point and
+// otherwise floods the query within its TTL.
+func (n *Node) handleSearch(msg wire.Message) {
+	n.mu.Lock()
+	if n.seenAds[msg.MsgID] {
+		n.mu.Unlock()
+		return
+	}
+	n.seenAds[msg.MsgID] = true
+	gs := n.groups[msg.GroupID]
+	ad, sawAd := n.adSeen[msg.GroupID]
+	onTree := n.onTreeLocked(gs)
+	rdv := ad.rendezvous
+	if gs != nil {
+		rdv = gs.rdvInfo
+	}
+	nbrs := n.neighborAddrsLocked()
+	n.mu.Unlock()
+
+	if onTree || sawAd {
+		var path []string
+		if onTree {
+			n.mu.Lock()
+			path = ownPathLocked(gs, n.self.Addr)
+			n.mu.Unlock()
+		}
+		_ = n.send(msg.Origin.Addr, wire.Message{
+			Type:       wire.TSearchHit,
+			From:       n.selfInfo(),
+			GroupID:    msg.GroupID,
+			ReqID:      msg.ReqID,
+			Rendezvous: rdv,
+			Path:       path,
+		})
+		return
+	}
+	if msg.TTL <= 1 {
+		return
+	}
+	fwd := msg
+	fwd.From = n.selfInfo()
+	fwd.TTL = msg.TTL - 1
+	for _, addr := range nbrs {
+		if addr != msg.From.Addr {
+			_ = n.send(addr, fwd)
+		}
+	}
+}
+
+// Publish sends a payload to the group over its spanning tree. The caller
+// must be a member.
+func (n *Node) Publish(groupID string, data []byte) error {
+	if err := n.runnable(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	gs := n.groups[groupID]
+	if gs == nil || !gs.member {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotMember, groupID)
+	}
+	n.mu.Unlock()
+	msgID := n.nextMsgID()
+	n.mu.Lock()
+	gs.seen[msgID] = true
+	n.mu.Unlock()
+	n.forwardPayload(wire.Message{
+		Type:    wire.TPayload,
+		From:    n.selfInfo(),
+		GroupID: groupID,
+		MsgID:   msgID,
+		Data:    data,
+	}, "")
+	return nil
+}
+
+// handlePayload delivers to the application when this node is a member and
+// forwards over the remaining tree edges.
+func (n *Node) handlePayload(msg wire.Message) {
+	n.mu.Lock()
+	gs := n.groups[msg.GroupID]
+	if gs == nil || gs.seen[msg.MsgID] {
+		if gs != nil {
+			n.stats.dupes.Add(1)
+		}
+		n.mu.Unlock()
+		return
+	}
+	gs.seen[msg.MsgID] = true
+	deliver := gs.member
+	h := n.handler
+	n.mu.Unlock()
+	if deliver && h != nil {
+		n.stats.delivered.Add(1)
+		h(msg.GroupID, msg.From, msg.Data)
+	}
+	fwd := msg
+	n.forwardPayload(fwd, msg.From.Addr)
+}
+
+// forwardPayload sends the payload to the tree parent and children except
+// the link it arrived on. The original sender info is preserved so members
+// see who published.
+func (n *Node) forwardPayload(msg wire.Message, arrivedFrom string) {
+	n.mu.Lock()
+	gs := n.groups[msg.GroupID]
+	if gs == nil {
+		n.mu.Unlock()
+		return
+	}
+	targets := make([]string, 0, len(gs.children)+1)
+	if gs.parent != "" && gs.parent != arrivedFrom {
+		targets = append(targets, gs.parent)
+	}
+	for addr := range gs.children {
+		if addr != arrivedFrom {
+			targets = append(targets, addr)
+		}
+	}
+	n.mu.Unlock()
+	for _, addr := range targets {
+		_ = n.send(addr, msg)
+	}
+}
+
+// Leave departs a group gracefully: children are told to re-join and the
+// parent drops this node.
+func (n *Node) Leave(groupID string) error {
+	if err := n.runnable(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	gs := n.groups[groupID]
+	if gs == nil {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNoGroup, groupID)
+	}
+	parent := gs.parent
+	children := make([]string, 0, len(gs.children))
+	for addr := range gs.children {
+		children = append(children, addr)
+	}
+	delete(n.groups, groupID)
+	n.mu.Unlock()
+
+	notice := wire.Message{Type: wire.TLeave, From: n.selfInfo(), GroupID: groupID}
+	if parent != "" {
+		_ = n.send(parent, notice)
+	}
+	for _, c := range children {
+		_ = n.send(c, notice)
+	}
+	return nil
+}
+
+// Groups lists the groups this node is a member of.
+func (n *Node) Groups() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.groups))
+	for gid, gs := range n.groups {
+		if gs.member {
+			out = append(out, gid)
+		}
+	}
+	return out
+}

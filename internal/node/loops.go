@@ -1,0 +1,356 @@
+package node
+
+import (
+	"time"
+
+	"groupcast/internal/core"
+	"groupcast/internal/wire"
+)
+
+// recvLoop dispatches inbound messages until the transport closes.
+func (n *Node) recvLoop() {
+	defer n.done.Done()
+	for {
+		select {
+		case msg, ok := <-n.tr.Recv():
+			if !ok {
+				return
+			}
+			n.handle(msg)
+		case <-n.stop:
+			// Drain until the transport closes its channel.
+			for range n.tr.Recv() {
+			}
+			return
+		}
+	}
+}
+
+func (n *Node) handle(msg wire.Message) {
+	n.stats.onRecv(msg.Type)
+	switch msg.Type {
+	case wire.TProbe:
+		n.handleProbe(msg)
+	case wire.TProbeResp, wire.TSearchHit:
+		n.routePending(msg)
+	case wire.TJoinAck:
+		n.handleJoinAck(msg)
+		n.routePending(msg)
+	case wire.TConnect:
+		n.addNeighbor(msg.From)
+	case wire.TBackConnect:
+		n.handleBackConnect(msg)
+	case wire.TBackAccept:
+		n.addNeighbor(msg.From)
+	case wire.THeartbeat:
+		n.touchNeighbor(msg.From)
+		_ = n.send(msg.From.Addr, wire.Message{
+			Type: wire.THeartbeatAck, From: n.selfInfo(), SentAt: msg.SentAt,
+		})
+	case wire.THeartbeatAck:
+		n.touchNeighbor(msg.From)
+		if !msg.SentAt.IsZero() {
+			n.observeRTT(msg.From, float64(time.Since(msg.SentAt))/float64(time.Millisecond))
+		}
+	case wire.TAdvertise:
+		n.handleAdvertise(msg)
+	case wire.TJoin:
+		n.handleJoin(msg)
+	case wire.TSearch:
+		n.handleSearch(msg)
+	case wire.TPayload:
+		n.handlePayload(msg)
+	case wire.TBeacon:
+		n.handleBeacon(msg)
+	case wire.TLeave:
+		n.handleLeave(msg)
+	}
+}
+
+func (n *Node) handleProbe(msg wire.Message) {
+	n.mu.Lock()
+	self := n.selfInfoLocked()
+	nbrs := make([]wire.PeerInfo, 0, len(n.neighbors)+1)
+	nbrs = append(nbrs, self)
+	for _, nb := range n.neighbors {
+		nbrs = append(nbrs, nb.info)
+	}
+	n.mu.Unlock()
+	_ = n.send(msg.From.Addr, wire.Message{
+		Type:      wire.TProbeResp,
+		From:      self,
+		ReqID:     msg.ReqID,
+		Neighbors: nbrs,
+	})
+}
+
+func (n *Node) routePending(msg wire.Message) {
+	n.mu.Lock()
+	ch := n.pending[msg.ReqID]
+	n.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- msg:
+		default:
+		}
+	}
+}
+
+// handleBackConnect applies the PB_k acceptance rule of Section 3.3 to a
+// connection request, falling back to pb.
+func (n *Node) handleBackConnect(msg wire.Message) {
+	n.mu.Lock()
+	self := n.selfInfoLocked()
+	nbrCands := make([]core.Candidate, 0, len(n.neighbors))
+	for _, nb := range n.neighbors {
+		if nb.info.Addr == msg.From.Addr {
+			continue
+		}
+		nbrCands = append(nbrCands, core.Candidate{
+			Capacity: nb.info.Capacity,
+			Distance: n.dist(self, nb.info),
+		})
+	}
+	pb := core.BackLinkProbability(core.Ranks(
+		n.cfg.Capacity, msg.From.Capacity, n.dist(self, msg.From), nbrCands))
+	accept := n.rng.Float64() < pb
+	if !accept {
+		accept = n.rng.Float64() < n.cfg.FallbackAccept
+	}
+	n.mu.Unlock()
+	if !accept {
+		return
+	}
+	n.addNeighbor(msg.From)
+	_ = n.send(msg.From.Addr, wire.Message{Type: wire.TBackAccept, From: n.selfInfo()})
+}
+
+func (n *Node) touchNeighbor(info wire.PeerInfo) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if nb, ok := n.neighbors[info.Addr]; ok {
+		nb.info = info
+		nb.lastAck = time.Now()
+	}
+}
+
+func (n *Node) handleLeave(msg wire.Message) {
+	if msg.GroupID != "" {
+		// Group-scoped departure: the sender left one group only.
+		n.mu.Lock()
+		gs := n.groups[msg.GroupID]
+		var orphaned []string
+		if gs != nil {
+			delete(gs.children, msg.From.Addr)
+			if gs.parent == msg.From.Addr {
+				gs.parent = ""
+				if gs.member && !gs.rendezvous {
+					orphaned = append(orphaned, msg.GroupID)
+				}
+			}
+		}
+		n.mu.Unlock()
+		n.rejoinAsync(orphaned)
+		return
+	}
+	// Overlay departure: drop the neighbour everywhere.
+	orphaned := n.removeNeighborAndOrphans(msg.From.Addr)
+	n.rejoinAsync(orphaned)
+}
+
+// heartbeatLoop implements the epoch maintenance: heartbeat every interval,
+// declare neighbours dead after MissedHeartbeatsToFail silent epochs, and
+// re-join any groups orphaned by a dead parent.
+func (n *Node) heartbeatLoop() {
+	defer n.done.Done()
+	ticker := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	epochs := 0
+	lastRun := time.Now()
+	for {
+		select {
+		case <-ticker.C:
+			now := time.Now()
+			// Stall detection: when our own loop was delayed well past the
+			// interval (scheduler pressure, suspended VM), neighbours never
+			// had a fair chance to answer — skip eviction this round rather
+			// than shatter the overlay on a false positive.
+			stalled := now.Sub(lastRun) > 2*n.cfg.HeartbeatInterval
+			lastRun = now
+			n.epoch(stalled)
+			epochs++
+			if n.cfg.AdvertiseRefreshEpochs > 0 && epochs%n.cfg.AdvertiseRefreshEpochs == 0 {
+				n.refreshAdvertisements()
+			}
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// refreshAdvertisements re-floods every group this node is the rendezvous
+// of, giving peers that joined the overlay after the original announcement a
+// reverse path.
+func (n *Node) refreshAdvertisements() {
+	n.mu.Lock()
+	var gids []string
+	for gid, gs := range n.groups {
+		if gs.rendezvous {
+			gids = append(gids, gid)
+		}
+	}
+	n.mu.Unlock()
+	for _, gid := range gids {
+		_ = n.Advertise(gid)
+	}
+}
+
+func (n *Node) epoch(stalled bool) {
+	grace := time.Duration(n.cfg.MissedHeartbeatsToFail+1) * n.cfg.HeartbeatInterval
+	now := time.Now()
+
+	n.mu.Lock()
+	var dead []string
+	var live []string
+	for addr, nb := range n.neighbors {
+		if !stalled && now.Sub(nb.lastAck) > grace {
+			dead = append(dead, addr)
+		} else {
+			live = append(live, addr)
+		}
+	}
+	n.mu.Unlock()
+
+	var orphaned []string
+	for _, addr := range dead {
+		orphaned = append(orphaned, n.removeNeighborAndOrphans(addr)...)
+	}
+	for _, addr := range live {
+		_ = n.send(addr, wire.Message{Type: wire.THeartbeat, From: n.selfInfo(), SentAt: now})
+	}
+	// Rendezvous duty: beacon every group we root, down the tree.
+	n.beaconGroups()
+
+	// Retry any group that is still detached — or whose rendezvous beacon
+	// went stale (severed subtree, parent cycle): a stale node detaches and
+	// reattaches through peers that still hear the rendezvous. Dangling
+	// forwarders (a lost parent above a subtree we relay for) must reattach
+	// too, or their whole subtree stays severed.
+	bGrace := n.beaconGrace()
+	n.mu.Lock()
+	var detachedForwarders []string
+	var staleParents []string
+	for gid, gs := range n.groups {
+		if gs.rendezvous {
+			continue
+		}
+		if gs.parent != "" && bGrace > 0 && time.Since(gs.lastBeacon) > bGrace {
+			staleParents = append(staleParents, gs.parent)
+			gs.parent = ""
+		}
+		if gs.parent != "" {
+			continue
+		}
+		if gs.member {
+			orphaned = append(orphaned, gid)
+		} else if len(gs.children) > 0 {
+			detachedForwarders = append(detachedForwarders, gid)
+		}
+	}
+	self := n.selfInfoLocked()
+	n.mu.Unlock()
+	for _, p := range staleParents {
+		// Prune our edge at the stale parent so it stops forwarding to us.
+		_ = n.send(p, wire.Message{Type: wire.TLeave, From: self})
+	}
+	n.rejoinAsync(orphaned)
+	n.reattachAsync(detachedForwarders)
+}
+
+// beaconGroups floods a fresh rendezvous beacon down every group this node
+// roots.
+func (n *Node) beaconGroups() {
+	n.mu.Lock()
+	type beacon struct {
+		msg      wire.Message
+		children []string
+	}
+	var beacons []beacon
+	for gid, gs := range n.groups {
+		if !gs.rendezvous || len(gs.children) == 0 {
+			continue
+		}
+		children := make([]string, 0, len(gs.children))
+		for addr := range gs.children {
+			children = append(children, addr)
+		}
+		beacons = append(beacons, beacon{
+			msg: wire.Message{
+				Type:    wire.TBeacon,
+				From:    n.selfInfoLocked(),
+				GroupID: gid,
+				Path:    []string{n.self.Addr},
+			},
+			children: children,
+		})
+	}
+	n.mu.Unlock()
+	for _, b := range beacons {
+		for _, c := range b.children {
+			_ = n.send(c, b.msg)
+		}
+	}
+}
+
+// reattachAsync repairs dangling forwarder uplinks without asserting
+// membership.
+func (n *Node) reattachAsync(groupIDs []string) {
+	for _, gid := range groupIDs {
+		gid := gid
+		n.mu.Lock()
+		if n.rejoining[gid] {
+			n.mu.Unlock()
+			continue
+		}
+		n.rejoining[gid] = true
+		n.mu.Unlock()
+		n.done.Add(1)
+		go func() {
+			defer n.done.Done()
+			defer func() {
+				n.mu.Lock()
+				delete(n.rejoining, gid)
+				n.mu.Unlock()
+			}()
+			_ = n.joinInternal(gid, 2*time.Second, false)
+		}()
+	}
+}
+
+// rejoinAsync re-subscribes orphaned groups without blocking the caller. At
+// most one attempt per group is in flight at a time.
+func (n *Node) rejoinAsync(groupIDs []string) {
+	for _, gid := range groupIDs {
+		gid := gid
+		n.mu.Lock()
+		if n.rejoining[gid] {
+			n.mu.Unlock()
+			continue
+		}
+		n.rejoining[gid] = true
+		n.mu.Unlock()
+		n.done.Add(1)
+		go func() {
+			defer n.done.Done()
+			defer func() {
+				n.mu.Lock()
+				delete(n.rejoining, gid)
+				n.mu.Unlock()
+			}()
+			// Direct reverse paths died with the parent; rely on the ripple
+			// search with a modest timeout. The epoch loop retries if this
+			// attempt fails.
+			_ = n.Join(gid, 2*time.Second)
+		}()
+	}
+}

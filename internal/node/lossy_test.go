@@ -1,0 +1,103 @@
+package node
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"groupcast/internal/coords"
+	"groupcast/internal/transport"
+	"groupcast/internal/wire"
+)
+
+// TestClusterToleratesMessageLoss runs a live cluster over a fabric dropping
+// 5% of all messages. Bootstrap, heartbeats, joins and publishes must still
+// mostly work (the protocol retries joins; payloads are fire-and-forget so
+// some loss is expected).
+func TestClusterToleratesMessageLoss(t *testing.T) {
+	net := transport.NewMemNetwork()
+	net.SetDropRate(0.05, 99)
+
+	var nodes []*Node
+	for i := 0; i < 20; i++ {
+		cfg := DefaultConfig(float64(10*(1+i%3)), coords.Point{float64(i), 0}, int64(i+1))
+		cfg.HeartbeatInterval = 500 * time.Millisecond
+		nd := New(net.NextEndpoint(), cfg)
+		nd.Start()
+		var contacts []string
+		for j := 0; j < len(nodes) && j < 6; j++ {
+			contacts = append(contacts, nodes[len(nodes)-1-j].Addr())
+		}
+		// Loss can defeat a bootstrap round; retry a few times.
+		var err error
+		for attempt := 0; attempt < 5; attempt++ {
+			if err = nd.Bootstrap(contacts, 500*time.Millisecond); err == nil && (len(contacts) == 0 || nd.NumNeighbors() > 0) {
+				break
+			}
+		}
+		if len(contacts) > 0 && nd.NumNeighbors() == 0 {
+			t.Fatalf("node %d could not bootstrap under loss: %v", i, err)
+		}
+		nodes = append(nodes, nd)
+	}
+	defer func() {
+		for _, nd := range nodes {
+			_ = nd.Close()
+		}
+	}()
+
+	rdv := nodes[0]
+	if err := rdv.CreateGroup("lossy"); err != nil {
+		t.Fatal(err)
+	}
+	// Advertise repeatedly: floods are lossy too.
+	for i := 0; i < 3; i++ {
+		if err := rdv.Advertise("lossy"); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	joined := 0
+	var members []*Node
+	for _, nd := range nodes[1:] {
+		ok := false
+		for attempt := 0; attempt < 6 && !ok; attempt++ {
+			ok = nd.Join("lossy", time.Second) == nil
+		}
+		if ok {
+			joined++
+			members = append(members, nd)
+		}
+	}
+	if joined < 10 {
+		t.Fatalf("only %d/19 joined under 5%% loss", joined)
+	}
+
+	var mu sync.Mutex
+	count := 0
+	for _, m := range members {
+		m.SetPayloadHandler(func(string, wire.PeerInfo, []byte) {
+			mu.Lock()
+			count++
+			mu.Unlock()
+		})
+	}
+	// Publish several payloads; require that a clear majority of
+	// member-deliveries happen despite the loss.
+	const rounds = 5
+	for i := 0; i < rounds; i++ {
+		if err := rdv.Publish("lossy", []byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Single-core CI machines under instrumentation are slow; accept a
+	// third of the ideal deliveries within a generous window.
+	want := rounds * len(members) / 3
+	waitFor(t, 10*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return count >= want
+	}, fmt.Sprintf("only %d deliveries, want >= %d", count, want))
+}

@@ -1,0 +1,512 @@
+// Package node implements the live GroupCast middleware runtime: a
+// goroutine-per-node peer that bootstraps into an unstructured overlay with
+// the utility-aware neighbour selection of Section 3.3, exchanges epoch
+// heartbeats, advertises communication groups with the SSA scheme, joins
+// groups along reverse advertisement paths (with ripple search fallback),
+// and disseminates payloads over the resulting spanning trees. It runs over
+// any transport.Transport — the in-memory fabric for single-process
+// deployments and tests, or TCP for real networks.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"groupcast/internal/coords"
+	"groupcast/internal/core"
+	"groupcast/internal/peer"
+	"groupcast/internal/transport"
+	"groupcast/internal/wire"
+)
+
+// Config parameterizes a live node.
+type Config struct {
+	// Capacity is the node's advertised capacity (64 kbps connection units).
+	Capacity float64
+	// Coord is the node's network coordinate. Nil means the origin.
+	Coord coords.Point
+	// QuotaBase/QuotaSlope give the neighbour quota
+	// base + slope·log10(capacity), as in the simulator.
+	QuotaBase  float64
+	QuotaSlope float64
+	// FallbackAccept is pb: the probability of accepting a connection that
+	// the PB_k draw rejected.
+	FallbackAccept float64
+	// HeartbeatInterval is the epoch length. Zero disables heartbeats.
+	HeartbeatInterval time.Duration
+	// MissedHeartbeatsToFail marks a silent neighbour dead (paper: 2).
+	MissedHeartbeatsToFail int
+	// AdvertiseTTL and AdvertiseFraction configure SSA announcements.
+	AdvertiseTTL      int
+	AdvertiseFraction float64
+	// SearchTTL is the subscription ripple search depth (paper: 2).
+	SearchTTL int
+	// Seed makes the node's random choices reproducible.
+	Seed int64
+	// BeaconGraceEpochs is how many heartbeat epochs a tree node tolerates
+	// without a rendezvous beacon before declaring itself detached and
+	// reattaching. Beacons flow rendezvous → children every epoch; they are
+	// what lets severed subtrees (and accidental parent cycles) detect that
+	// they no longer reach the root. 0 uses the default.
+	BeaconGraceEpochs int
+	// AdvertiseRefreshEpochs makes a rendezvous re-flood its group
+	// announcements every N maintenance epochs so late joiners hold fresh
+	// reverse paths (0 disables refresh).
+	AdvertiseRefreshEpochs int
+	// EnableVivaldi turns on live network coordinates: heartbeat RTTs feed a
+	// Vivaldi spring model and the node's advertised coordinate tracks it
+	// (Section 3.1 names Vivaldi as one of the coordinate options). When
+	// false the static Coord is advertised unchanged.
+	EnableVivaldi bool
+	// Vivaldi tunes the spring model when enabled; zero value uses defaults.
+	Vivaldi coords.VivaldiConfig
+}
+
+// DefaultConfig returns a live config mirroring the simulator defaults.
+func DefaultConfig(capacity float64, coord coords.Point, seed int64) Config {
+	return Config{
+		Capacity:               capacity,
+		Coord:                  coord,
+		QuotaBase:              4,
+		QuotaSlope:             2,
+		FallbackAccept:         core.DefaultFallbackAccept,
+		HeartbeatInterval:      2 * time.Second,
+		MissedHeartbeatsToFail: 2,
+		AdvertiseTTL:           7,
+		AdvertiseFraction:      0.4,
+		SearchTTL:              2,
+		Seed:                   seed,
+	}
+}
+
+// PayloadHandler receives group payloads delivered to a member node.
+type PayloadHandler func(groupID string, from wire.PeerInfo, data []byte)
+
+type neighborState struct {
+	info    wire.PeerInfo
+	lastAck time.Time
+}
+
+type groupState struct {
+	rendezvous bool
+	member     bool
+	parent     string // "" when root or detached
+	children   map[string]wire.PeerInfo
+	seen       map[uint64]bool // payload MsgIDs already forwarded
+	rdvInfo    wire.PeerInfo
+	// lastBeacon is when the rendezvous beacon last reached this node (set
+	// on join ack as a grace start).
+	lastBeacon time.Time
+	// rootPath lists this node's tree ancestors up to the rendezvous
+	// (self last is excluded; best-effort, refreshed by join acks). Used to
+	// refuse re-attachment inside the node's own subtree.
+	rootPath []string
+}
+
+type adState struct {
+	upstream   string
+	rendezvous wire.PeerInfo
+}
+
+// Node is one live GroupCast peer.
+type Node struct {
+	cfg  Config
+	tr   transport.Transport
+	self wire.PeerInfo
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	vivaldi   *coords.VivaldiNode
+	neighbors map[string]*neighborState
+	groups    map[string]*groupState
+	adSeen    map[string]adState
+	seenAds   map[uint64]bool
+	pending   map[uint64]chan wire.Message
+	handler   PayloadHandler
+	reqSeq    uint64
+	msgSeq    uint64
+	started   bool
+	closed    bool
+
+	stats statCounters
+	// rejoining guards against overlapping re-join attempts per group.
+	rejoining map[string]bool
+
+	stop chan struct{}
+	done sync.WaitGroup
+}
+
+// Errors returned by the public API.
+var (
+	ErrNotStarted = errors.New("node: not started")
+	ErrClosed     = errors.New("node: closed")
+	ErrNoGroup    = errors.New("node: unknown group")
+	ErrJoinFailed = errors.New("node: could not reach the group")
+	ErrNotMember  = errors.New("node: not a group member")
+)
+
+// New creates a node over the transport. Call Start before using it.
+func New(tr transport.Transport, cfg Config) *Node {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1
+	}
+	if cfg.QuotaBase < 1 {
+		cfg.QuotaBase = 4
+	}
+	if cfg.AdvertiseTTL < 1 {
+		cfg.AdvertiseTTL = 7
+	}
+	if cfg.AdvertiseFraction <= 0 || cfg.AdvertiseFraction > 1 {
+		cfg.AdvertiseFraction = 0.4
+	}
+	if cfg.SearchTTL < 1 {
+		cfg.SearchTTL = 2
+	}
+	if cfg.MissedHeartbeatsToFail < 1 {
+		cfg.MissedHeartbeatsToFail = 2
+	}
+	if cfg.BeaconGraceEpochs < 1 {
+		cfg.BeaconGraceEpochs = 6
+	}
+	coord := cfg.Coord
+	if coord == nil {
+		coord = coords.Point{0, 0, 0}
+	}
+	var vivaldi *coords.VivaldiNode
+	if cfg.EnableVivaldi {
+		vcfg := cfg.Vivaldi
+		if vcfg.Dimensions == 0 {
+			vcfg = coords.DefaultVivaldiConfig()
+		}
+		vivaldi = coords.NewVivaldiNode(vcfg, cfg.Seed)
+		coord = vivaldi.Coord()
+	}
+	n := &Node{
+		cfg: cfg,
+		tr:  tr,
+		self: wire.PeerInfo{
+			Addr:     tr.Addr(),
+			Coord:    coord,
+			Capacity: cfg.Capacity,
+		},
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		vivaldi:   vivaldi,
+		neighbors: make(map[string]*neighborState),
+		groups:    make(map[string]*groupState),
+		adSeen:    make(map[string]adState),
+		seenAds:   make(map[uint64]bool),
+		pending:   make(map[uint64]chan wire.Message),
+		rejoining: make(map[string]bool),
+		stop:      make(chan struct{}),
+	}
+	if vivaldi != nil {
+		n.self.CoordErr = vivaldi.ErrorEstimate()
+	}
+	return n
+}
+
+// observeRTT feeds one RTT sample into the Vivaldi model and refreshes the
+// node's advertised coordinate. No-op without EnableVivaldi.
+func (n *Node) observeRTT(remote wire.PeerInfo, rttMillis float64) {
+	if rttMillis <= 0 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.vivaldi == nil {
+		return
+	}
+	n.vivaldi.Update(coords.Point(remote.Coord), remote.CoordErr, rttMillis)
+	n.self.Coord = n.vivaldi.Coord()
+	n.self.CoordErr = n.vivaldi.ErrorEstimate()
+}
+
+// selfInfo returns a race-free copy of the node's identifier quadruplet
+// (the coordinate moves under Vivaldi).
+func (n *Node) selfInfo() wire.PeerInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.selfInfoLocked()
+}
+
+func (n *Node) selfInfoLocked() wire.PeerInfo {
+	cp := n.self
+	cp.Coord = append([]float64(nil), n.self.Coord...)
+	return cp
+}
+
+// Coord returns the node's current advertised coordinate (live under
+// Vivaldi, static otherwise).
+func (n *Node) Coord() coords.Point {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return coords.Point(n.self.Coord).Clone()
+}
+
+// Info returns the node's identifier quadruplet.
+func (n *Node) Info() wire.PeerInfo { return n.selfInfo() }
+
+// Addr returns the node's transport address.
+func (n *Node) Addr() string { return n.self.Addr }
+
+// SetPayloadHandler installs the application callback for delivered
+// payloads. Must be called before payloads arrive; safe to call anytime.
+func (n *Node) SetPayloadHandler(h PayloadHandler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handler = h
+}
+
+// Start launches the receive and heartbeat loops.
+func (n *Node) Start() {
+	n.mu.Lock()
+	if n.started || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.started = true
+	n.mu.Unlock()
+
+	n.done.Add(1)
+	go n.recvLoop()
+	if n.cfg.HeartbeatInterval > 0 {
+		n.done.Add(1)
+		go n.heartbeatLoop()
+	}
+}
+
+// Close stops the node: it notifies neighbours, stops its goroutines, and
+// closes the transport.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	nbrs := n.neighborAddrsLocked()
+	n.mu.Unlock()
+
+	for _, addr := range nbrs {
+		_ = n.send(addr, wire.Message{Type: wire.TLeave, From: n.selfInfo()})
+	}
+	close(n.stop)
+	err := n.tr.Close()
+	n.done.Wait()
+	return err
+}
+
+// Neighbors returns the current neighbour set.
+func (n *Node) Neighbors() []wire.PeerInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]wire.PeerInfo, 0, len(n.neighbors))
+	for _, nb := range n.neighbors {
+		out = append(out, nb.info)
+	}
+	return out
+}
+
+// NumNeighbors returns the neighbour count.
+func (n *Node) NumNeighbors() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.neighbors)
+}
+
+func (n *Node) neighborAddrsLocked() []string {
+	out := make([]string, 0, len(n.neighbors))
+	for addr := range n.neighbors {
+		out = append(out, addr)
+	}
+	return out
+}
+
+func (n *Node) dist(a, b wire.PeerInfo) float64 {
+	return coords.Dist(coords.Point(a.Coord), coords.Point(b.Coord))
+}
+
+// quota is the neighbour count target from the capacity.
+func (n *Node) quota() int {
+	q := n.cfg.QuotaBase
+	if n.cfg.Capacity > 1 {
+		q += n.cfg.QuotaSlope * math.Log10(n.cfg.Capacity)
+	}
+	return int(q)
+}
+
+// nextReq allocates a correlation ID with a waiting channel.
+func (n *Node) nextReq() (uint64, chan wire.Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.reqSeq++
+	ch := make(chan wire.Message, 16)
+	n.pending[n.reqSeq] = ch
+	return n.reqSeq, ch
+}
+
+func (n *Node) dropReq(id uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.pending, id)
+}
+
+func (n *Node) nextMsgID() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.msgSeq++
+	// Addresses are unique, so (addr, seq) is unique; fold the address into
+	// the ID so independent nodes don't collide.
+	var h uint64 = 1469598103934665603
+	for _, c := range []byte(n.self.Addr) {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h ^ (n.msgSeq << 1)
+}
+
+// Bootstrap joins the overlay through the given contact addresses: probe
+// them for their neighbour lists, build the candidate set with occurrence
+// frequencies, select up to quota neighbours by the Eq. 6 utility, and run
+// the PB-gated connection protocol. At least one connection is guaranteed
+// (an unconditional connect to the best candidate if every request was
+// declined).
+func (n *Node) Bootstrap(contacts []string, timeout time.Duration) error {
+	if err := n.runnable(); err != nil {
+		return err
+	}
+	if len(contacts) == 0 {
+		return nil // first node in the overlay
+	}
+
+	// Probe phase.
+	freq := make(map[string]int)
+	infos := make(map[string]wire.PeerInfo)
+	for _, addr := range contacts {
+		if addr == n.self.Addr {
+			continue
+		}
+		reqID, ch := n.nextReq()
+		err := n.send(addr, wire.Message{Type: wire.TProbe, From: n.selfInfo(), ReqID: reqID})
+		if err != nil {
+			n.dropReq(reqID)
+			continue
+		}
+		select {
+		case resp := <-ch:
+			for _, info := range resp.Neighbors {
+				if info.Addr == n.self.Addr {
+					continue
+				}
+				freq[info.Addr]++
+				infos[info.Addr] = info
+			}
+		case <-time.After(timeout):
+		case <-n.stop:
+			n.dropReq(reqID)
+			return ErrClosed
+		}
+		n.dropReq(reqID)
+	}
+	if len(infos) == 0 {
+		return fmt.Errorf("node: no bootstrap contact answered")
+	}
+
+	// Candidate scoring (Eq. 6: frequency substitutes capacity) and resource
+	// level estimation from the sampled capacities.
+	addrs := make([]string, 0, len(infos))
+	sample := make([]peer.Capacity, 0, len(infos))
+	for addr, info := range infos {
+		addrs = append(addrs, addr)
+		sample = append(sample, peer.Capacity(info.Capacity))
+	}
+	ri := peer.EstimateResourceLevel(peer.Capacity(n.cfg.Capacity), sample)
+	self := n.selfInfo()
+	cands := make([]core.Candidate, len(addrs))
+	for i, addr := range addrs {
+		cands[i] = core.Candidate{
+			Capacity: float64(freq[addr]),
+			Distance: n.dist(self, infos[addr]),
+		}
+	}
+	n.mu.Lock()
+	rng := n.rng
+	chosen, err := core.SelectByPreference(ri, cands, n.quota(), rng)
+	n.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("node: neighbour selection: %w", err)
+	}
+
+	// Connection phase: PB-gated requests.
+	for _, idx := range chosen {
+		addr := addrs[idx]
+		_ = n.send(addr, wire.Message{Type: wire.TBackConnect, From: n.selfInfo()})
+	}
+	// Give the accepts a moment to arrive, then ensure connectivity.
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if n.NumNeighbors() > 0 {
+			return nil
+		}
+		select {
+		case <-time.After(5 * time.Millisecond):
+		case <-n.stop:
+			return ErrClosed
+		}
+	}
+	// Every request declined: connect unconditionally to the best candidate
+	// so the node is never stranded.
+	best := addrs[chosen[0]]
+	n.addNeighbor(infos[best])
+	return n.send(best, wire.Message{Type: wire.TConnect, From: n.selfInfo()})
+}
+
+func (n *Node) runnable() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.started {
+		return ErrNotStarted
+	}
+	if n.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (n *Node) addNeighbor(info wire.PeerInfo) {
+	if info.Addr == n.self.Addr {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.neighbors[info.Addr]; dup {
+		n.neighbors[info.Addr].info = info
+		return
+	}
+	n.neighbors[info.Addr] = &neighborState{info: info, lastAck: time.Now()}
+}
+
+func (n *Node) removeNeighborAndOrphans(addr string) (orphaned []string) {
+	n.mu.Lock()
+	delete(n.neighbors, addr)
+	for gid, gs := range n.groups {
+		if gs.parent == addr {
+			gs.parent = ""
+			if gs.member && !gs.rendezvous {
+				orphaned = append(orphaned, gid)
+			}
+		}
+		delete(gs.children, addr)
+	}
+	// Reverse advertisement paths through the departed peer are dead.
+	for gid, ad := range n.adSeen {
+		if ad.upstream == addr {
+			delete(n.adSeen, gid)
+		}
+	}
+	n.mu.Unlock()
+	return orphaned
+}

@@ -1,0 +1,65 @@
+package node
+
+import (
+	"sync/atomic"
+
+	"groupcast/internal/wire"
+)
+
+// Stats are cumulative message counters for one live node, split by
+// direction and message type. All fields are monotonically increasing.
+type Stats struct {
+	Sent     map[string]uint64
+	Received map[string]uint64
+	// Delivered counts payloads handed to the application.
+	Delivered uint64
+	// DuplicatesDropped counts payloads and advertisements discarded by the
+	// MsgID dedup filter.
+	DuplicatesDropped uint64
+}
+
+// statCounters is the node's internal lock-free tally.
+type statCounters struct {
+	sent      [32]atomic.Uint64 // indexed by wire.Type
+	received  [32]atomic.Uint64
+	delivered atomic.Uint64
+	dupes     atomic.Uint64
+}
+
+func (s *statCounters) onSend(t wire.Type) {
+	if t > 0 && int(t) < len(s.sent) {
+		s.sent[t].Add(1)
+	}
+}
+
+func (s *statCounters) onRecv(t wire.Type) {
+	if t > 0 && int(t) < len(s.received) {
+		s.received[t].Add(1)
+	}
+}
+
+// Stats returns a snapshot of the node's message counters.
+func (n *Node) Stats() Stats {
+	out := Stats{
+		Sent:              make(map[string]uint64),
+		Received:          make(map[string]uint64),
+		Delivered:         n.stats.delivered.Load(),
+		DuplicatesDropped: n.stats.dupes.Load(),
+	}
+	for t := 1; t < len(n.stats.sent); t++ {
+		if v := n.stats.sent[t].Load(); v > 0 {
+			out.Sent[wire.Type(t).String()] = v
+		}
+		if v := n.stats.received[t].Load(); v > 0 {
+			out.Received[wire.Type(t).String()] = v
+		}
+	}
+	return out
+}
+
+// send wraps the transport send with accounting. All node code paths go
+// through it.
+func (n *Node) send(addr string, msg wire.Message) error {
+	n.stats.onSend(msg.Type)
+	return n.tr.Send(addr, msg)
+}

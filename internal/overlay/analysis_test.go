@@ -1,0 +1,171 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+
+	"groupcast/internal/metrics"
+)
+
+func TestMeanNeighborDistance(t *testing.T) {
+	g := lineGraph(t, 5)
+	ds := MeanNeighborDistance(g)
+	if len(ds) != 5 {
+		t.Fatalf("len = %d", len(ds))
+	}
+	for _, d := range ds {
+		if d <= 0 {
+			t.Fatalf("non-positive mean neighbour distance %v", d)
+		}
+	}
+	// Isolated peers are skipped.
+	g2 := aliveGraph(t, 3, 1)
+	if got := MeanNeighborDistance(g2); len(got) != 0 {
+		t.Fatalf("isolated peers counted: %v", got)
+	}
+}
+
+func TestGroupCastOverlayProximityBeatsPLOD(t *testing.T) {
+	// Figures 9 vs 10: mean neighbour distance must be clearly smaller on
+	// the GroupCast overlay than on the random power-law overlay.
+	uni := syntheticUniverse(600, 21)
+	gc, _, err := BuildGroupCast(uni, DefaultBootstrapConfig(), rand.New(rand.NewSource(1)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := BuildPLOD(uni, DefaultPLODConfig(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcMean := metrics.Mean(MeanNeighborDistance(gc))
+	plMean := metrics.Mean(MeanNeighborDistance(pl))
+	if gcMean >= plMean*0.8 {
+		t.Fatalf("GroupCast mean neighbour distance %v not well below PLOD %v", gcMean, plMean)
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	// Triangle has clustering 1.
+	g := aliveGraph(t, 3, 2)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}} {
+		_ = g.AddEdge(e[0], e[1])
+		_ = g.AddEdge(e[1], e[0])
+	}
+	if cc := ClusteringCoefficient(g); cc != 1 {
+		t.Fatalf("triangle clustering = %v", cc)
+	}
+	// Line has clustering 0.
+	if cc := ClusteringCoefficient(lineGraph(t, 5)); cc != 0 {
+		t.Fatalf("line clustering = %v", cc)
+	}
+	// Empty graph: 0.
+	if cc := ClusteringCoefficient(aliveGraph(t, 3, 3)); cc != 0 {
+		t.Fatalf("empty clustering = %v", cc)
+	}
+}
+
+func TestPathLengthStats(t *testing.T) {
+	g := lineGraph(t, 10)
+	mean, max := PathLengthStats(g, 10, rand.New(rand.NewSource(1)))
+	if max != 9 {
+		t.Fatalf("line max hops = %d, want 9", max)
+	}
+	if mean <= 0 || mean > 9 {
+		t.Fatalf("mean hops = %v", mean)
+	}
+	// Degenerate inputs.
+	if m, mx := PathLengthStats(aliveGraph(t, 1, 1), 3, rand.New(rand.NewSource(1))); m != 0 || mx != 0 {
+		t.Fatal("singleton graph stats nonzero")
+	}
+}
+
+func TestGroupCastOverlayLowDiameter(t *testing.T) {
+	// Section 3.3's goal: low-diameter overlays. Sampled eccentricity must
+	// stay small relative to the population.
+	g, _ := buildTestOverlay(t, 1000, 22)
+	mean, max := PathLengthStats(g, 20, rand.New(rand.NewSource(2)))
+	if max > 12 {
+		t.Fatalf("sampled diameter bound %d too large", max)
+	}
+	if mean > 6 {
+		t.Fatalf("mean path length %v too large", mean)
+	}
+}
+
+func TestCoreSet(t *testing.T) {
+	g, _ := buildTestOverlay(t, 100, 23)
+	uni := g.Universe()
+	core := CoreSet(g, 0.1)
+	if len(core) != 10 {
+		t.Fatalf("core size = %d", len(core))
+	}
+	// Every core member's capacity >= every non-core member's capacity.
+	minCore := uni.Caps[core[0]]
+	for _, i := range core {
+		if uni.Caps[i] < minCore {
+			minCore = uni.Caps[i]
+		}
+	}
+	inCore := make(map[int]bool)
+	for _, i := range core {
+		inCore[i] = true
+	}
+	for _, i := range g.AlivePeers() {
+		if !inCore[i] && uni.Caps[i] > minCore {
+			t.Fatalf("non-core peer %d capacity %v above core min %v", i, uni.Caps[i], minCore)
+		}
+	}
+	if CoreSet(g, 0) != nil {
+		t.Fatal("zero fraction returned a core")
+	}
+	if len(CoreSet(g, 5)) != 100 {
+		t.Fatal("fraction > 1 not clamped")
+	}
+}
+
+func TestRunEpochRepairsUnderConnectedPeers(t *testing.T) {
+	_, b := buildTestOverlay(t, 300, 24)
+	g := b.Graph()
+	rng := rand.New(rand.NewSource(3))
+	// Kill 30% of peers abruptly.
+	alive := g.AlivePeers()
+	for i := 0; i < 90; i++ {
+		b.Fail(alive[i])
+	}
+	// Some survivors are now under-connected.
+	cfg := DefaultMaintenanceConfig()
+	under := 0
+	for _, i := range g.AlivePeers() {
+		if g.Degree(i) < cfg.MinDegree {
+			under++
+		}
+	}
+	if under == 0 {
+		t.Skip("churn did not under-connect anyone")
+	}
+	repaired := b.RunEpoch(cfg, rng)
+	if repaired == 0 {
+		t.Fatal("epoch repaired nothing")
+	}
+	after := 0
+	for _, i := range g.AlivePeers() {
+		if g.Degree(i) < cfg.MinDegree {
+			after++
+		}
+	}
+	if after >= under {
+		t.Fatalf("under-connected peers %d → %d after repair", under, after)
+	}
+	if b.Counters().Get(CtrHeartbeat) == 0 {
+		t.Fatal("no heartbeats accounted")
+	}
+}
+
+func TestRunEpochNoRepairWhenHealthy(t *testing.T) {
+	_, b := buildTestOverlay(t, 100, 25)
+	// A healthy overlay repairs nothing (or nearly nothing).
+	repaired := b.RunEpoch(DefaultMaintenanceConfig(), rand.New(rand.NewSource(4)))
+	if repaired > 5 {
+		t.Fatalf("healthy overlay repaired %d links", repaired)
+	}
+}

@@ -1,0 +1,263 @@
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"groupcast/internal/core"
+	"groupcast/internal/metrics"
+	"groupcast/internal/peer"
+)
+
+// Message-counter names used by the bootstrap protocol.
+const (
+	CtrProbe        = "overlay.probe"
+	CtrProbeResp    = "overlay.probe_resp"
+	CtrBackRequest  = "overlay.back_request"
+	CtrBackAccepted = "overlay.back_accepted"
+)
+
+// BootstrapConfig parameterizes the utility-aware topology construction
+// protocol of Section 3.3.
+type BootstrapConfig struct {
+	// HalfSizeMin/Max bound the per-join |BD_i| = |BR_i| half-list size; the
+	// paper's 5 ≤ |B_i| ≤ 8 corresponds to half sizes of 3-4.
+	HalfSizeMin int
+	HalfSizeMax int
+	// QuotaBase and QuotaSlope set a joining peer's connection quota:
+	// quota = QuotaBase + QuotaSlope·log10(capacity). The paper states peers
+	// maintain a capacity-dependent number of connections without fixing the
+	// formula; this log-linear rule matches Table 1's decade capacity levels.
+	QuotaBase  float64
+	QuotaSlope float64
+	// FallbackAccept is the paper's pb: the probability a back-connection is
+	// accepted anyway after the PB_k draw rejects it.
+	FallbackAccept float64
+}
+
+// DefaultBootstrapConfig returns the values used in the paper's evaluation
+// (pb = 0.5) with our quota resolution of the unspecified connection count.
+func DefaultBootstrapConfig() BootstrapConfig {
+	return BootstrapConfig{
+		HalfSizeMin:    3,
+		HalfSizeMax:    4,
+		QuotaBase:      4,
+		QuotaSlope:     2,
+		FallbackAccept: core.DefaultFallbackAccept,
+	}
+}
+
+func (c BootstrapConfig) validate() error {
+	switch {
+	case c.HalfSizeMin < 1 || c.HalfSizeMax < c.HalfSizeMin:
+		return errors.New("overlay: invalid bootstrap half sizes")
+	case c.QuotaBase < 1:
+		return errors.New("overlay: quota base must be >= 1")
+	case c.QuotaSlope < 0:
+		return errors.New("overlay: negative quota slope")
+	case c.FallbackAccept < 0 || c.FallbackAccept > 1:
+		return errors.New("overlay: fallback accept outside [0,1]")
+	}
+	return nil
+}
+
+// Quota returns the connection quota for a peer of the given capacity.
+func (c BootstrapConfig) Quota(cap peer.Capacity) int {
+	q := c.QuotaBase
+	if cap > 1 {
+		q += c.QuotaSlope * math.Log10(float64(cap))
+	}
+	return int(q)
+}
+
+// Builder incrementally constructs a GroupCast overlay by processing peer
+// joins through the host cache, probing, utility-based neighbour selection
+// (Eq. 6), and the back-link protocol.
+type Builder struct {
+	g       *Graph
+	hc      *HostCache
+	cfg     BootstrapConfig
+	rng     *rand.Rand
+	ctr     *metrics.Counters
+	rlevels []float64
+}
+
+// NewBuilder returns a builder over an empty overlay graph. The counters
+// argument may be nil; pass one to tally protocol messages.
+func NewBuilder(uni *Universe, cfg BootstrapConfig, rng *rand.Rand, ctr *metrics.Counters) (*Builder, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g, err := NewGraph(uni)
+	if err != nil {
+		return nil, err
+	}
+	if ctr == nil {
+		ctr = metrics.NewCounters()
+	}
+	rl := make([]float64, uni.N())
+	for i := range rl {
+		rl[i] = 0.5 // pre-join default: assume median
+	}
+	return &Builder{g: g, hc: NewHostCache(uni), cfg: cfg, rng: rng, ctr: ctr, rlevels: rl}, nil
+}
+
+// Graph returns the overlay under construction.
+func (b *Builder) Graph() *Graph { return b.g }
+
+// HostCache exposes the bootstrap cache (for churn experiments).
+func (b *Builder) HostCache() *HostCache { return b.hc }
+
+// Counters returns the protocol message tallies.
+func (b *Builder) Counters() *metrics.Counters { return b.ctr }
+
+// ResourceLevel returns peer i's estimated resource level r_i, learned from
+// the capacities sampled during its join.
+func (b *Builder) ResourceLevel(i int) float64 { return b.rlevels[i] }
+
+// Join runs the Section 3.3 join protocol for peer i:
+//
+//  1. query the host cache for B_i = BD_i ∪ BR_i,
+//  2. probe every bootstrap peer for its neighbour list and compile the
+//     candidate list LC_i with occurrence frequencies,
+//  3. estimate r_i from the sampled capacities,
+//  4. select up to quota(C_i) neighbours with probability proportional to
+//     the Eq. 6 utility (occurrence frequency substituting capacity),
+//  5. open forwarding connections and run the back-link acceptance protocol.
+func (b *Builder) Join(i int) error {
+	if i < 0 || i >= b.g.N() {
+		return fmt.Errorf("overlay: join of unknown peer %d", i)
+	}
+	if b.g.Alive(i) {
+		return fmt.Errorf("overlay: peer %d joined twice", i)
+	}
+	b.g.SetAlive(i)
+
+	half := b.cfg.HalfSizeMin
+	if b.cfg.HalfSizeMax > b.cfg.HalfSizeMin {
+		half += b.rng.Intn(b.cfg.HalfSizeMax - b.cfg.HalfSizeMin + 1)
+	}
+	boots := b.hc.Bootstrap(i, half, b.rng)
+	defer b.hc.Register(i)
+	if len(boots) == 0 {
+		return nil // first peer: nothing to connect to yet
+	}
+
+	// Probe each bootstrap peer; its reply carries its neighbour list with
+	// each neighbour's identifier quadruplet (so capacities and coordinates
+	// of candidates are known to i).
+	uni := b.g.Universe()
+	freq := make(map[int]int)
+	for _, pk := range boots {
+		b.ctr.Inc(CtrProbe)
+		b.ctr.Inc(CtrProbeResp)
+		freq[pk]++ // knowing pk itself counts as one appearance
+		for _, nb := range b.g.Neighbors(pk) {
+			if nb != i {
+				freq[nb]++
+			}
+		}
+	}
+
+	candIDs := make([]int, 0, len(freq))
+	for j := range freq {
+		candIDs = append(candIDs, j)
+	}
+	// Estimate r_i from the capacities of the sampled peers.
+	sample := make([]peer.Capacity, 0, len(candIDs))
+	for _, j := range candIDs {
+		sample = append(sample, uni.Caps[j])
+	}
+	ri := peer.EstimateResourceLevel(uni.Caps[i], sample)
+	b.rlevels[i] = ri
+
+	// Eq. 6: utility over LC_i with occurrence frequency as the capacity
+	// term.
+	cands := make([]core.Candidate, len(candIDs))
+	for idx, j := range candIDs {
+		cands[idx] = core.Candidate{
+			Capacity: float64(freq[j]),
+			Distance: uni.Dist(i, j),
+		}
+	}
+	quota := b.cfg.Quota(uni.Caps[i])
+	chosen, err := core.SelectByPreference(ri, cands, quota, b.rng)
+	if err != nil {
+		return fmt.Errorf("overlay: neighbour selection for %d: %w", i, err)
+	}
+
+	for _, idx := range chosen {
+		k := candIDs[idx]
+		if !b.g.Alive(k) {
+			continue
+		}
+		if err := b.g.AddEdge(i, k); err != nil {
+			return err
+		}
+		b.backLink(i, k)
+	}
+	return nil
+}
+
+// backLink runs the back-connection protocol: peer k decides whether to add
+// the requester i as its own forwarding neighbour, accepting with the PB_k
+// probability and otherwise with the pb fallback.
+func (b *Builder) backLink(i, k int) {
+	b.ctr.Inc(CtrBackRequest)
+	uni := b.g.Universe()
+	nbrs := b.g.Neighbors(k)
+	nbrCands := make([]core.Candidate, 0, len(nbrs))
+	for _, nb := range nbrs {
+		if nb == i {
+			continue
+		}
+		nbrCands = append(nbrCands, core.Candidate{
+			Capacity: float64(uni.Caps[nb]),
+			Distance: uni.Dist(k, nb),
+		})
+	}
+	pb := core.BackLinkProbability(core.Ranks(
+		float64(uni.Caps[k]), float64(uni.Caps[i]), uni.Dist(k, i), nbrCands))
+	accept := b.rng.Float64() < pb
+	if !accept {
+		accept = b.rng.Float64() < b.cfg.FallbackAccept
+	}
+	if accept {
+		if err := b.g.AddEdge(k, i); err == nil {
+			b.ctr.Inc(CtrBackAccepted)
+		}
+	}
+}
+
+// Leave removes peer i gracefully: its neighbours drop it and the host cache
+// forgets it.
+func (b *Builder) Leave(i int) {
+	b.g.RemovePeer(i)
+	b.hc.Unregister(i)
+}
+
+// Fail removes peer i abruptly. Structurally identical to Leave on the
+// graph; maintenance (heartbeats) is responsible for detection in the live
+// runtime, so the distinction matters only there and in churn accounting.
+func (b *Builder) Fail(i int) {
+	b.g.RemovePeer(i)
+	b.hc.Unregister(i)
+}
+
+// BuildGroupCast joins every peer of the universe in index order and returns
+// the finished overlay. This is the batch entry point used by the
+// experiments; churn studies drive a Builder through a sim.Engine instead.
+func BuildGroupCast(uni *Universe, cfg BootstrapConfig, rng *rand.Rand, ctr *metrics.Counters) (*Graph, *Builder, error) {
+	b, err := NewBuilder(uni, cfg, rng, ctr)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < uni.N(); i++ {
+		if err := b.Join(i); err != nil {
+			return nil, nil, err
+		}
+	}
+	return b.g, b, nil
+}

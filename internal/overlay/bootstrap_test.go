@@ -1,0 +1,248 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+
+	"groupcast/internal/metrics"
+	"groupcast/internal/peer"
+)
+
+func buildTestOverlay(t *testing.T, n int, seed int64) (*Graph, *Builder) {
+	t.Helper()
+	uni := syntheticUniverse(n, seed)
+	g, b, err := BuildGroupCast(uni, DefaultBootstrapConfig(), rand.New(rand.NewSource(seed)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, b
+}
+
+func TestHostCacheBootstrapLists(t *testing.T) {
+	uni := syntheticUniverse(50, 1)
+	hc := NewHostCache(uni)
+	rng := rand.New(rand.NewSource(2))
+	if got := hc.Bootstrap(0, 3, rng); got != nil {
+		t.Fatalf("empty cache returned %v", got)
+	}
+	for i := 1; i < 50; i++ {
+		hc.Register(i)
+	}
+	if hc.Len() != 49 {
+		t.Fatalf("cache len = %d", hc.Len())
+	}
+	got := hc.Bootstrap(0, 4, rng)
+	if len(got) != 8 {
+		t.Fatalf("|B| = %d, want 8", len(got))
+	}
+	seen := make(map[int]bool)
+	for _, j := range got {
+		if j == 0 {
+			t.Fatal("cache returned the joiner itself")
+		}
+		if seen[j] {
+			t.Fatalf("duplicate %d in bootstrap list", j)
+		}
+		seen[j] = true
+	}
+	// The first half must be the closest peers: no cached peer may be closer
+	// than the farthest BD member.
+	maxBD := 0.0
+	for _, j := range got[:4] {
+		if d := uni.Dist(0, j); d > maxBD {
+			maxBD = d
+		}
+	}
+	closer := 0
+	for j := 1; j < 50; j++ {
+		if uni.Dist(0, j) < maxBD {
+			closer++
+		}
+	}
+	if closer > 4 {
+		t.Fatalf("BD list not the closest peers: %d cached peers closer than BD max", closer)
+	}
+	// Unregister removes.
+	hc.Unregister(10)
+	if hc.Len() != 48 {
+		t.Fatal("unregister failed")
+	}
+}
+
+func TestHostCacheSmallPopulation(t *testing.T) {
+	uni := syntheticUniverse(3, 3)
+	hc := NewHostCache(uni)
+	hc.Register(1)
+	got := hc.Bootstrap(0, 4, rand.New(rand.NewSource(1)))
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("got %v", got)
+	}
+	// halfSize < 1 clamps.
+	got = hc.Bootstrap(0, 0, rand.New(rand.NewSource(1)))
+	if len(got) == 0 {
+		t.Fatal("clamped half size returned nothing")
+	}
+}
+
+func TestBootstrapConfigValidation(t *testing.T) {
+	cases := []func(*BootstrapConfig){
+		func(c *BootstrapConfig) { c.HalfSizeMin = 0 },
+		func(c *BootstrapConfig) { c.HalfSizeMax = c.HalfSizeMin - 1 },
+		func(c *BootstrapConfig) { c.QuotaBase = 0 },
+		func(c *BootstrapConfig) { c.QuotaSlope = -1 },
+		func(c *BootstrapConfig) { c.FallbackAccept = 1.5 },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultBootstrapConfig()
+		mutate(&cfg)
+		if _, err := NewBuilder(syntheticUniverse(5, 1), cfg, rand.New(rand.NewSource(1)), nil); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestQuotaGrowsWithCapacity(t *testing.T) {
+	cfg := DefaultBootstrapConfig()
+	prev := 0
+	for _, c := range []peer.Capacity{1, 10, 100, 1000, 10000} {
+		q := cfg.Quota(c)
+		if q <= 0 {
+			t.Fatalf("quota(%v) = %d", c, q)
+		}
+		if q < prev {
+			t.Fatalf("quota not monotone at %v", c)
+		}
+		prev = q
+	}
+	if cfg.Quota(1) != 4 || cfg.Quota(10000) != 12 {
+		t.Fatalf("quota endpoints: %d, %d", cfg.Quota(1), cfg.Quota(10000))
+	}
+}
+
+func TestBuildGroupCastConnectivityAndDegrees(t *testing.T) {
+	g, b := buildTestOverlay(t, 400, 7)
+	if g.NumAlive() != 400 {
+		t.Fatalf("alive = %d", g.NumAlive())
+	}
+	if !IsConnected(g) {
+		t.Fatal("overlay disconnected")
+	}
+	// Every joined peer except possibly the first must have neighbours.
+	zero := 0
+	for _, i := range g.AlivePeers() {
+		if g.Degree(i) == 0 {
+			zero++
+		}
+	}
+	if zero > 1 {
+		t.Fatalf("%d isolated peers", zero)
+	}
+	// Protocol counters must have moved.
+	ctr := b.Counters()
+	if ctr.Get(CtrProbe) == 0 || ctr.Get(CtrBackRequest) == 0 {
+		t.Fatalf("counters silent: %v", ctr.Snapshot())
+	}
+	if ctr.Get(CtrBackAccepted) > ctr.Get(CtrBackRequest) {
+		t.Fatal("more back links accepted than requested")
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	uni := syntheticUniverse(5, 8)
+	b, err := NewBuilder(uni, DefaultBootstrapConfig(), rand.New(rand.NewSource(1)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Join(99); err == nil {
+		t.Fatal("out-of-range join accepted")
+	}
+	if err := b.Join(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Join(0); err == nil {
+		t.Fatal("double join accepted")
+	}
+}
+
+func TestResourceLevelEstimates(t *testing.T) {
+	_, b := buildTestOverlay(t, 300, 9)
+	uni := b.Graph().Universe()
+	// Peers with capacity 10000 must estimate a high r; capacity-1 peers a
+	// low r (after enough joins the samples are representative).
+	for i := 100; i < 300; i++ {
+		r := b.ResourceLevel(i)
+		if r < 0.01 || r > 0.99 {
+			t.Fatalf("r[%d] = %v out of clamp range", i, r)
+		}
+		switch uni.Caps[i] {
+		case 1:
+			if r > 0.4 {
+				t.Fatalf("weak peer %d has r = %v", i, r)
+			}
+		case 10000:
+			if r < 0.6 {
+				t.Fatalf("strongest peer %d has r = %v", i, r)
+			}
+		}
+	}
+}
+
+func TestPowerfulPeersGetHigherDegrees(t *testing.T) {
+	g, _ := buildTestOverlay(t, 800, 10)
+	uni := g.Universe()
+	var weakSum, strongSum float64
+	var weakN, strongN int
+	for _, i := range g.AlivePeers() {
+		switch {
+		case uni.Caps[i] == 1:
+			weakSum += float64(g.Degree(i))
+			weakN++
+		case uni.Caps[i] >= 1000:
+			strongSum += float64(g.Degree(i))
+			strongN++
+		}
+	}
+	if weakN == 0 || strongN == 0 {
+		t.Skip("degenerate capacity draw")
+	}
+	weak := weakSum / float64(weakN)
+	strong := strongSum / float64(strongN)
+	if strong < 1.5*weak {
+		t.Fatalf("powerful peers mean degree %v not well above weak %v", strong, weak)
+	}
+}
+
+func TestLeaveAndFail(t *testing.T) {
+	g, b := buildTestOverlay(t, 50, 11)
+	deg := g.Degree(10)
+	if deg == 0 {
+		t.Skip("peer 10 isolated")
+	}
+	b.Leave(10)
+	if g.Alive(10) {
+		t.Fatal("peer alive after leave")
+	}
+	b.Fail(11)
+	if g.Alive(11) {
+		t.Fatal("peer alive after fail")
+	}
+	// Host cache must no longer return departed peers.
+	got := b.HostCache().Bootstrap(0, 30, rand.New(rand.NewSource(1)))
+	for _, j := range got {
+		if j == 10 || j == 11 {
+			t.Fatal("cache returned a departed peer")
+		}
+	}
+}
+
+func TestCountersInjected(t *testing.T) {
+	ctr := metrics.NewCounters()
+	uni := syntheticUniverse(30, 12)
+	_, _, err := BuildGroupCast(uni, DefaultBootstrapConfig(), rand.New(rand.NewSource(1)), ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Get(CtrProbe) == 0 {
+		t.Fatal("injected counters unused")
+	}
+}

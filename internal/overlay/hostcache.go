@@ -1,0 +1,144 @@
+package overlay
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// HostCache is the Gnucleus-style bootstrap server of Section 3.3: it caches
+// currently-active peers and answers a joining peer's query with BD_i (the
+// cached peers closest to the joiner by network coordinate distance) plus an
+// equal number BR_i of randomly selected peers.
+//
+// For large populations the distance sort is restricted to a random sample
+// of SampleLimit cached entries (real host caches hold bounded tables of
+// recent peers); set SampleLimit to 0 to sort the full cache.
+type HostCache struct {
+	uni     *Universe
+	entries map[int]struct{}
+	keys    []int // registered peers, for O(1) random sampling
+	pos     map[int]int
+
+	// SampleLimit bounds how many cached entries one Bootstrap call
+	// considers. Defaults to DefaultCacheSampleLimit.
+	SampleLimit int
+}
+
+// DefaultCacheSampleLimit is the default per-query candidate sample.
+const DefaultCacheSampleLimit = 256
+
+// NewHostCache returns an empty cache over the universe.
+func NewHostCache(uni *Universe) *HostCache {
+	return &HostCache{
+		uni:         uni,
+		entries:     make(map[int]struct{}),
+		pos:         make(map[int]int),
+		SampleLimit: DefaultCacheSampleLimit,
+	}
+}
+
+// Register adds a peer to the cache (called after it joins the overlay).
+func (hc *HostCache) Register(i int) {
+	if _, dup := hc.entries[i]; dup {
+		return
+	}
+	hc.entries[i] = struct{}{}
+	hc.pos[i] = len(hc.keys)
+	hc.keys = append(hc.keys, i)
+}
+
+// Unregister drops a departed peer.
+func (hc *HostCache) Unregister(i int) {
+	if _, ok := hc.entries[i]; !ok {
+		return
+	}
+	delete(hc.entries, i)
+	// Swap-remove from the key slice.
+	at := hc.pos[i]
+	last := hc.keys[len(hc.keys)-1]
+	hc.keys[at] = last
+	hc.pos[last] = at
+	hc.keys = hc.keys[:len(hc.keys)-1]
+	delete(hc.pos, i)
+}
+
+// Len returns how many peers the cache knows.
+func (hc *HostCache) Len() int { return len(hc.entries) }
+
+// Bootstrap answers a join query from peer i: the closest half (BD_i, sorted
+// ascending by coordinate distance to i) plus random peers (BR_i), giving
+// |B_i| = min(2·halfSize, cached) total distinct peers. The paper sets
+// 5 ≤ |B_i| ≤ 8, i.e. halfSize 3 or 4.
+func (hc *HostCache) Bootstrap(i, halfSize int, rng *rand.Rand) []int {
+	if halfSize < 1 {
+		halfSize = 1
+	}
+	cached := hc.candidateSample(i, rng)
+	if len(cached) == 0 {
+		return nil
+	}
+	// Deterministic base order so equal-distance ties don't depend on map
+	// iteration.
+	sort.Ints(cached)
+	sort.SliceStable(cached, func(a, b int) bool {
+		return hc.uni.Dist(i, cached[a]) < hc.uni.Dist(i, cached[b])
+	})
+	picked := make([]int, 0, 2*halfSize)
+	seen := make(map[int]struct{}, 2*halfSize)
+	for _, j := range cached[:min(halfSize, len(cached))] {
+		picked = append(picked, j)
+		seen[j] = struct{}{}
+	}
+	// BR_i: random distinct peers not already in BD_i.
+	perm := rng.Perm(len(cached))
+	for _, idx := range perm {
+		if len(picked) >= 2*halfSize {
+			break
+		}
+		j := cached[idx]
+		if _, dup := seen[j]; dup {
+			continue
+		}
+		picked = append(picked, j)
+		seen[j] = struct{}{}
+	}
+	return picked
+}
+
+// candidateSample returns the cached peers (excluding i) a query considers:
+// the whole cache when within SampleLimit, otherwise a uniform random sample.
+func (hc *HostCache) candidateSample(i int, rng *rand.Rand) []int {
+	n := len(hc.keys)
+	limit := hc.SampleLimit
+	if limit <= 0 || n <= limit {
+		out := make([]int, 0, n)
+		for _, j := range hc.keys {
+			if j != i {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	out := make([]int, 0, limit)
+	seen := make(map[int]struct{}, limit)
+	// Draw with rejection; the sample is far smaller than the population.
+	for len(out) < limit && len(seen) < n {
+		j := hc.keys[rng.Intn(n)]
+		if j == i {
+			continue
+		}
+		if _, dup := seen[j]; dup {
+			continue
+		}
+		seen[j] = struct{}{}
+		out = append(out, j)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEpochControllerSteadyState(t *testing.T) {
+	c := NewEpochController(5000, 1000, 60000, 4)
+	if c.Duration() != 5000 {
+		t.Fatalf("start = %v", c.Duration())
+	}
+	// No churn at all: duration stretches to the cap.
+	for i := 0; i < 50; i++ {
+		c.Observe(0)
+	}
+	if c.Duration() != 60000 {
+		t.Fatalf("calm duration = %v, want max", c.Duration())
+	}
+	// Heavy churn: collapses to the floor.
+	for i := 0; i < 50; i++ {
+		c.Observe(100)
+	}
+	if c.Duration() != 1000 {
+		t.Fatalf("stormy duration = %v, want min", c.Duration())
+	}
+	// On-target churn: stays put.
+	cur := c.Duration()
+	c.Observe(3) // between target/2 and target
+	if c.Duration() != cur {
+		t.Fatalf("on-target churn moved the duration to %v", c.Duration())
+	}
+}
+
+func TestEpochControllerDefaults(t *testing.T) {
+	c := NewEpochController(-5, -1, -1, -1)
+	if c.Min <= 0 || c.Max < c.Min || c.TargetRepairs <= 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	if c.Duration() < c.Min || c.Duration() > c.Max {
+		t.Fatalf("start %v outside [%v, %v]", c.Duration(), c.Min, c.Max)
+	}
+	// Start above max clamps.
+	c2 := NewEpochController(1e9, 1000, 2000, 4)
+	if c2.Duration() != 2000 {
+		t.Fatalf("start not clamped: %v", c2.Duration())
+	}
+}
+
+func TestEpochControllerBoundsProperty(t *testing.T) {
+	// Property: duration never leaves [Min, Max] under any repair sequence.
+	f := func(seed int64, reps []uint8) bool {
+		c := NewEpochController(5000, 1000, 60000, 4)
+		rng := rand.New(rand.NewSource(seed))
+		for _, r := range reps {
+			d := c.Observe(int(r) + rng.Intn(3))
+			if d < c.Min || d > c.Max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaintenanceUnderSustainedChurn exercises repeated epochs against a
+// churning overlay, with the adaptive controller shortening epochs during
+// the storm.
+func TestMaintenanceUnderSustainedChurn(t *testing.T) {
+	uni := syntheticUniverse(400, 61)
+	rng := rand.New(rand.NewSource(62))
+	_, b, err := BuildGroupCast(uni, DefaultBootstrapConfig(), rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := b.Graph()
+	ctl := NewEpochController(5000, 1000, 60000, 4)
+	cfg := DefaultMaintenanceConfig()
+
+	minSeen := ctl.Duration()
+	for round := 0; round < 12; round++ {
+		// Storm: kill 60 random peers per round for the first 5 rounds —
+		// harsh enough that some survivors always drop below MinDegree
+		// (map-iteration order varies the random draws between runs, so the
+		// storm must not be marginal).
+		if round < 5 {
+			alive := g.AlivePeers()
+			for i := 0; i < 60 && i < len(alive); i++ {
+				b.Fail(alive[rng.Intn(len(alive))])
+			}
+		}
+		repaired := b.RunEpoch(cfg, rng)
+		d := ctl.Observe(repaired)
+		if d < minSeen {
+			minSeen = d
+		}
+	}
+	if !IsConnected(g) {
+		// Heavy churn can disconnect tiny residues; require the giant
+		// component covers almost everyone instead of full connectivity.
+		comps := components(g)
+		largest := 0
+		for _, c := range comps {
+			if len(c) > largest {
+				largest = len(c)
+			}
+		}
+		if float64(largest) < 0.9*float64(g.NumAlive()) {
+			t.Fatalf("giant component %d of %d after churn", largest, g.NumAlive())
+		}
+	}
+	// Overlay health: virtually nobody under-connected after calm epochs.
+	under := 0
+	for _, i := range g.AlivePeers() {
+		if g.Degree(i) < cfg.MinDegree {
+			under++
+		}
+	}
+	if float64(under) > 0.05*float64(g.NumAlive()) {
+		t.Fatalf("%d of %d peers under-connected after repair", under, g.NumAlive())
+	}
+	if minSeen >= 5000 {
+		t.Fatalf("controller never shortened the epoch during the storm (min %v)", minSeen)
+	}
+}

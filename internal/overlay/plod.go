@@ -1,0 +1,155 @@
+package overlay
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// PLODConfig parameterizes the centralized power-law generator of Palmer &
+// Steffan (GLOBECOM'00), the paper's "random power-law overlay" baseline
+// (Figure 8 uses α = 1.8).
+type PLODConfig struct {
+	// Alpha is the power-law exponent: P(degree = k) ∝ k^−α.
+	Alpha float64
+	// MaxDegree caps the degree distribution's support.
+	MaxDegree int
+}
+
+// DefaultPLODConfig matches Figure 8.
+func DefaultPLODConfig() PLODConfig {
+	return PLODConfig{Alpha: 1.8, MaxDegree: 200}
+}
+
+// BuildPLOD generates a random power-law overlay over the universe:
+// each peer draws a degree credit from P(k) ∝ k^−α, then random peer pairs
+// with remaining credits are connected (no self-loops or duplicate edges),
+// and finally stranded components are patched together so the overlay is
+// usable for dissemination experiments. Edges are added in both directions:
+// the baseline overlay is symmetric.
+func BuildPLOD(uni *Universe, cfg PLODConfig, rng *rand.Rand) (*Graph, error) {
+	if cfg.Alpha <= 1 {
+		return nil, errors.New("overlay: PLOD alpha must be > 1")
+	}
+	if cfg.MaxDegree < 2 {
+		return nil, errors.New("overlay: PLOD max degree must be >= 2")
+	}
+	g, err := NewGraph(uni)
+	if err != nil {
+		return nil, err
+	}
+	n := uni.N()
+	for i := 0; i < n; i++ {
+		g.SetAlive(i)
+	}
+
+	// Degree credits from the truncated power law via inverse-CDF sampling.
+	maxK := cfg.MaxDegree
+	if maxK > n-1 {
+		maxK = n - 1
+	}
+	cdf := make([]float64, maxK)
+	var sum float64
+	for k := 1; k <= maxK; k++ {
+		sum += math.Pow(float64(k), -cfg.Alpha)
+		cdf[k-1] = sum
+	}
+	credits := make([]int, n)
+	var stubs []int // peer listed once per remaining credit
+	for i := 0; i < n; i++ {
+		u := rng.Float64() * sum
+		k := 1
+		for k < maxK && cdf[k-1] < u {
+			k++
+		}
+		credits[i] = k
+		for c := 0; c < k; c++ {
+			stubs = append(stubs, i)
+		}
+	}
+
+	// Random stub matching with collision retries (classic PLOD edge
+	// assignment). Leftover credits that cannot be matched are dropped.
+	rng.Shuffle(len(stubs), func(a, b int) { stubs[a], stubs[b] = stubs[b], stubs[a] })
+	for len(stubs) >= 2 {
+		a := stubs[len(stubs)-1]
+		b := stubs[len(stubs)-2]
+		stubs = stubs[:len(stubs)-2]
+		if a == b || g.HasEdge(a, b) {
+			// Retry by reinserting one stub at a random position.
+			if len(stubs) > 0 && rng.Float64() < 0.9 {
+				pos := rng.Intn(len(stubs) + 1)
+				stubs = append(stubs, 0)
+				copy(stubs[pos+1:], stubs[pos:])
+				stubs[pos] = a
+			}
+			continue
+		}
+		addUndirected(g, a, b)
+	}
+
+	patchComponents(g, rng)
+	return g, nil
+}
+
+func addUndirected(g *Graph, a, b int) {
+	_ = g.AddEdge(a, b)
+	_ = g.AddEdge(b, a)
+}
+
+// patchComponents links every connected component to the largest one with a
+// single random edge so dissemination experiments can reach all peers.
+func patchComponents(g *Graph, rng *rand.Rand) {
+	comp := components(g)
+	if len(comp) <= 1 {
+		return
+	}
+	// Largest component is the anchor.
+	anchor := 0
+	for i := 1; i < len(comp); i++ {
+		if len(comp[i]) > len(comp[anchor]) {
+			anchor = i
+		}
+	}
+	for i := range comp {
+		if i == anchor {
+			continue
+		}
+		a := comp[i][rng.Intn(len(comp[i]))]
+		b := comp[anchor][rng.Intn(len(comp[anchor]))]
+		addUndirected(g, a, b)
+	}
+}
+
+// components returns the connected components (over undirected reachability)
+// of the alive peers.
+func components(g *Graph) [][]int {
+	seen := make([]bool, g.N())
+	var comps [][]int
+	for _, start := range g.AlivePeers() {
+		if seen[start] {
+			continue
+		}
+		var comp []int
+		queue := []int{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			comp = append(comp, v)
+			for _, nb := range g.Neighbors(v) {
+				if !seen[nb] {
+					seen[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether all alive peers are mutually reachable.
+func IsConnected(g *Graph) bool {
+	return len(components(g)) <= 1
+}

@@ -1,0 +1,133 @@
+package overlay
+
+import (
+	"math/rand"
+)
+
+// SearchResult reports the outcome of a service lookup over the overlay.
+type SearchResult struct {
+	// Found is the first peer satisfying the predicate, or -1.
+	Found bool
+	// Peer is the matching peer when Found.
+	Peer int
+	// Hops is the overlay hop count from the origin to the match.
+	Hops int
+	// Latency is the accumulated estimated latency along the discovery path
+	// in ms (0 when the origin itself matches).
+	Latency float64
+	// Messages is the number of overlay messages the search generated.
+	Messages int
+	// Path is the overlay node sequence from the origin to the match
+	// (inclusive), when found.
+	Path []int
+}
+
+// RippleSearch performs the paper's scoped flooding ("ripple search in
+// standard Gnutella P2P network, with initial TTL set to a very low value"):
+// a BFS out to ttl hops where every visited peer forwards the query to all
+// its neighbours. The predicate is evaluated origin first, then wave by
+// wave; the nearest (fewest-hop) match wins, with latency ties broken by
+// arrival order. All messages of explored waves are counted, matching the
+// flood's real cost.
+func RippleSearch(g *Graph, origin, ttl int, pred func(p int) bool) SearchResult {
+	if !g.Alive(origin) {
+		return SearchResult{Found: false, Peer: -1}
+	}
+	if pred(origin) {
+		return SearchResult{Found: true, Peer: origin, Path: []int{origin}}
+	}
+	type visit struct {
+		peer    int
+		latency float64
+	}
+	uni := g.Universe()
+	cameFrom := map[int]int{origin: origin}
+	wave := []visit{{peer: origin}}
+	res := SearchResult{Found: false, Peer: -1}
+	for hop := 1; hop <= ttl; hop++ {
+		var next []visit
+		for _, v := range wave {
+			for _, nb := range g.Neighbors(v.peer) {
+				res.Messages++ // the query forwarded over one overlay link
+				if _, dup := cameFrom[nb]; dup {
+					continue
+				}
+				cameFrom[nb] = v.peer
+				lat := v.latency + uni.Dist(v.peer, nb)
+				if pred(nb) && !res.Found {
+					res.Found = true
+					res.Peer = nb
+					res.Hops = hop
+					res.Latency = lat
+				}
+				next = append(next, visit{peer: nb, latency: lat})
+			}
+		}
+		if res.Found {
+			// Reconstruct origin→match path from the BFS parents.
+			path := []int{res.Peer}
+			for cur := res.Peer; cur != origin; {
+				cur = cameFrom[cur]
+				path = append(path, cur)
+			}
+			for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+				path[l], path[r] = path[r], path[l]
+			}
+			res.Path = path
+			return res
+		}
+		wave = next
+		if len(wave) == 0 {
+			break
+		}
+	}
+	return res
+}
+
+// RandomWalk performs a random walk of at most maxSteps overlay hops looking
+// for a peer satisfying pred — the paper's alternative lookup primitive
+// (used e.g. to locate a capable rendezvous point). The walker avoids
+// immediately backtracking when it has another choice.
+func RandomWalk(g *Graph, origin, maxSteps int, pred func(p int) bool, rng *rand.Rand) SearchResult {
+	if !g.Alive(origin) {
+		return SearchResult{Found: false, Peer: -1}
+	}
+	if pred(origin) {
+		return SearchResult{Found: true, Peer: origin}
+	}
+	uni := g.Universe()
+	cur := origin
+	prev := -1
+	res := SearchResult{Found: false, Peer: -1}
+	for step := 1; step <= maxSteps; step++ {
+		nbrs := g.Neighbors(cur)
+		if len(nbrs) == 0 {
+			return res
+		}
+		next := nbrs[rng.Intn(len(nbrs))]
+		if next == prev && len(nbrs) > 1 {
+			next = nbrs[rng.Intn(len(nbrs))]
+		}
+		res.Messages++
+		res.Latency += uni.Dist(cur, next)
+		res.Hops = step
+		prev, cur = cur, next
+		if pred(cur) {
+			res.Found = true
+			res.Peer = cur
+			return res
+		}
+	}
+	return res
+}
+
+// FindRendezvous random-walks from origin for a peer whose capacity is at
+// least minCapacity — "the first participant can initiate a random walk
+// search to locate a node that has enough access network bandwidth and
+// computational power to act as a rendezvous point" (Section 2.2).
+func FindRendezvous(g *Graph, origin int, minCapacity float64, maxSteps int, rng *rand.Rand) SearchResult {
+	uni := g.Universe()
+	return RandomWalk(g, origin, maxSteps, func(p int) bool {
+		return float64(uni.Caps[p]) >= minCapacity
+	}, rng)
+}

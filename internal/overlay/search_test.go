@@ -1,0 +1,136 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// lineGraph builds 0-1-2-...-n-1 bidirectionally.
+func lineGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := aliveGraph(t, n, 1)
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddEdge(i+1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestRippleSearchFindsWithinTTL(t *testing.T) {
+	g := lineGraph(t, 10)
+	res := RippleSearch(g, 0, 2, func(p int) bool { return p == 2 })
+	if !res.Found || res.Peer != 2 || res.Hops != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Latency <= 0 {
+		t.Fatal("no latency accumulated")
+	}
+	if res.Messages == 0 {
+		t.Fatal("no messages counted")
+	}
+}
+
+func TestRippleSearchOriginMatch(t *testing.T) {
+	g := lineGraph(t, 5)
+	res := RippleSearch(g, 3, 2, func(p int) bool { return p == 3 })
+	if !res.Found || res.Peer != 3 || res.Hops != 0 || res.Messages != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRippleSearchTTLExceeded(t *testing.T) {
+	g := lineGraph(t, 10)
+	res := RippleSearch(g, 0, 2, func(p int) bool { return p == 9 })
+	if res.Found {
+		t.Fatalf("found beyond TTL: %+v", res)
+	}
+	if res.Peer != -1 {
+		t.Fatalf("peer = %d", res.Peer)
+	}
+}
+
+func TestRippleSearchDeadOrigin(t *testing.T) {
+	g := lineGraph(t, 5)
+	g.RemovePeer(0)
+	res := RippleSearch(g, 0, 2, func(p int) bool { return true })
+	if res.Found {
+		t.Fatal("dead origin found a match")
+	}
+}
+
+func TestRippleSearchNearestMatchWins(t *testing.T) {
+	// Star: 0 connected to 1..5; both 1 and a 2-hop peer match — the 1-hop
+	// match must win.
+	g := aliveGraph(t, 7, 2)
+	for i := 1; i <= 5; i++ {
+		_ = g.AddEdge(0, i)
+		_ = g.AddEdge(i, 0)
+	}
+	_ = g.AddEdge(5, 6)
+	_ = g.AddEdge(6, 5)
+	res := RippleSearch(g, 0, 3, func(p int) bool { return p == 1 || p == 6 })
+	if !res.Found || res.Peer != 1 || res.Hops != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRandomWalkFinds(t *testing.T) {
+	g := lineGraph(t, 8)
+	rng := rand.New(rand.NewSource(3))
+	res := RandomWalk(g, 0, 500, func(p int) bool { return p == 7 }, rng)
+	if !res.Found || res.Peer != 7 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Messages != res.Hops {
+		t.Fatalf("messages %d != hops %d for a walk", res.Messages, res.Hops)
+	}
+}
+
+func TestRandomWalkGivesUp(t *testing.T) {
+	g := lineGraph(t, 50)
+	rng := rand.New(rand.NewSource(4))
+	res := RandomWalk(g, 0, 3, func(p int) bool { return p == 49 }, rng)
+	if res.Found {
+		t.Fatal("found beyond step limit")
+	}
+}
+
+func TestRandomWalkOriginMatchAndDeadOrigin(t *testing.T) {
+	g := lineGraph(t, 5)
+	rng := rand.New(rand.NewSource(5))
+	res := RandomWalk(g, 2, 10, func(p int) bool { return p == 2 }, rng)
+	if !res.Found || res.Hops != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	g.RemovePeer(3)
+	res = RandomWalk(g, 3, 10, func(p int) bool { return true }, rng)
+	if res.Found {
+		t.Fatal("dead origin walked")
+	}
+}
+
+func TestRandomWalkIsolatedPeer(t *testing.T) {
+	g := aliveGraph(t, 3, 6)
+	rng := rand.New(rand.NewSource(6))
+	res := RandomWalk(g, 0, 10, func(p int) bool { return p == 1 }, rng)
+	if res.Found {
+		t.Fatal("isolated peer found a match")
+	}
+}
+
+func TestFindRendezvous(t *testing.T) {
+	g, _ := buildTestOverlay(t, 200, 7)
+	uni := g.Universe()
+	rng := rand.New(rand.NewSource(8))
+	res := FindRendezvous(g, 0, 100, 5000, rng)
+	if !res.Found {
+		t.Skip("no capable peer reachable in walk budget")
+	}
+	if float64(uni.Caps[res.Peer]) < 100 {
+		t.Fatalf("rendezvous capacity %v < 100", uni.Caps[res.Peer])
+	}
+}

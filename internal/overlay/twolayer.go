@@ -1,0 +1,138 @@
+package overlay
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+
+	"groupcast/internal/core"
+)
+
+// TwoLayerConfig parameterizes the supernode ("multi-layer") overlay the
+// paper sketches as future work in Section 6: a densely connected core of
+// the highest-capacity peers with every remaining peer attached to a few
+// utility-chosen core members.
+type TwoLayerConfig struct {
+	// CoreFraction of the population (by capacity rank) forms the core.
+	CoreFraction float64
+	// CoreDegree is how many core neighbours each core member links to.
+	CoreDegree int
+	// LeafLinks is how many core members each leaf attaches to.
+	LeafLinks int
+}
+
+// DefaultTwoLayerConfig uses a 5% core, degree-8 core mesh, dual-homed
+// leaves.
+func DefaultTwoLayerConfig() TwoLayerConfig {
+	return TwoLayerConfig{CoreFraction: 0.05, CoreDegree: 8, LeafLinks: 2}
+}
+
+func (c TwoLayerConfig) validate() error {
+	switch {
+	case c.CoreFraction <= 0 || c.CoreFraction > 1:
+		return errors.New("overlay: core fraction must be in (0, 1]")
+	case c.CoreDegree < 1:
+		return errors.New("overlay: core degree must be >= 1")
+	case c.LeafLinks < 1:
+		return errors.New("overlay: leaf links must be >= 1")
+	}
+	return nil
+}
+
+// BuildTwoLayer constructs the supernode overlay. Core members pick core
+// neighbours by the utility function (with high resource levels they lean
+// toward capacity); leaves pick their core attachment points by utility too
+// (with low resource levels they lean toward proximity). All links are
+// bidirectional.
+func BuildTwoLayer(uni *Universe, cfg TwoLayerConfig, rng *rand.Rand) (*Graph, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g, err := NewGraph(uni)
+	if err != nil {
+		return nil, err
+	}
+	n := uni.N()
+	for i := 0; i < n; i++ {
+		g.SetAlive(i)
+	}
+
+	// Rank by capacity (ties by index for determinism).
+	ranked := make([]int, n)
+	for i := range ranked {
+		ranked[i] = i
+	}
+	sort.Slice(ranked, func(a, b int) bool {
+		if uni.Caps[ranked[a]] != uni.Caps[ranked[b]] {
+			return uni.Caps[ranked[a]] > uni.Caps[ranked[b]]
+		}
+		return ranked[a] < ranked[b]
+	})
+	coreSize := int(cfg.CoreFraction * float64(n))
+	if coreSize < 2 {
+		coreSize = 2
+	}
+	if coreSize > n {
+		coreSize = n
+	}
+	coreSet := ranked[:coreSize]
+	isCore := make([]bool, n)
+	for _, c := range coreSet {
+		isCore[c] = true
+	}
+
+	// Core mesh: each core member selects CoreDegree peers from the rest of
+	// the core by utility with a high resource level (capacity-leaning).
+	for _, c := range coreSet {
+		cands := make([]core.Candidate, 0, coreSize-1)
+		ids := make([]int, 0, coreSize-1)
+		for _, d := range coreSet {
+			if d == c {
+				continue
+			}
+			ids = append(ids, d)
+			cands = append(cands, core.Candidate{
+				Capacity: float64(uni.Caps[d]),
+				Distance: uni.Dist(c, d),
+			})
+		}
+		want := cfg.CoreDegree
+		if want > len(ids) {
+			want = len(ids)
+		}
+		chosen, err := core.SelectByPreference(0.9, cands, want, rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, idx := range chosen {
+			addUndirected(g, c, ids[idx])
+		}
+	}
+	// Leaves: attach to LeafLinks core members by proximity-leaning utility.
+	coreCands := make([]core.Candidate, coreSize)
+	for leaf := 0; leaf < n; leaf++ {
+		if isCore[leaf] {
+			continue
+		}
+		for i, c := range coreSet {
+			coreCands[i] = core.Candidate{
+				Capacity: float64(uni.Caps[c]),
+				Distance: uni.Dist(leaf, c),
+			}
+		}
+		want := cfg.LeafLinks
+		if want > coreSize {
+			want = coreSize
+		}
+		chosen, err := core.SelectByPreference(0.1, coreCands, want, rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, idx := range chosen {
+			addUndirected(g, leaf, coreSet[idx])
+		}
+	}
+	// Guarantee overall connectivity (a sparse core mesh can split).
+	patchComponents(g, rng)
+	return g, nil
+}

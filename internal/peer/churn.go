@@ -1,0 +1,89 @@
+package peer
+
+import (
+	"math/rand"
+
+	"groupcast/internal/sim"
+)
+
+// ArrivalProcess generates exponential inter-arrival times: the paper's
+// overlay construction experiments have "peers join with intervals following
+// an exponential distribution Expo(1s)".
+type ArrivalProcess struct {
+	meanMillis float64
+	rng        *rand.Rand
+}
+
+// NewArrivalProcess returns a Poisson arrival process with the given mean
+// inter-arrival time in milliseconds. Non-positive means default to 1000 ms
+// (the paper's Expo(1s)).
+func NewArrivalProcess(meanMillis float64, rng *rand.Rand) *ArrivalProcess {
+	if meanMillis <= 0 {
+		meanMillis = 1000
+	}
+	return &ArrivalProcess{meanMillis: meanMillis, rng: rng}
+}
+
+// Next draws the next inter-arrival gap in milliseconds.
+func (p *ArrivalProcess) Next() sim.Time {
+	return sim.Time(p.rng.ExpFloat64() * p.meanMillis)
+}
+
+// ScheduleJoins schedules n join events on the engine, spaced by the arrival
+// process, calling join(i) for the i-th joining peer. It returns the arrival
+// time of the last join.
+func (p *ArrivalProcess) ScheduleJoins(e *sim.Engine, n int, join func(i int)) (sim.Time, error) {
+	at := e.Now()
+	for i := 0; i < n; i++ {
+		at += p.Next()
+		i := i
+		if _, err := e.At(at, func(*sim.Engine, sim.Time) { join(i) }); err != nil {
+			return at, err
+		}
+	}
+	return at, nil
+}
+
+// ChurnEvent describes one churn action drawn by a ChurnProcess.
+type ChurnEvent struct {
+	At sim.Time
+	// Graceful is true for a polite departure (the peer notifies its
+	// neighbours) and false for a crash.
+	Graceful bool
+}
+
+// ChurnProcess draws peer departures: exponential lifetimes with a
+// configurable fraction of crashes versus graceful departures.
+type ChurnProcess struct {
+	meanLifetimeMillis float64
+	crashFraction      float64
+	rng                *rand.Rand
+}
+
+// NewChurnProcess returns a churn process with the given mean peer lifetime
+// in milliseconds and fraction of departures that are crashes in [0,1].
+func NewChurnProcess(meanLifetimeMillis, crashFraction float64, rng *rand.Rand) *ChurnProcess {
+	if meanLifetimeMillis <= 0 {
+		meanLifetimeMillis = 60_000
+	}
+	if crashFraction < 0 {
+		crashFraction = 0
+	}
+	if crashFraction > 1 {
+		crashFraction = 1
+	}
+	return &ChurnProcess{
+		meanLifetimeMillis: meanLifetimeMillis,
+		crashFraction:      crashFraction,
+		rng:                rng,
+	}
+}
+
+// NextDeparture draws the departure of a peer that joined at joinTime.
+func (c *ChurnProcess) NextDeparture(joinTime sim.Time) ChurnEvent {
+	life := sim.Time(c.rng.ExpFloat64() * c.meanLifetimeMillis)
+	return ChurnEvent{
+		At:       joinTime + life,
+		Graceful: c.rng.Float64() >= c.crashFraction,
+	}
+}

@@ -1,0 +1,92 @@
+package peer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"groupcast/internal/sim"
+)
+
+func TestArrivalProcessMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewArrivalProcess(1000, rng)
+	const n = 50_000
+	var sum float64
+	for i := 0; i < n; i++ {
+		gap := p.Next()
+		if gap < 0 {
+			t.Fatalf("negative gap %v", gap)
+		}
+		sum += float64(gap)
+	}
+	mean := sum / n
+	if math.Abs(mean-1000) > 30 {
+		t.Fatalf("mean gap = %v, want ≈1000", mean)
+	}
+}
+
+func TestArrivalProcessDefaultsMean(t *testing.T) {
+	p := NewArrivalProcess(-5, rand.New(rand.NewSource(2)))
+	if p.meanMillis != 1000 {
+		t.Fatalf("default mean = %v, want 1000", p.meanMillis)
+	}
+}
+
+func TestScheduleJoins(t *testing.T) {
+	e := sim.New()
+	p := NewArrivalProcess(10, rand.New(rand.NewSource(3)))
+	var joined []int
+	last, err := p.ScheduleJoins(e, 20, func(i int) { joined = append(joined, i) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(0)
+	if len(joined) != 20 {
+		t.Fatalf("joined %d, want 20", len(joined))
+	}
+	for i, j := range joined {
+		if i != j {
+			t.Fatalf("join order broken: %v", joined)
+		}
+	}
+	if sim.Time(e.Now()) != last {
+		t.Fatalf("clock %v != last arrival %v", e.Now(), last)
+	}
+}
+
+func TestChurnProcess(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := NewChurnProcess(5000, 0.3, rng)
+	crashes := 0
+	const n = 20_000
+	var sumLife float64
+	for i := 0; i < n; i++ {
+		ev := c.NextDeparture(100)
+		if ev.At < 100 {
+			t.Fatalf("departure %v before join", ev.At)
+		}
+		sumLife += float64(ev.At - 100)
+		if !ev.Graceful {
+			crashes++
+		}
+	}
+	if mean := sumLife / n; math.Abs(mean-5000) > 150 {
+		t.Fatalf("mean lifetime %v, want ≈5000", mean)
+	}
+	if frac := float64(crashes) / n; math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("crash fraction %v, want ≈0.3", frac)
+	}
+}
+
+func TestChurnProcessClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewChurnProcess(-1, -2, rng)
+	if c.meanLifetimeMillis != 60_000 || c.crashFraction != 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	c2 := NewChurnProcess(10, 7, rng)
+	if c2.crashFraction != 1 {
+		t.Fatalf("crash fraction not clamped: %v", c2.crashFraction)
+	}
+}

@@ -1,0 +1,36 @@
+package peer
+
+import "math/rand"
+
+// ZipfCapacities draws n capacities from a Zipf distribution with exponent s
+// over ranks 1..maxRank (capacity = rank value, so most peers have small
+// capacities and a few have large ones). The paper's Figures 1-6 use
+// "a capacity value that follows a zipf distribution with parameter 2.0".
+func ZipfCapacities(n int, s float64, maxRank int, rng *rand.Rand) []Capacity {
+	if n <= 0 || maxRank < 1 {
+		return nil
+	}
+	if s < 1 {
+		s = 1
+	}
+	// rand.Zipf draws values in [0, imax] with P(k) ∝ (v+k)^-s.
+	z := rand.NewZipf(rng, s, 1, uint64(maxRank-1))
+	out := make([]Capacity, n)
+	for i := range out {
+		out[i] = Capacity(z.Uint64() + 1)
+	}
+	return out
+}
+
+// UniformDistances draws n distances from Unif(lo, hi) milliseconds, the
+// candidate-distance model of Figures 1-6.
+func UniformDistances(n int, lo, hi float64, rng *rand.Rand) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package protocol
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"groupcast/internal/metrics"
+	"groupcast/internal/overlay"
+	"groupcast/internal/peer"
+)
+
+// testUniverse builds a Table-1 universe with planar coordinates.
+func testUniverse(n int, seed int64) *overlay.Universe {
+	rng := rand.New(rand.NewSource(seed))
+	caps := peer.MustTable1Sampler().SampleN(n, rng)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64() * 300
+		ys[i] = rng.Float64() * 300
+	}
+	return &overlay.Universe{
+		Caps: caps,
+		Dist: func(i, j int) float64 {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			return math.Sqrt(dx*dx + dy*dy)
+		},
+	}
+}
+
+// testOverlays builds a GroupCast overlay and its resource levels.
+func testGroupCastOverlay(t *testing.T, n int, seed int64) (*overlay.Graph, ResourceLevels) {
+	t.Helper()
+	uni := testUniverse(n, seed)
+	g, b, err := overlay.BuildGroupCast(uni, overlay.DefaultBootstrapConfig(),
+		rand.New(rand.NewSource(seed)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, b.ResourceLevel
+}
+
+func testPLODOverlay(t *testing.T, n int, seed int64) (*overlay.Graph, ResourceLevels) {
+	t.Helper()
+	uni := testUniverse(n, seed)
+	g, err := overlay.BuildPLOD(uni, overlay.DefaultPLODConfig(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ExactLevels(uni)
+}
+
+func TestSchemeString(t *testing.T) {
+	if SSA.String() != "SSA" || NSSA.String() != "NSSA" || SSARandom.String() != "SSA-random" {
+		t.Fatal("scheme names wrong")
+	}
+	if Scheme(0).String() == "" {
+		t.Fatal("unknown scheme has empty name")
+	}
+}
+
+func TestAdvertiseConfigValidation(t *testing.T) {
+	g, rl := testGroupCastOverlay(t, 30, 1)
+	rng := rand.New(rand.NewSource(1))
+	bad := []AdvertiseConfig{
+		{Scheme: Scheme(9), TTL: 3, Fraction: 0.4},
+		{Scheme: SSA, TTL: 0, Fraction: 0.4},
+		{Scheme: SSA, TTL: 3, Fraction: 0},
+		{Scheme: SSA, TTL: 3, Fraction: 1.2},
+	}
+	for _, cfg := range bad {
+		if _, err := Advertise(g, 0, rl, cfg, rng, nil); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	// NSSA ignores fraction.
+	if _, err := Advertise(g, 0, nil, AdvertiseConfig{Scheme: NSSA, TTL: 3}, rng, nil); err != nil {
+		t.Fatalf("NSSA with zero fraction rejected: %v", err)
+	}
+	// SSA demands resource levels.
+	if _, err := Advertise(g, 0, nil, DefaultAdvertiseConfig(), rng, nil); err == nil {
+		t.Fatal("SSA without levels accepted")
+	}
+	// Dead rendezvous.
+	g.RemovePeer(5)
+	if _, err := Advertise(g, 5, rl, DefaultAdvertiseConfig(), rng, nil); err == nil {
+		t.Fatal("dead rendezvous accepted")
+	}
+}
+
+func TestAdvertiseReachesPeers(t *testing.T) {
+	g, rl := testGroupCastOverlay(t, 300, 2)
+	rng := rand.New(rand.NewSource(3))
+	ctr := metrics.NewCounters()
+	adv, err := Advertise(g, 0, rl, DefaultAdvertiseConfig(), rng, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adv.Received(0) {
+		t.Fatal("rendezvous did not receive its own advertisement")
+	}
+	if adv.NumReceived() < 30 {
+		t.Fatalf("advertisement reached only %d peers", adv.NumReceived())
+	}
+	if adv.Messages < adv.NumReceived()-1 {
+		t.Fatalf("message count %d below receiver count %d", adv.Messages, adv.NumReceived())
+	}
+	if ctr.Get(CtrAdvertisement) != int64(adv.Messages) {
+		t.Fatal("counter disagrees with Messages")
+	}
+	// FromHop chains terminate at the rendezvous.
+	for p := range adv.FromHop {
+		path := reversePath(adv, p)
+		if path[len(path)-1] != 0 {
+			t.Fatalf("reverse path of %d does not reach rendezvous: %v", p, path)
+		}
+		if len(path) > DefaultAdvertiseConfig().TTL+1 {
+			t.Fatalf("reverse path longer than TTL allows: %v", path)
+		}
+	}
+}
+
+func TestNSSAFloodsEveryone(t *testing.T) {
+	g, _ := testGroupCastOverlay(t, 200, 4)
+	rng := rand.New(rand.NewSource(5))
+	adv, err := Advertise(g, 0, nil, AdvertiseConfig{Scheme: NSSA, TTL: 10}, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a generous TTL the flood must reach the whole connected overlay.
+	if adv.NumReceived() != g.NumAlive() {
+		t.Fatalf("NSSA reached %d of %d peers", adv.NumReceived(), g.NumAlive())
+	}
+}
+
+func TestSSACheaperThanNSSA(t *testing.T) {
+	// The headline claim behind Figure 11: SSA generates far fewer messages.
+	g, rl := testGroupCastOverlay(t, 500, 6)
+	cfg := DefaultAdvertiseConfig()
+	ssa, err := Advertise(g, 0, rl, cfg, rand.New(rand.NewSource(7)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nssa, err := Advertise(g, 0, nil, AdvertiseConfig{Scheme: NSSA, TTL: cfg.TTL}, rand.New(rand.NewSource(7)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(ssa.Messages) > 0.7*float64(nssa.Messages) {
+		t.Fatalf("SSA %d messages not well below NSSA %d", ssa.Messages, nssa.Messages)
+	}
+	if ssa.NumReceived() >= nssa.NumReceived() {
+		t.Fatalf("SSA reached %d >= NSSA %d (selective scheme should reach fewer)",
+			ssa.NumReceived(), nssa.NumReceived())
+	}
+}
+
+func TestSSARandomWorks(t *testing.T) {
+	g, _ := testPLODOverlay(t, 200, 8)
+	adv, err := Advertise(g, 3, nil, AdvertiseConfig{Scheme: SSARandom, TTL: 7, Fraction: 0.4},
+		rand.New(rand.NewSource(9)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.NumReceived() < 10 {
+		t.Fatalf("SSA-random reached only %d", adv.NumReceived())
+	}
+}
+
+func TestExactLevels(t *testing.T) {
+	uni := testUniverse(100, 10)
+	rl := ExactLevels(uni)
+	for i := 0; i < 100; i++ {
+		r := rl(i)
+		if r < 0.01 || r > 0.99 {
+			t.Fatalf("level %v out of clamp range", r)
+		}
+	}
+	// The strongest capacity class must have the highest level.
+	var maxCap peer.Capacity
+	var maxIdx int
+	for i, c := range uni.Caps {
+		if c > maxCap {
+			maxCap, maxIdx = c, i
+		}
+	}
+	for i, c := range uni.Caps {
+		if c < maxCap && rl(i) > rl(maxIdx) {
+			t.Fatalf("weaker peer %d has higher level than strongest", i)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package protocol
+
+import (
+	"sort"
+
+	"groupcast/internal/metrics"
+	"groupcast/internal/overlay"
+)
+
+// BackupSet holds a member's precomputed alternate access points — the
+// replication-based reliability extension the paper cites as future work
+// ("the GroupCast system can be augmented with mechanisms such as dynamic
+// replication [35] to enhance its failure resilience"). When the member's
+// tree parent fails, it fails over to a backup directly instead of paying a
+// ripple search.
+type BackupSet struct {
+	// Member is the peer the backups protect.
+	Member int
+	// AccessPoints are candidate new parents, nearest first. None of them
+	// lies in Member's own subtree at computation time.
+	AccessPoints []int
+}
+
+// ComputeBackups selects up to k backup access points for every member of
+// the tree: tree nodes outside the member's own subtree, ranked by estimated
+// distance. Refresh after repairs — subtree shapes change.
+func ComputeBackups(g *overlay.Graph, t *Tree, k int) map[int]BackupSet {
+	uni := g.Universe()
+	out := make(map[int]BackupSet, len(t.Members))
+	nodes := make([]int, 0, t.Size())
+	nodes = append(nodes, t.Rendezvous)
+	for c := range t.Parent {
+		nodes = append(nodes, c)
+	}
+	for m := range t.Members {
+		if m == t.Rendezvous {
+			continue
+		}
+		sub := subtreeSet(t, m)
+		cands := make([]int, 0, len(nodes))
+		for _, n := range nodes {
+			if _, own := sub[n]; !own && g.Alive(n) {
+				cands = append(cands, n)
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			da, db := uni.Dist(m, cands[a]), uni.Dist(m, cands[b])
+			if da != db {
+				return da < db
+			}
+			return cands[a] < cands[b]
+		})
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		out[m] = BackupSet{Member: m, AccessPoints: append([]int(nil), cands...)}
+	}
+	return out
+}
+
+func subtreeSet(t *Tree, root int) map[int]struct{} {
+	nodes := []int{root}
+	set := map[int]struct{}{root: {}}
+	for i := 0; i < len(nodes); i++ {
+		for _, c := range t.Children[nodes[i]] {
+			if _, dup := set[c]; !dup {
+				set[c] = struct{}{}
+				nodes = append(nodes, c)
+			}
+		}
+	}
+	return set
+}
+
+// FailoverResult summarizes a repair that uses backup access points.
+type FailoverResult struct {
+	RepairResult
+	// ViaBackup counts displaced members reattached through a backup access
+	// point (no search needed).
+	ViaBackup int
+}
+
+// RemoveFailedWithBackups behaves like RemoveFailed but tries each displaced
+// member's backup access points before falling back to the searching repair.
+// Backups outdated by the failure (dead, or pruned off the tree) are
+// skipped.
+func RemoveFailedWithBackups(g *overlay.Graph, adv *Advertisement, t *Tree, failed int,
+	backups map[int]BackupSet, cfg RepairConfig, ctr *metrics.Counters) FailoverResult {
+	var res FailoverResult
+	if failed == t.Rendezvous || !t.Contains(failed) {
+		return res
+	}
+	if ctr == nil {
+		ctr = metrics.NewCounters()
+	}
+	if len(cfg.SearchTTLs) == 0 {
+		cfg = DefaultRepairConfig()
+	}
+
+	parent := t.Parent[failed]
+	t.Children[parent] = removeInt(t.Children[parent], failed)
+	wasMember := make(map[int]bool)
+	for m := range t.Members {
+		wasMember[m] = true
+	}
+	removed := pruneSubtree(t, failed)
+
+	var displaced []int
+	for _, n := range removed {
+		if n != failed && g.Alive(n) && wasMember[n] {
+			displaced = append(displaced, n)
+		}
+	}
+	sort.Ints(displaced)
+	res.Displaced = len(displaced)
+
+	for _, m := range displaced {
+		if t.Contains(m) {
+			// Reattached already as a forwarder on an earlier member's path.
+			t.Members[m] = true
+			res.Reattached++
+			continue
+		}
+		attached := false
+		for _, ap := range backups[m].AccessPoints {
+			if !g.Alive(ap) || !t.Contains(ap) || ap == m {
+				continue
+			}
+			if err := t.attach(m, ap); err == nil {
+				t.Members[m] = true
+				res.JoinMessages++
+				ctr.Inc(CtrSubscribeJoin)
+				attached = true
+				res.ViaBackup++
+				break
+			}
+		}
+		if attached {
+			res.Reattached++
+			continue
+		}
+		// Fall back to the searching re-subscription.
+		ok := false
+		for _, ttl := range cfg.SearchTTLs {
+			sub := Subscribe(g, adv, t, m, SubscribeConfig{SearchTTL: ttl}, ctr)
+			res.SearchMessages += sub.SearchMessages
+			res.JoinMessages += sub.JoinMessages
+			if sub.OK {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			res.Reattached++
+		} else {
+			res.Dropped = append(res.Dropped, m)
+		}
+	}
+	return res
+}

@@ -1,0 +1,147 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestComputeBackups(t *testing.T) {
+	g, rl := testGroupCastOverlay(t, 400, 51)
+	rng := rand.New(rand.NewSource(52))
+	tree, _, _, err := BuildGroup(g, 0, rng.Perm(400)[:50], rl,
+		DefaultAdvertiseConfig(), DefaultSubscribeConfig(), rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backups := ComputeBackups(g, tree, 3)
+	uni := g.Universe()
+	for m, bs := range backups {
+		if m == tree.Rendezvous {
+			t.Fatal("rendezvous got backups")
+		}
+		if len(bs.AccessPoints) == 0 {
+			t.Fatalf("member %d has no backups", m)
+		}
+		if len(bs.AccessPoints) > 3 {
+			t.Fatalf("member %d has %d backups", m, len(bs.AccessPoints))
+		}
+		sub := subtreeSet(tree, m)
+		prev := -1.0
+		for _, ap := range bs.AccessPoints {
+			if _, own := sub[ap]; own {
+				t.Fatalf("backup %d of %d lies in its own subtree", ap, m)
+			}
+			if !tree.Contains(ap) {
+				t.Fatalf("backup %d of %d not on tree", ap, m)
+			}
+			d := uni.Dist(m, ap)
+			if prev >= 0 && d < prev {
+				t.Fatalf("backups of %d not sorted by distance", m)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestRemoveFailedWithBackupsPrefersBackups(t *testing.T) {
+	g, rl := testGroupCastOverlay(t, 600, 53)
+	rng := rand.New(rand.NewSource(54))
+	tree, adv, _, err := BuildGroup(g, 0, rng.Perm(600)[:80], rl,
+		DefaultAdvertiseConfig(), DefaultSubscribeConfig(), rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backups := ComputeBackups(g, tree, 4)
+	// Fail an interior node with member descendants.
+	var failed = -1
+	for nd, kids := range tree.Children {
+		if nd == 0 || len(kids) == 0 {
+			continue
+		}
+		hasMemberDesc := false
+		for s := range subtreeSet(tree, nd) {
+			if s != nd && tree.Members[s] {
+				hasMemberDesc = true
+				break
+			}
+		}
+		if hasMemberDesc {
+			failed = nd
+			break
+		}
+	}
+	if failed == -1 {
+		t.Skip("no interior node with member descendants")
+	}
+	g.RemovePeer(failed)
+	res := RemoveFailedWithBackups(g, adv, tree, failed, backups, DefaultRepairConfig(), nil)
+	if res.Displaced == 0 {
+		t.Skip("nothing displaced")
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("tree invalid after backup failover: %v", err)
+	}
+	if res.Reattached+len(res.Dropped) != res.Displaced {
+		t.Fatalf("accounting: displaced %d != reattached %d + dropped %d",
+			res.Displaced, res.Reattached, len(res.Dropped))
+	}
+	// Backups should carry most of the failover with zero search traffic
+	// for those members.
+	if res.ViaBackup == 0 {
+		t.Fatal("no member failed over via a backup")
+	}
+	if res.ViaBackup > res.Reattached {
+		t.Fatal("more backup failovers than reattachments")
+	}
+}
+
+func TestRemoveFailedWithBackupsRendezvousNoop(t *testing.T) {
+	g, rl := testGroupCastOverlay(t, 100, 55)
+	rng := rand.New(rand.NewSource(56))
+	tree, adv, _, err := BuildGroup(g, 0, rng.Perm(100)[:10], rl,
+		DefaultAdvertiseConfig(), DefaultSubscribeConfig(), rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RemoveFailedWithBackups(g, adv, tree, 0, nil, DefaultRepairConfig(), nil)
+	if res.Displaced != 0 || res.ViaBackup != 0 {
+		t.Fatalf("rendezvous failover did something: %+v", res)
+	}
+}
+
+func TestRemoveFailedWithBackupsStaleBackups(t *testing.T) {
+	// All backups dead: must fall back to searching repair.
+	g, rl := testGroupCastOverlay(t, 500, 57)
+	rng := rand.New(rand.NewSource(58))
+	tree, adv, _, err := BuildGroup(g, 0, rng.Perm(500)[:60], rl,
+		DefaultAdvertiseConfig(), DefaultSubscribeConfig(), rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed = -1
+	for nd, kids := range tree.Children {
+		if nd != 0 && len(kids) > 0 {
+			failed = nd
+			break
+		}
+	}
+	if failed == -1 {
+		t.Skip("no interior node")
+	}
+	// Fabricate stale backups pointing at the failed node itself.
+	stale := make(map[int]BackupSet)
+	for m := range tree.Members {
+		stale[m] = BackupSet{Member: m, AccessPoints: []int{failed}}
+	}
+	g.RemovePeer(failed)
+	res := RemoveFailedWithBackups(g, adv, tree, failed, stale, DefaultRepairConfig(), nil)
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("tree invalid: %v", err)
+	}
+	if res.ViaBackup != 0 {
+		t.Fatal("stale backup used")
+	}
+	if res.Displaced > 0 && res.Reattached == 0 && len(res.Dropped) == 0 {
+		t.Fatal("members unaccounted")
+	}
+}

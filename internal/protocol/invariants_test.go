@@ -1,0 +1,77 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRandomOperationSequencesPreserveInvariants drives a group through a
+// random interleaving of subscribes, failures (with both repair flavours)
+// and publishes, validating the tree after every operation.
+func TestRandomOperationSequencesPreserveInvariants(t *testing.T) {
+	f := func(seed int64, opsRaw []uint8) bool {
+		if len(opsRaw) > 60 {
+			opsRaw = opsRaw[:60]
+		}
+		g, rl := testGroupCastOverlay(t, 250, seed)
+		rng := rand.New(rand.NewSource(seed))
+		adv, err := Advertise(g, 0, rl, DefaultAdvertiseConfig(), rng, nil)
+		if err != nil {
+			return false
+		}
+		tree := NewTree(0)
+		backups := map[int]BackupSet{}
+		for _, op := range opsRaw {
+			switch op % 4 {
+			case 0, 1: // subscribe a random alive peer
+				alive := g.AlivePeers()
+				if len(alive) == 0 {
+					return false
+				}
+				s := alive[rng.Intn(len(alive))]
+				Subscribe(g, adv, tree, s, DefaultSubscribeConfig(), nil)
+			case 2: // fail a random non-root tree node, searching repair
+				if n, ok := randomTreeNode(tree, rng); ok && g.Alive(n) {
+					g.RemovePeer(n)
+					RemoveFailed(g, adv, tree, n, DefaultRepairConfig(), nil)
+				}
+			case 3: // fail with backup failover
+				backups = ComputeBackups(g, tree, 3)
+				if n, ok := randomTreeNode(tree, rng); ok && g.Alive(n) {
+					g.RemovePeer(n)
+					RemoveFailedWithBackups(g, adv, tree, n, backups, DefaultRepairConfig(), nil)
+				}
+			}
+			if err := tree.Validate(); err != nil {
+				t.Logf("tree invalid after op %d: %v", op, err)
+				return false
+			}
+			// Publishing from the root must reach exactly the members.
+			res, err := Publish(g, tree, 0, nil)
+			if err != nil {
+				return false
+			}
+			if len(res.Delays) != tree.NumMembers()-1 {
+				t.Logf("publish reached %d of %d members", len(res.Delays), tree.NumMembers()-1)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 8}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomTreeNode(t *Tree, rng *rand.Rand) (int, bool) {
+	nodes := make([]int, 0, len(t.Parent))
+	for c := range t.Parent {
+		nodes = append(nodes, c)
+	}
+	if len(nodes) == 0 {
+		return 0, false
+	}
+	return nodes[rng.Intn(len(nodes))], true
+}

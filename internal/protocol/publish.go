@@ -1,0 +1,94 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+
+	"groupcast/internal/metrics"
+	"groupcast/internal/overlay"
+)
+
+// PublishResult describes one payload dissemination over a spanning tree.
+type PublishResult struct {
+	Source int
+	// OverlayMessages is how many overlay-link transmissions the payload
+	// needed (one per tree edge: the tree is flooded from the source).
+	OverlayMessages int
+	// Delays maps every *member* (excluding the source) to the accumulated
+	// estimated latency of its tree path from the source, in ms.
+	Delays map[int]float64
+	// Reached counts all tree nodes the payload visited (members and
+	// forwarders).
+	Reached int
+}
+
+// ErrNotOnTree is returned when publishing from a peer outside the tree.
+var ErrNotOnTree = errors.New("protocol: source not on tree")
+
+// Publish simulates one group message sent by source: the payload floods the
+// spanning tree (each node forwards to every tree neighbour except the one
+// it arrived from), which is the paper's group communication model where any
+// participant may initiate messages. Latencies accumulate the universe's
+// distance estimates along tree paths.
+func Publish(g *overlay.Graph, t *Tree, source int, ctr *metrics.Counters) (*PublishResult, error) {
+	if !t.Contains(source) {
+		return nil, fmt.Errorf("%w: %d", ErrNotOnTree, source)
+	}
+	if ctr == nil {
+		ctr = metrics.NewCounters()
+	}
+	uni := g.Universe()
+	res := &PublishResult{
+		Source: source,
+		Delays: make(map[int]float64, t.NumMembers()),
+	}
+	type hop struct {
+		node  int
+		from  int
+		delay float64
+	}
+	queue := []hop{{node: source, from: -1}}
+	res.Reached = 1
+	for len(queue) > 0 {
+		h := queue[0]
+		queue = queue[1:]
+		for _, nb := range treeNeighbors(t, h.node) {
+			if nb == h.from {
+				continue
+			}
+			res.OverlayMessages++
+			ctr.Inc(CtrPayload)
+			d := h.delay + uni.Dist(h.node, nb)
+			res.Reached++
+			if t.Members[nb] {
+				res.Delays[nb] = d
+			}
+			queue = append(queue, hop{node: nb, from: h.node, delay: d})
+		}
+	}
+	return res, nil
+}
+
+// treeNeighbors lists a node's tree-adjacent nodes (parent and children).
+func treeNeighbors(t *Tree, node int) []int {
+	kids := t.Children[node]
+	out := make([]int, 0, len(kids)+1)
+	if node != t.Rendezvous {
+		out = append(out, t.Parent[node])
+	}
+	out = append(out, kids...)
+	return out
+}
+
+// MeanDelay returns the average member delay of the publish, or 0 when the
+// payload reached no other members.
+func (r *PublishResult) MeanDelay() float64 {
+	if len(r.Delays) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, d := range r.Delays {
+		sum += d
+	}
+	return sum / float64(len(r.Delays))
+}

@@ -1,0 +1,98 @@
+package protocol
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"groupcast/internal/metrics"
+)
+
+func TestPublishReachesAllMembers(t *testing.T) {
+	g, rl := testGroupCastOverlay(t, 400, 19)
+	rng := rand.New(rand.NewSource(20))
+	subs := rng.Perm(400)[:40]
+	tr, _, _, err := BuildGroup(g, 0, subs, rl, DefaultAdvertiseConfig(), DefaultSubscribeConfig(), rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := metrics.NewCounters()
+	res, err := Publish(g, tr, 0, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every member except the source must get a delay entry.
+	if len(res.Delays) != tr.NumMembers()-1 {
+		t.Fatalf("delays for %d members, want %d", len(res.Delays), tr.NumMembers()-1)
+	}
+	for m, d := range res.Delays {
+		if d <= 0 {
+			t.Fatalf("member %d delay %v", m, d)
+		}
+	}
+	// One overlay message per tree edge.
+	if res.OverlayMessages != tr.Size()-1 {
+		t.Fatalf("messages %d, want %d tree edges", res.OverlayMessages, tr.Size()-1)
+	}
+	if res.Reached != tr.Size() {
+		t.Fatalf("reached %d of %d tree nodes", res.Reached, tr.Size())
+	}
+	if ctr.Get(CtrPayload) != int64(res.OverlayMessages) {
+		t.Fatal("payload counter mismatch")
+	}
+	if res.MeanDelay() <= 0 {
+		t.Fatal("mean delay not positive")
+	}
+}
+
+func TestPublishFromArbitraryMember(t *testing.T) {
+	// Group communication: any member may initiate messages, not just the
+	// rendezvous.
+	g, rl := testGroupCastOverlay(t, 400, 21)
+	rng := rand.New(rand.NewSource(22))
+	subs := rng.Perm(400)[:30]
+	tr, _, _, err := BuildGroup(g, 0, subs, rl, DefaultAdvertiseConfig(), DefaultSubscribeConfig(), rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src = -1
+	for m := range tr.Members {
+		if m != 0 {
+			src = m
+			break
+		}
+	}
+	if src == -1 {
+		t.Skip("no non-root member")
+	}
+	res, err := Publish(g, tr, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Delays) != tr.NumMembers()-1 {
+		t.Fatalf("delays for %d members, want %d", len(res.Delays), tr.NumMembers()-1)
+	}
+	if _, hasSelf := res.Delays[src]; hasSelf {
+		t.Fatal("source has a delay to itself")
+	}
+}
+
+func TestPublishOffTree(t *testing.T) {
+	g, _ := testGroupCastOverlay(t, 50, 23)
+	tr := NewTree(0)
+	if _, err := Publish(g, tr, 7, nil); !errors.Is(err, ErrNotOnTree) {
+		t.Fatalf("err = %v, want ErrNotOnTree", err)
+	}
+}
+
+func TestPublishSingletonTree(t *testing.T) {
+	g, _ := testGroupCastOverlay(t, 50, 24)
+	tr := NewTree(0)
+	res, err := Publish(g, tr, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OverlayMessages != 0 || len(res.Delays) != 0 || res.MeanDelay() != 0 {
+		t.Fatalf("singleton publish = %+v", res)
+	}
+}

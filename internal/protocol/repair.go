@@ -1,0 +1,123 @@
+package protocol
+
+import (
+	"sort"
+
+	"groupcast/internal/metrics"
+	"groupcast/internal/overlay"
+)
+
+// RepairConfig tunes spanning tree repair after a node failure.
+type RepairConfig struct {
+	// SearchTTLs are the escalating ripple search depths displaced members
+	// try when re-subscribing (the paper's reliability extension [35]
+	// re-subscribes through the overlay).
+	SearchTTLs []int
+}
+
+// DefaultRepairConfig escalates the subscription search from the paper's
+// TTL 2 up to 6.
+func DefaultRepairConfig() RepairConfig {
+	return RepairConfig{SearchTTLs: []int{2, 4, 6}}
+}
+
+// RepairResult summarizes one tree repair.
+type RepairResult struct {
+	// Displaced is how many members sat in the failed peer's subtrees and
+	// had to re-subscribe.
+	Displaced int
+	// Reattached is how many of them rejoined the tree.
+	Reattached int
+	// Dropped lists members that could not rejoin and left the group.
+	Dropped []int
+	// SearchMessages counts the repair's lookup traffic.
+	SearchMessages int
+	// JoinMessages counts the re-subscription join traffic.
+	JoinMessages int
+}
+
+// RemoveFailed detaches a failed peer from the tree and re-subscribes every
+// member of its orphaned subtrees: first along reverse advertisement paths
+// if intact, otherwise through ripple searches with escalating TTLs. Members
+// that cannot rejoin are dropped from the group.
+//
+// The failed peer must already be removed from (or dead in) the overlay
+// graph. Failures of the rendezvous cannot be repaired (the group dies with
+// it) and return a zero result.
+func RemoveFailed(g *overlay.Graph, adv *Advertisement, t *Tree, failed int,
+	cfg RepairConfig, ctr *metrics.Counters) RepairResult {
+	var res RepairResult
+	if failed == t.Rendezvous || !t.Contains(failed) {
+		return res
+	}
+	if ctr == nil {
+		ctr = metrics.NewCounters()
+	}
+	if len(cfg.SearchTTLs) == 0 {
+		cfg = DefaultRepairConfig()
+	}
+
+	// Prune the failed node and everything below it; the subtree *members*
+	// re-subscribe from scratch (pure forwarders are only re-created on
+	// demand by the new join paths).
+	parent := t.Parent[failed]
+	t.Children[parent] = removeInt(t.Children[parent], failed)
+	wasMember := make(map[int]bool)
+	for m := range t.Members {
+		wasMember[m] = true
+	}
+	removed := pruneSubtree(t, failed)
+
+	var displaced []int
+	for _, n := range removed {
+		if n != failed && g.Alive(n) && wasMember[n] {
+			displaced = append(displaced, n)
+		}
+	}
+	sort.Ints(displaced) // deterministic re-subscription order
+	res.Displaced = len(displaced)
+
+	for _, m := range displaced {
+		ok := false
+		for _, ttl := range cfg.SearchTTLs {
+			sub := Subscribe(g, adv, t, m, SubscribeConfig{SearchTTL: ttl}, ctr)
+			res.SearchMessages += sub.SearchMessages
+			res.JoinMessages += sub.JoinMessages
+			if sub.OK {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			res.Reattached++
+		} else {
+			res.Dropped = append(res.Dropped, m)
+		}
+	}
+	return res
+}
+
+// pruneSubtree removes o's whole subtree from the tree and returns the
+// removed nodes (members and forwarders).
+func pruneSubtree(t *Tree, o int) []int {
+	nodes := []int{o}
+	for i := 0; i < len(nodes); i++ {
+		nodes = append(nodes, t.Children[nodes[i]]...)
+	}
+	for _, n := range nodes {
+		delete(t.Parent, n)
+		delete(t.Children, n)
+		delete(t.Members, n)
+	}
+	return nodes
+}
+
+func removeInt(s []int, v int) []int {
+	out := s[:0]
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRemoveFailedRepairsTree(t *testing.T) {
+	g, rl := testGroupCastOverlay(t, 600, 31)
+	rng := rand.New(rand.NewSource(32))
+	subs := rng.Perm(600)[:60]
+	tr, adv, _, err := BuildGroup(g, 0, subs, rl, DefaultAdvertiseConfig(), DefaultSubscribeConfig(), rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail an interior node (one with children).
+	var failed = -1
+	for n, kids := range tr.Children {
+		if n != 0 && len(kids) > 0 {
+			failed = n
+			break
+		}
+	}
+	if failed == -1 {
+		t.Skip("no interior node to fail")
+	}
+	membersBefore := tr.NumMembers()
+	wasMember := tr.Members[failed]
+	g.RemovePeer(failed)
+	res := RemoveFailed(g, adv, tr, failed, DefaultRepairConfig(), nil)
+	if tr.Contains(failed) {
+		t.Fatal("failed node still on tree")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("tree invalid after repair: %v", err)
+	}
+	expect := membersBefore - len(res.Dropped)
+	if wasMember {
+		expect--
+	}
+	if tr.NumMembers() != expect {
+		t.Fatalf("members %d, want %d (before %d, dropped %d)",
+			tr.NumMembers(), expect, membersBefore, len(res.Dropped))
+	}
+	if res.Displaced > 0 && res.Reattached == 0 && len(res.Dropped) == 0 {
+		t.Fatal("displaced members unaccounted")
+	}
+	// On a healthy overlay most displaced members must reattach.
+	if res.Displaced > 4 && float64(res.Reattached) < 0.7*float64(res.Displaced) {
+		t.Fatalf("only %d of %d displaced members reattached", res.Reattached, res.Displaced)
+	}
+}
+
+func TestRemoveFailedRendezvousIsNoop(t *testing.T) {
+	g, rl := testGroupCastOverlay(t, 100, 33)
+	rng := rand.New(rand.NewSource(34))
+	tr, adv, _, err := BuildGroup(g, 0, rng.Perm(100)[:10], rl,
+		DefaultAdvertiseConfig(), DefaultSubscribeConfig(), rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := tr.Size()
+	res := RemoveFailed(g, adv, tr, 0, DefaultRepairConfig(), nil)
+	if res.Displaced != 0 || tr.Size() != size {
+		t.Fatal("rendezvous removal mutated the tree")
+	}
+}
+
+func TestRemoveFailedOffTreeIsNoop(t *testing.T) {
+	g, rl := testGroupCastOverlay(t, 100, 35)
+	rng := rand.New(rand.NewSource(36))
+	tr, adv, _, err := BuildGroup(g, 0, rng.Perm(100)[:10], rl,
+		DefaultAdvertiseConfig(), DefaultSubscribeConfig(), rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var off = -1
+	for _, p := range g.AlivePeers() {
+		if !tr.Contains(p) {
+			off = p
+			break
+		}
+	}
+	if off == -1 {
+		t.Skip("everyone on tree")
+	}
+	size := tr.Size()
+	res := RemoveFailed(g, adv, tr, off, DefaultRepairConfig(), nil)
+	if res.Displaced != 0 || tr.Size() != size {
+		t.Fatal("off-tree removal mutated the tree")
+	}
+}
+
+func TestRemoveFailedLeafMember(t *testing.T) {
+	g, rl := testGroupCastOverlay(t, 300, 37)
+	rng := rand.New(rand.NewSource(38))
+	tr, adv, _, err := BuildGroup(g, 0, rng.Perm(300)[:30], rl,
+		DefaultAdvertiseConfig(), DefaultSubscribeConfig(), rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leaf = -1
+	for m := range tr.Members {
+		if m != 0 && len(tr.Children[m]) == 0 {
+			leaf = m
+			break
+		}
+	}
+	if leaf == -1 {
+		t.Skip("no leaf member")
+	}
+	g.RemovePeer(leaf)
+	res := RemoveFailed(g, adv, tr, leaf, DefaultRepairConfig(), nil)
+	if res.Displaced != 0 {
+		t.Fatalf("leaf removal displaced %d", res.Displaced)
+	}
+	if tr.Members[leaf] || tr.Contains(leaf) {
+		t.Fatal("leaf still on tree")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepairSurvivesCascadingFailures(t *testing.T) {
+	g, rl := testGroupCastOverlay(t, 800, 39)
+	rng := rand.New(rand.NewSource(40))
+	tr, adv, _, err := BuildGroup(g, 0, rng.Perm(800)[:80], rl,
+		DefaultAdvertiseConfig(), DefaultSubscribeConfig(), rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail 10 random non-rendezvous tree nodes one after another.
+	failedCount := 0
+	for _, e := range tr.Edges() {
+		if failedCount >= 10 {
+			break
+		}
+		n := e[0]
+		if n == 0 || !tr.Contains(n) || !g.Alive(n) {
+			continue
+		}
+		g.RemovePeer(n)
+		RemoveFailed(g, adv, tr, n, DefaultRepairConfig(), nil)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("tree invalid after failing %d: %v", n, err)
+		}
+		failedCount++
+	}
+	if failedCount == 0 {
+		t.Skip("no failable nodes")
+	}
+}

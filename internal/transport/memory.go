@@ -1,0 +1,173 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"groupcast/internal/wire"
+)
+
+// MemNetwork is an in-process message fabric: endpoints register by name and
+// exchange wire messages with configurable latency and loss. It lets tests
+// run hundreds of live nodes in one process deterministically enough while
+// exercising real concurrency.
+type MemNetwork struct {
+	mu        sync.Mutex
+	endpoints map[string]*MemEndpoint
+	latency   func(from, to string) time.Duration
+	dropRate  float64
+	rng       *rand.Rand
+	seq       int
+}
+
+// NewMemNetwork returns an empty fabric with zero latency and no loss.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{
+		endpoints: make(map[string]*MemEndpoint),
+		rng:       rand.New(rand.NewSource(1)),
+	}
+}
+
+// SetLatency installs a latency model (nil means instant delivery).
+func (n *MemNetwork) SetLatency(f func(from, to string) time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = f
+}
+
+// SetDropRate makes the fabric drop messages uniformly at the given rate
+// (failure injection for tests). Clamped to [0, 1].
+func (n *MemNetwork) SetDropRate(rate float64, seed int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	n.dropRate = rate
+	n.rng = rand.New(rand.NewSource(seed))
+}
+
+// Endpoint creates (or returns an error for a duplicate) named endpoint.
+func (n *MemNetwork) Endpoint(name string) (*MemEndpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.endpoints[name]; dup {
+		return nil, fmt.Errorf("transport: duplicate endpoint %q", name)
+	}
+	ep := &MemEndpoint{
+		net:  n,
+		addr: name,
+		// A deep inbox so slow receivers don't wedge the whole fabric; the
+		// node layer drains promptly.
+		inbox: make(chan wire.Message, 1024),
+	}
+	n.endpoints[name] = ep
+	return ep, nil
+}
+
+// NextEndpoint creates an endpoint with a generated unique name.
+func (n *MemNetwork) NextEndpoint() *MemEndpoint {
+	n.mu.Lock()
+	n.seq++
+	name := fmt.Sprintf("mem-%d", n.seq)
+	n.mu.Unlock()
+	ep, err := n.Endpoint(name)
+	if err != nil {
+		// Names are fabric-generated and unique; a collision is a bug.
+		panic(err)
+	}
+	return ep
+}
+
+// deliver routes one message, applying loss and latency.
+func (n *MemNetwork) deliver(from, to string, msg wire.Message) error {
+	n.mu.Lock()
+	dst, ok := n.endpoints[to]
+	drop := n.dropRate > 0 && n.rng.Float64() < n.dropRate
+	var delay time.Duration
+	if n.latency != nil {
+		delay = n.latency(from, to)
+	}
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownPeer, to)
+	}
+	if drop {
+		return nil // silently lost, as on a real network
+	}
+	if delay <= 0 {
+		dst.push(msg)
+		return nil
+	}
+	timer := time.AfterFunc(delay, func() { dst.push(msg) })
+	_ = timer
+	return nil
+}
+
+// MemEndpoint is one node's attachment to a MemNetwork.
+type MemEndpoint struct {
+	net   *MemNetwork
+	addr  string
+	inbox chan wire.Message
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Transport = (*MemEndpoint)(nil)
+
+// Addr returns the endpoint's fabric name.
+func (e *MemEndpoint) Addr() string { return e.addr }
+
+// Send routes a message through the fabric.
+func (e *MemEndpoint) Send(addr string, msg wire.Message) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	return e.net.deliver(e.addr, addr, msg)
+}
+
+// Recv returns the inbound stream.
+func (e *MemEndpoint) Recv() <-chan wire.Message { return e.inbox }
+
+// push enqueues an inbound message, dropping when the endpoint is closed or
+// the inbox is full (backpressure becomes loss, like UDP).
+func (e *MemEndpoint) push(msg wire.Message) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	select {
+	case e.inbox <- msg:
+	default:
+	}
+}
+
+// Close detaches the endpoint from the fabric.
+func (e *MemEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+
+	e.net.mu.Lock()
+	delete(e.net.endpoints, e.addr)
+	e.net.mu.Unlock()
+
+	e.mu.Lock()
+	close(e.inbox)
+	e.mu.Unlock()
+	return nil
+}

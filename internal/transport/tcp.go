@@ -1,0 +1,198 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"groupcast/internal/wire"
+)
+
+// TCPTransport is a gob-framed TCP implementation of Transport. Each
+// endpoint listens on its address; outbound connections are cached per
+// destination and redialled once on write failure.
+type TCPTransport struct {
+	ln    net.Listener
+	inbox chan wire.Message
+
+	mu      sync.Mutex
+	conns   map[string]*tcpConn
+	inbound map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// ListenTCP starts an endpoint on addr ("host:port"; ":0" picks a free
+// port).
+func ListenTCP(addr string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	t := &TCPTransport{
+		ln:      ln,
+		inbox:   make(chan wire.Message, 1024),
+		conns:   make(map[string]*tcpConn),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address.
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// Recv returns the inbound stream.
+func (t *TCPTransport) Recv() <-chan wire.Message { return t.inbox }
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var msg wire.Message
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case t.inbox <- msg:
+		default:
+			// Inbox full: shed load rather than stall the peer.
+		}
+	}
+}
+
+// Send writes msg to addr over a cached connection, dialling on demand and
+// retrying once with a fresh connection on failure.
+func (t *TCPTransport) Send(addr string, msg wire.Message) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	c := t.conns[addr]
+	t.mu.Unlock()
+
+	if c != nil {
+		if err := c.encode(msg); err == nil {
+			return nil
+		}
+		t.dropConn(addr, c)
+	}
+	c, err := t.dial(addr)
+	if err != nil {
+		return err
+	}
+	if err := c.encode(msg); err != nil {
+		t.dropConn(addr, c)
+		return fmt.Errorf("transport: send to %s: %w", addr, err)
+	}
+	return nil
+}
+
+func (t *TCPTransport) dial(addr string) (*tcpConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	c := &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return nil, ErrClosed
+	}
+	if old, dup := t.conns[addr]; dup {
+		// A concurrent dial won; keep the existing connection.
+		t.mu.Unlock()
+		conn.Close()
+		return old, nil
+	}
+	t.conns[addr] = c
+	t.mu.Unlock()
+	return c, nil
+}
+
+func (t *TCPTransport) dropConn(addr string, c *tcpConn) {
+	t.mu.Lock()
+	if t.conns[addr] == c {
+		delete(t.conns, addr)
+	}
+	t.mu.Unlock()
+	c.conn.Close()
+}
+
+func (c *tcpConn) encode(msg wire.Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enc.Encode(&msg)
+}
+
+// Close shuts the listener and all cached connections and closes the inbox.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = map[string]*tcpConn{}
+	inbound := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		inbound = append(inbound, c)
+	}
+	t.mu.Unlock()
+
+	err := t.ln.Close()
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	for _, c := range inbound {
+		c.Close()
+	}
+	t.wg.Wait()
+	close(t.inbox)
+	return err
+}

@@ -1,0 +1,31 @@
+// Package transport provides the message transports of the live GroupCast
+// runtime: a latency-modelled in-memory network for tests and simulations on
+// one machine, and a TCP transport (gob-framed) for real deployments.
+package transport
+
+import (
+	"errors"
+
+	"groupcast/internal/wire"
+)
+
+// Transport moves wire messages between nodes. Implementations must be safe
+// for concurrent Send calls; Recv returns a single channel owned by the
+// transport, closed by Close.
+type Transport interface {
+	// Addr returns this endpoint's stable address.
+	Addr() string
+	// Send delivers msg to the endpoint at addr (asynchronously; delivery is
+	// best-effort and errors indicate immediate local failure only).
+	Send(addr string, msg wire.Message) error
+	// Recv is the stream of inbound messages.
+	Recv() <-chan wire.Message
+	// Close releases the endpoint. Subsequent Sends fail.
+	Close() error
+}
+
+// Errors shared by transports.
+var (
+	ErrClosed      = errors.New("transport: endpoint closed")
+	ErrUnknownPeer = errors.New("transport: unknown destination")
+)

@@ -1,0 +1,272 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"groupcast/internal/wire"
+)
+
+func recvOne(t *testing.T, tr Transport, timeout time.Duration) wire.Message {
+	t.Helper()
+	select {
+	case msg, ok := <-tr.Recv():
+		if !ok {
+			t.Fatal("inbox closed")
+		}
+		return msg
+	case <-time.After(timeout):
+		t.Fatal("timed out waiting for message")
+	}
+	return wire.Message{}
+}
+
+func TestMemNetworkBasics(t *testing.T) {
+	n := NewMemNetwork()
+	a := n.NextEndpoint()
+	b := n.NextEndpoint()
+	if a.Addr() == b.Addr() {
+		t.Fatal("duplicate generated addresses")
+	}
+	msg := wire.Message{Type: wire.TProbe, From: wire.PeerInfo{Addr: a.Addr()}}
+	if err := a.Send(b.Addr(), msg); err != nil {
+		t.Fatal(err)
+	}
+	got := recvOne(t, b, time.Second)
+	if got.Type != wire.TProbe || got.From.Addr != a.Addr() {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestMemNetworkNamedEndpointsAndDuplicates(t *testing.T) {
+	n := NewMemNetwork()
+	if _, err := n.Endpoint("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Endpoint("x"); err == nil {
+		t.Fatal("duplicate endpoint accepted")
+	}
+}
+
+func TestMemNetworkUnknownDestination(t *testing.T) {
+	n := NewMemNetwork()
+	a := n.NextEndpoint()
+	if err := a.Send("nowhere", wire.Message{}); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMemNetworkLatency(t *testing.T) {
+	n := NewMemNetwork()
+	n.SetLatency(func(from, to string) time.Duration { return 30 * time.Millisecond })
+	a := n.NextEndpoint()
+	b := n.NextEndpoint()
+	start := time.Now()
+	if err := a.Send(b.Addr(), wire.Message{Type: wire.TProbe}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b, time.Second)
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("delivered in %v despite 30ms latency", elapsed)
+	}
+}
+
+func TestMemNetworkDrops(t *testing.T) {
+	n := NewMemNetwork()
+	n.SetDropRate(1.0, 1)
+	a := n.NextEndpoint()
+	b := n.NextEndpoint()
+	if err := a.Send(b.Addr(), wire.Message{Type: wire.TProbe}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b.Recv():
+		t.Fatal("message delivered despite 100% drop rate")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestMemEndpointClose(t *testing.T) {
+	n := NewMemNetwork()
+	a := n.NextEndpoint()
+	b := n.NextEndpoint()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal("double close errored")
+	}
+	if err := b.Send(a.Addr(), wire.Message{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close err = %v", err)
+	}
+	// Sending to a departed endpoint reports unknown.
+	if err := a.Send(b.Addr(), wire.Message{}); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err = %v", err)
+	}
+	// Inbox must be closed.
+	if _, ok := <-b.Recv(); ok {
+		t.Fatal("closed endpoint inbox still open")
+	}
+}
+
+func TestTCPTransportRoundTrip(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	msg := wire.Message{
+		Type:    wire.TAdvertise,
+		From:    wire.PeerInfo{Addr: a.Addr(), Capacity: 100, Coord: []float64{1, 2}},
+		GroupID: "demo",
+		TTL:     7,
+		Data:    []byte("hello"),
+	}
+	if err := a.Send(b.Addr(), msg); err != nil {
+		t.Fatal(err)
+	}
+	got := recvOne(t, b, 2*time.Second)
+	if got.GroupID != "demo" || string(got.Data) != "hello" || got.From.Capacity != 100 {
+		t.Fatalf("got %+v", got)
+	}
+	// Reply over the reverse direction (separate connection).
+	if err := b.Send(got.From.Addr, wire.Message{Type: wire.TProbeResp}); err != nil {
+		t.Fatal(err)
+	}
+	back := recvOne(t, a, 2*time.Second)
+	if back.Type != wire.TProbeResp {
+		t.Fatalf("got %+v", back)
+	}
+}
+
+func TestTCPTransportConnectionReuseAndMany(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	const count = 200
+	for i := 0; i < count; i++ {
+		if err := a.Send(b.Addr(), wire.Message{Type: wire.TPayload, MsgID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make(map[uint64]bool)
+	deadline := time.After(5 * time.Second)
+	for len(seen) < count {
+		select {
+		case msg := <-b.Recv():
+			seen[msg.MsgID] = true
+		case <-deadline:
+			t.Fatalf("received %d of %d", len(seen), count)
+		}
+	}
+}
+
+func TestTCPTransportSendAfterClose(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal("double close errored")
+	}
+	if err := a.Send("127.0.0.1:1", wire.Message{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPTransportDialFailure(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// A port nobody listens on.
+	if err := a.Send("127.0.0.1:1", wire.Message{}); err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+}
+
+func TestWireTypeStrings(t *testing.T) {
+	types := []wire.Type{
+		wire.TProbe, wire.TProbeResp, wire.TConnect, wire.TBackConnect,
+		wire.TBackAccept, wire.TAdvertise, wire.TJoin, wire.TSearch,
+		wire.TSearchHit, wire.TPayload, wire.TLeave, wire.THeartbeat,
+		wire.THeartbeatAck,
+	}
+	seen := make(map[string]bool)
+	for _, ty := range types {
+		s := ty.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad or duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+	if wire.Type(99).String() == "" {
+		t.Fatal("unknown type has empty name")
+	}
+}
+
+func TestTCPTransportReconnectsAfterPeerRestart(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB := b.Addr()
+	if err := a.Send(addrB, wire.Message{Type: wire.TProbe}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b, 2*time.Second)
+	// Kill b; a's cached connection is now dead.
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Restart a listener on the same address.
+	b2, err := ListenTCP(addrB)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addrB, err)
+	}
+	defer b2.Close()
+	// Writes to the dead cached connection may "succeed" until the OS
+	// reports the reset, at which point Send drops the connection and
+	// redials. Keep sending until one arrives.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_ = a.Send(addrB, wire.Message{Type: wire.TPayload})
+		select {
+		case msg, ok := <-b2.Recv():
+			if !ok {
+				t.Fatal("inbox closed")
+			}
+			if msg.Type != wire.TPayload {
+				t.Fatalf("got %+v", msg)
+			}
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no message arrived after peer restart")
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Package viz renders overlays and spanning trees as Graphviz DOT documents
+// so experiment outputs can be inspected visually (dot -Tsvg overlay.dot).
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"groupcast/internal/overlay"
+	"groupcast/internal/protocol"
+)
+
+// OverlayDOT writes the overlay graph as an undirected DOT document. Peers
+// are shaded by capacity class; edge direction is collapsed (an i→j or j→i
+// forwarding link renders as one edge).
+func OverlayDOT(w io.Writer, g *overlay.Graph, name string) error {
+	if name == "" {
+		name = "overlay"
+	}
+	uni := g.Universe()
+	if _, err := fmt.Fprintf(w, "graph %q {\n  node [shape=circle, style=filled];\n", name); err != nil {
+		return err
+	}
+	alive := g.AlivePeers()
+	sort.Ints(alive)
+	for _, i := range alive {
+		fmt.Fprintf(w, "  n%d [label=\"%d\", fillcolor=%q];\n",
+			i, i, capacityColor(float64(uni.Caps[i])))
+	}
+	seen := make(map[[2]int]struct{})
+	for _, i := range alive {
+		nbrs := g.Neighbors(i)
+		sort.Ints(nbrs)
+		for _, j := range nbrs {
+			a, b := i, j
+			if a > b {
+				a, b = b, a
+			}
+			key := [2]int{a, b}
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			fmt.Fprintf(w, "  n%d -- n%d;\n", a, b)
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// TreeDOT writes a spanning tree as a directed DOT document rooted at the
+// rendezvous. Members are filled, forwarders hollow.
+func TreeDOT(w io.Writer, t *protocol.Tree, name string) error {
+	if name == "" {
+		name = "tree"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=circle];\n", name); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  n%d [label=\"%d\", shape=doublecircle, style=filled, fillcolor=gold];\n",
+		t.Rendezvous, t.Rendezvous)
+	nodes := make([]int, 0, len(t.Parent))
+	for c := range t.Parent {
+		nodes = append(nodes, c)
+	}
+	sort.Ints(nodes)
+	for _, c := range nodes {
+		if t.Members[c] {
+			fmt.Fprintf(w, "  n%d [label=\"%d\", style=filled, fillcolor=lightblue];\n", c, c)
+		} else {
+			fmt.Fprintf(w, "  n%d [label=\"%d\"];\n", c, c)
+		}
+	}
+	for _, c := range nodes {
+		fmt.Fprintf(w, "  n%d -> n%d;\n", t.Parent[c], c)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// capacityColor maps Table-1 capacity levels onto a shade ramp.
+func capacityColor(capacity float64) string {
+	switch {
+	case capacity >= 10000:
+		return "firebrick"
+	case capacity >= 1000:
+		return "orange"
+	case capacity >= 100:
+		return "gold"
+	case capacity >= 10:
+		return "palegreen"
+	default:
+		return "lightgray"
+	}
+}

@@ -1,0 +1,110 @@
+package viz
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"groupcast/internal/overlay"
+	"groupcast/internal/peer"
+	"groupcast/internal/protocol"
+)
+
+func testOverlay(t *testing.T) (*overlay.Graph, protocol.ResourceLevels) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	n := 60
+	caps := peer.MustTable1Sampler().SampleN(n, rng)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+		ys[i] = rng.Float64() * 100
+	}
+	uni := &overlay.Universe{
+		Caps: caps,
+		Dist: func(i, j int) float64 {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			return math.Sqrt(dx*dx + dy*dy)
+		},
+	}
+	g, b, err := overlay.BuildGroupCast(uni, overlay.DefaultBootstrapConfig(), rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, b.ResourceLevel
+}
+
+func TestOverlayDOT(t *testing.T) {
+	g, _ := testOverlay(t)
+	var buf bytes.Buffer
+	if err := OverlayDOT(&buf, g, "demo"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "graph \"demo\" {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatalf("not a DOT document:\n%s", out[:min(200, len(out))])
+	}
+	// One node statement per alive peer.
+	if got := strings.Count(out, "fillcolor="); got < g.NumAlive() {
+		t.Fatalf("node statements %d < alive %d", got, g.NumAlive())
+	}
+	// Undirected edges, deduplicated: count must be at most directed/1 and
+	// at least directed/2.
+	edges := strings.Count(out, " -- ")
+	if edges == 0 || edges > g.NumEdges() {
+		t.Fatalf("edge statements %d vs %d directed edges", edges, g.NumEdges())
+	}
+	// Default name.
+	buf.Reset()
+	if err := OverlayDOT(&buf, g, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "graph \"overlay\"") {
+		t.Fatal("default name missing")
+	}
+}
+
+func TestTreeDOT(t *testing.T) {
+	g, levels := testOverlay(t)
+	rng := rand.New(rand.NewSource(2))
+	tree, _, _, err := protocol.BuildGroup(g, 0, rng.Perm(60)[:15], levels,
+		protocol.DefaultAdvertiseConfig(), protocol.DefaultSubscribeConfig(), rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := TreeDOT(&buf, tree, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "digraph \"tree\"") {
+		t.Fatalf("not a digraph:\n%s", out[:min(200, len(out))])
+	}
+	if !strings.Contains(out, "doublecircle") {
+		t.Fatal("rendezvous not highlighted")
+	}
+	// One edge per tree child.
+	if got := strings.Count(out, " -> "); got != tree.Size()-1 {
+		t.Fatalf("edges %d, want %d", got, tree.Size()-1)
+	}
+}
+
+func TestCapacityColorCoversClasses(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range []float64{1, 10, 100, 1000, 10000} {
+		seen[capacityColor(c)] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("capacity classes collapse to %d colours", len(seen))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

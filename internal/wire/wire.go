@@ -1,0 +1,119 @@
+// Package wire defines the message vocabulary of the live GroupCast runtime
+// (internal/node): peer identification, probing, connection setup, epoch
+// heartbeats, group advertisement, subscription, and payload dissemination.
+// Messages are transport-agnostic values; the TCP transport encodes them
+// with encoding/gob.
+package wire
+
+import (
+	"fmt"
+	"time"
+)
+
+// Type enumerates the protocol messages.
+type Type int
+
+// Protocol message types.
+const (
+	TProbe Type = iota + 1
+	TProbeResp
+	TConnect      // forward-connection notification (i adds k as out-neighbour)
+	TBackConnect  // back-connection request (k decides with PB_k)
+	TBackAccept   // back-connection accepted
+	TAdvertise    // group advertisement (SSA/NSSA)
+	TJoin         // subscription travelling a reverse path
+	TJoinAck      // parent's confirmation of a direct join
+	TSearch       // ripple search for an advertisement holder
+	TSearchHit    // search response naming an access point
+	TPayload      // group communication payload
+	TBeacon       // rendezvous-rooted tree heartbeat flowing down the tree
+	TLeave        // graceful neighbour departure
+	THeartbeat    // epoch keepalive
+	THeartbeatAck // keepalive response
+)
+
+// String names the message type.
+func (t Type) String() string {
+	switch t {
+	case TProbe:
+		return "probe"
+	case TProbeResp:
+		return "probe-resp"
+	case TConnect:
+		return "connect"
+	case TBackConnect:
+		return "back-connect"
+	case TBackAccept:
+		return "back-accept"
+	case TAdvertise:
+		return "advertise"
+	case TJoin:
+		return "join"
+	case TJoinAck:
+		return "join-ack"
+	case TSearch:
+		return "search"
+	case TSearchHit:
+		return "search-hit"
+	case TPayload:
+		return "payload"
+	case TBeacon:
+		return "beacon"
+	case TLeave:
+		return "leave"
+	case THeartbeat:
+		return "heartbeat"
+	case THeartbeatAck:
+		return "heartbeat-ack"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// PeerInfo is the identifier quadruplet of Section 3.3:
+// ⟨address, coordinate, capacity⟩ (address subsumes IP + port).
+type PeerInfo struct {
+	Addr     string
+	Coord    []float64
+	Capacity float64
+	// CoordErr is the sender's Vivaldi error estimate when live coordinate
+	// measurement is enabled (0 for static coordinates).
+	CoordErr float64
+}
+
+// Message is the single envelope of the live protocol. Fields are used
+// per-type; unused fields stay zero.
+type Message struct {
+	Type Type
+	// From is the sender's info (always set).
+	From PeerInfo
+	// ReqID correlates probe/search requests with responses.
+	ReqID uint64
+
+	// Neighbors carries a probe response's neighbour list.
+	Neighbors []PeerInfo
+
+	// GroupID names the communication group for group-scoped messages.
+	GroupID string
+	// Rendezvous identifies the group's rendezvous point on advertisements.
+	Rendezvous PeerInfo
+	// TTL bounds advertisement and search propagation.
+	TTL int
+	// Origin is the search originator (search hits are sent straight back).
+	Origin PeerInfo
+	// Subscriber is the peer a join is being made for.
+	Subscriber PeerInfo
+
+	// MsgID deduplicates flooded payloads and advertisements.
+	MsgID uint64
+	// Data is the application payload.
+	Data []byte
+
+	// SentAt timestamps heartbeats for RTT measurement.
+	SentAt time.Time
+
+	// Path carries a tree root path (addresses from a node up to the
+	// rendezvous) on join acks and search hits, letting re-joining members
+	// avoid attaching inside their own subtree.
+	Path []string
+}
