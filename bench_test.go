@@ -391,3 +391,42 @@ func BenchmarkLiveClusterPublish(b *testing.B) {
 	}
 	b.ReportMetric(float64(members), "members")
 }
+
+// --- Parallel experiment pipeline ----------------------------------------
+
+// benchSweepConfig is a reduced sweep whose cells are numerous enough (2
+// sizes x 2 topologies x 4 combos x 4 groups) to exercise both fan-out
+// levels of the worker pool.
+func benchSweepConfig(workers int) experiments.SweepConfig {
+	return experiments.SweepConfig{
+		Sizes:              []int{400, 600},
+		GroupsPerOverlay:   4,
+		SubscriberFraction: 0.1,
+		Seed:               1,
+		UseCoordinates:     false,
+		Topologies:         2,
+		Workers:            workers,
+	}
+}
+
+// BenchmarkSweepSerial is the workers=1 reference execution of the sweep.
+func BenchmarkSweepSerial(b *testing.B) {
+	cfg := benchSweepConfig(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel runs the identical sweep with one worker per CPU;
+// the ratio to BenchmarkSweepSerial is the pipeline's parallel speedup
+// (meaningful only on multi-core hosts — on one CPU the two coincide).
+func BenchmarkSweepParallel(b *testing.B) {
+	cfg := benchSweepConfig(0) // DefaultWorkers: GOMAXPROCS
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

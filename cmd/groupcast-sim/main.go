@@ -21,6 +21,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -39,13 +40,14 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("groupcast-sim", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "experiment: table1, fig1..fig17, sweep, ablation-{twolayer,backup,churn,fraction}, ablations, dot, timed, all")
-		seed   = fs.Int64("seed", 1, "random seed")
-		sizes  = fs.String("sizes", "1000,2000,4000,8000,16000,32000", "sweep overlay sizes")
-		groups = fs.Int("groups", 10, "groups per overlay in the sweep")
-		frac   = fs.Float64("frac", 0.1, "subscriber fraction per group")
-		exact  = fs.Bool("exact", false, "use exact underlay latencies instead of GNP coordinates")
-		topos  = fs.Int("topos", 1, "independent IP topologies to average each sweep cell over (paper: 10)")
+		exp     = fs.String("exp", "all", "experiment: table1, fig1..fig17, sweep, ablation-{twolayer,backup,churn,fraction}, ablations, dot, timed, all")
+		seed    = fs.Int64("seed", 1, "random seed")
+		sizes   = fs.String("sizes", "1000,2000,4000,8000,16000,32000", "sweep overlay sizes")
+		groups  = fs.Int("groups", 10, "groups per overlay in the sweep")
+		frac    = fs.Float64("frac", 0.1, "subscriber fraction per group")
+		exact   = fs.Bool("exact", false, "use exact underlay latencies instead of GNP coordinates")
+		topos   = fs.Int("topos", 1, "independent IP topologies to average each sweep cell over (paper: 10)")
+		workers = fs.Int("workers", runtime.NumCPU(), "worker goroutines for the experiment pipeline (1 = serial; output is identical at any count)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,10 +64,15 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	sweepCfg.Sizes = parsed
+	sweepCfg.Workers = *workers
+
+	if *exp == "all" {
+		return experiments.RunAll(w, sweepCfg, *seed, *workers)
+	}
 
 	needsSweep := func(name string) bool {
 		switch name {
-		case "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "sweep", "all":
+		case "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "sweep":
 			return true
 		}
 		return false
@@ -111,53 +118,29 @@ func run(args []string, w io.Writer) error {
 		case "fig17":
 			experiments.Figure17(w, rows)
 		case "ablation-twolayer":
-			return experiments.AblationTwoLayer(w, *seed)
+			return experiments.AblationTwoLayer(w, *seed, *workers)
 		case "ablation-backup":
-			return experiments.AblationBackupFailover(w, *seed)
+			return experiments.AblationBackupFailover(w, *seed, *workers)
 		case "ablation-churn":
 			return experiments.AblationChurn(w, *seed)
 		case "ablation-fraction":
-			return experiments.AblationFraction(w, *seed)
+			return experiments.AblationFraction(w, *seed, *workers)
 		case "dot":
 			return writeDOT(w, *seed)
 		case "timed":
-			return experiments.TimedBuildReport(w, 5000, *seed)
+			return experiments.TimedBuildReport(w, 5000, *seed, *workers)
 		case "ablations":
-			if err := experiments.AblationTwoLayer(w, *seed); err != nil {
-				return err
-			}
-			if err := experiments.AblationBackupFailover(w, *seed); err != nil {
-				return err
-			}
-			if err := experiments.AblationFraction(w, *seed); err != nil {
-				return err
-			}
-			return experiments.AblationChurn(w, *seed)
+			return experiments.RunAblations(w, *seed, *workers)
 		case "sweep":
-			experiments.Figure11(w, rows)
-			experiments.Figure12(w, rows)
-			experiments.Figure13(w, rows)
-			experiments.Figure14(w, rows)
-			experiments.Figure15(w, rows)
-			experiments.Figure16(w, rows)
-			experiments.Figure17(w, rows)
+			for _, fig := range experiments.SweepFigures() {
+				fig(w, rows)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
 		return nil
 	}
 
-	if *exp == "all" {
-		names := []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
-			"fig7", "fig8", "fig9", "fig10", "sweep"}
-		for _, name := range names {
-			if err := runOne(name); err != nil {
-				return err
-			}
-			fmt.Fprintln(w)
-		}
-		return nil
-	}
 	return runOne(*exp)
 }
 

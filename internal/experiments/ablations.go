@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math/rand"
@@ -12,21 +13,59 @@ import (
 	"groupcast/internal/sim"
 )
 
+// RunAblations runs every ablation study concurrently (bounded by workers;
+// 0 = one per CPU) and writes their reports to w in a fixed order. Each
+// ablation renders into a private buffer, so the interleaving of workers
+// never reaches the output.
+func RunAblations(w io.Writer, seed int64, workers int) error {
+	runs := []func(io.Writer) error{
+		func(buf io.Writer) error { return AblationTwoLayer(buf, seed, workers) },
+		func(buf io.Writer) error { return AblationBackupFailover(buf, seed, workers) },
+		func(buf io.Writer) error { return AblationFraction(buf, seed, workers) },
+		func(buf io.Writer) error { return AblationChurn(buf, seed) },
+	}
+	bufs, err := mapOrdered(workers, len(runs), func(i int) (*bytes.Buffer, error) {
+		var buf bytes.Buffer
+		if err := runs[i](&buf); err != nil {
+			return nil, err
+		}
+		return &buf, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, buf := range bufs {
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // AblationTwoLayer compares the flat utility-aware overlay against the
 // supernode two-layer architecture the paper sketches in Section 6, on
-// lookup behaviour and the application metrics.
-func AblationTwoLayer(w io.Writer, seed int64) error {
+// lookup behaviour and the application metrics. The two overlay builds run
+// concurrently (bounded by workers).
+func AblationTwoLayer(w io.Writer, seed int64, workers int) error {
 	const n = 2000
 	p, err := BuildPipeline(DefaultPipelineConfig(n, seed))
 	if err != nil {
 		return err
 	}
-	flat, flatLevels, _, err := p.GroupCastOverlay(seed)
-	if err != nil {
-		return err
-	}
-	two, err := overlay.BuildTwoLayer(p.Uni, overlay.DefaultTwoLayerConfig(), rand.New(rand.NewSource(seed)))
-	if err != nil {
+	var (
+		flat, two  *overlay.Graph
+		flatLevels protocol.ResourceLevels
+	)
+	if err := inParallel(workers,
+		func() (err error) {
+			flat, flatLevels, _, err = p.GroupCastOverlay(seed)
+			return err
+		},
+		func() (err error) {
+			two, err = overlay.BuildTwoLayer(p.Uni, overlay.DefaultTwoLayerConfig(), rand.New(rand.NewSource(seed)))
+			return err
+		},
+	); err != nil {
 		return err
 	}
 	twoLevels := protocol.ExactLevels(p.Uni)
@@ -69,8 +108,10 @@ func AblationTwoLayer(w io.Writer, seed int64) error {
 
 // AblationBackupFailover compares tree repair with precomputed backup access
 // points (the replication extension [35]) against the searching repair, over
-// a burst of interior-node failures.
-func AblationBackupFailover(w io.Writer, seed int64) error {
+// a burst of interior-node failures. The two repair modes run concurrently
+// (bounded by workers), each on its own overlay copy — repair mutates the
+// graph — rendering into per-mode buffers emitted in fixed order.
+func AblationBackupFailover(w io.Writer, seed int64, workers int) error {
 	const n = 2000
 	const failures = 20
 	p, err := BuildPipeline(DefaultPipelineConfig(n, seed))
@@ -81,17 +122,19 @@ func AblationBackupFailover(w io.Writer, seed int64) error {
 	fmt.Fprintf(w, "%-10s %-12s %-12s %-12s %-12s\n",
 		"mode", "reattached", "dropped", "search msgs", "join msgs")
 
-	for _, mode := range []string{"search", "backup"} {
+	modes := []string{"search", "backup"}
+	lines, err := mapOrdered(workers, len(modes), func(mi int) (string, error) {
+		mode := modes[mi]
 		g, levels, _, err := p.GroupCastOverlay(seed)
 		if err != nil {
-			return err
+			return "", err
 		}
 		rng := rand.New(rand.NewSource(seed + 9))
 		subs := rng.Perm(n)[:n/10]
 		tree, adv, _, err := protocol.BuildGroup(g, 0, subs, levels,
 			protocol.DefaultAdvertiseConfig(), protocol.DefaultSubscribeConfig(), rng, nil)
 		if err != nil {
-			return err
+			return "", err
 		}
 		var backups map[int]protocol.BackupSet
 		if mode == "backup" {
@@ -124,8 +167,16 @@ func AblationBackupFailover(w io.Writer, seed int64) error {
 			}
 			failed++
 		}
-		fmt.Fprintf(w, "%-10s %-12d %-12d %-12d %-12d\n",
-			mode, reattached, dropped, searchMsgs, joinMsgs)
+		return fmt.Sprintf("%-10s %-12d %-12d %-12d %-12d\n",
+			mode, reattached, dropped, searchMsgs, joinMsgs), nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, line := range lines {
+		if _, err := io.WriteString(w, line); err != nil {
+			return err
+		}
 	}
 	return nil
 }

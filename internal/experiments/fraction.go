@@ -21,8 +21,11 @@ type FractionRow struct {
 // SSAParameterStudy sweeps the SSA forwarding fraction and TTL on one
 // GroupCast overlay — the design-choice study behind the paper's fixed
 // "pre-specified fraction" (we default to 0.4) and TTL. Averaged over
-// `groups` rendezvous points.
-func SSAParameterStudy(n int, fractions []float64, ttls []int, groups int, seed int64) ([]FractionRow, error) {
+// `groups` rendezvous points. The (TTL, fraction) cells fan out across
+// `workers` goroutines (0 = one per CPU) over the shared read-only overlay;
+// each cell's RNG is seeded from its grid coordinates, so the result is
+// identical at any worker count.
+func SSAParameterStudy(n int, fractions []float64, ttls []int, groups int, seed int64, workers int) ([]FractionRow, error) {
 	p, err := BuildPipeline(DefaultPipelineConfig(n, seed))
 	if err != nil {
 		return nil, err
@@ -32,50 +35,48 @@ func SSAParameterStudy(n int, fractions []float64, ttls []int, groups int, seed 
 		return nil, err
 	}
 	alive := g.AlivePeers()
-	var rows []FractionRow
-	for _, ttl := range ttls {
-		for _, frac := range fractions {
-			rng := rand.New(rand.NewSource(seed + int64(ttl*1000) + int64(frac*100)))
-			acfg := protocol.AdvertiseConfig{Scheme: protocol.SSA, TTL: ttl, Fraction: frac}
-			row := FractionRow{Fraction: frac, TTL: ttl}
-			for gi := 0; gi < groups; gi++ {
-				rdv := alive[rng.Intn(len(alive))]
-				subs := make([]int, 0, n/10)
-				for _, idx := range rng.Perm(len(alive))[:n/10] {
-					if alive[idx] != rdv {
-						subs = append(subs, alive[idx])
-					}
+	return mapOrdered(workers, len(ttls)*len(fractions), func(cell int) (FractionRow, error) {
+		ti, fi := cell/len(fractions), cell%len(fractions)
+		ttl, frac := ttls[ti], fractions[fi]
+		rng := rand.New(rand.NewSource(cellSeed(seed, int64(n), int64(ti), int64(fi))))
+		acfg := protocol.AdvertiseConfig{Scheme: protocol.SSA, TTL: ttl, Fraction: frac}
+		row := FractionRow{Fraction: frac, TTL: ttl}
+		for gi := 0; gi < groups; gi++ {
+			rdv := alive[rng.Intn(len(alive))]
+			subs := make([]int, 0, n/10)
+			for _, idx := range rng.Perm(len(alive))[:n/10] {
+				if alive[idx] != rdv {
+					subs = append(subs, alive[idx])
 				}
-				_, adv, results, err := protocol.BuildGroup(g, rdv, subs, levels,
-					acfg, protocol.DefaultSubscribeConfig(), rng, nil)
-				if err != nil {
-					return nil, err
-				}
-				row.AdMessages += float64(adv.Messages)
-				row.ReceivingRate += float64(adv.NumReceived()) / float64(len(alive))
-				ok := 0
-				for _, r := range results {
-					if r.OK {
-						ok++
-					}
-				}
-				row.SuccessRate += float64(ok) / float64(len(subs))
 			}
-			fg := float64(groups)
-			row.AdMessages /= fg
-			row.ReceivingRate /= fg
-			row.SuccessRate /= fg
-			rows = append(rows, row)
+			_, adv, results, err := protocol.BuildGroup(g, rdv, subs, levels,
+				acfg, protocol.DefaultSubscribeConfig(), rng, nil)
+			if err != nil {
+				return row, err
+			}
+			row.AdMessages += float64(adv.Messages)
+			row.ReceivingRate += float64(adv.NumReceived()) / float64(len(alive))
+			ok := 0
+			for _, r := range results {
+				if r.OK {
+					ok++
+				}
+			}
+			row.SuccessRate += float64(ok) / float64(len(subs))
 		}
-	}
-	return rows, nil
+		fg := float64(groups)
+		row.AdMessages /= fg
+		row.ReceivingRate /= fg
+		row.SuccessRate /= fg
+		return row, nil
+	})
 }
 
 // AblationFraction writes the SSA parameter study: the coverage/cost
 // trade-off as the forwarding fraction and TTL vary.
-func AblationFraction(w io.Writer, seed int64) error {
+func AblationFraction(w io.Writer, seed int64, workers int) error {
 	rows, err := SSAParameterStudy(2000,
-		[]float64{0.2, 0.4, 0.6, 1.0}, []int{5, 7}, 3, seed)
+		[]float64{0.2, 0.4, 0.6, 1.0}, []int{5, 7}, 3, seed, workers)
 	if err != nil {
 		return err
 	}

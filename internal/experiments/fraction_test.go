@@ -10,7 +10,7 @@ func TestSSAParameterStudyMonotonicity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
-	rows, err := SSAParameterStudy(500, []float64{0.2, 0.6, 1.0}, []int{6}, 2, 1)
+	rows, err := SSAParameterStudy(500, []float64{0.2, 0.6, 1.0}, []int{6}, 2, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestAblationFractionWriter(t *testing.T) {
 		t.Skip("slow")
 	}
 	var b bytes.Buffer
-	if err := AblationFraction(&b, 1); err != nil {
+	if err := AblationFraction(&b, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "fraction") {

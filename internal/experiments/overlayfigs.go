@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"groupcast/internal/metrics"
 	"groupcast/internal/netsim"
@@ -159,9 +158,4 @@ func neighborFigureAt(w io.Writer, seed int64, n int, groupCast bool, header str
 	fmt.Fprintf(w, "# mean %.1f ms, max %.1f ms over %d peers\n",
 		res.Summary.Mean, res.Summary.Max, res.Summary.N)
 	return nil
-}
-
-// rngFor derives a sub-seeded RNG for an experiment stage.
-func rngFor(seed int64, stage int64) *rand.Rand {
-	return rand.New(rand.NewSource(seed*1_000_003 + stage))
 }

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file is the deterministic parallel execution layer of the experiment
+// pipeline. Every sweep, ablation and figure runner decomposes its work into
+// independent jobs whose random streams derive purely from the job's identity
+// — (Seed, size, topologyIndex, comboIndex, groupIndex) for sweep cells — so
+// the rendered tables are bit-identical at any worker count, including the
+// fully serial workers=1 path. Two rules keep that guarantee:
+//
+//  1. no job may touch another job's RNG, graph, tree or counter set; shared
+//     inputs (underlay, attachment, coordinates, overlay graphs during group
+//     experiments) are strictly read-only;
+//  2. results are collected positionally (mapOrdered) and reduced in job
+//     index order, so floating-point accumulation order never depends on
+//     scheduling.
+
+// DefaultWorkers returns the worker count used when a config leaves it 0:
+// one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// mapOrdered runs fn(0..n-1) on up to `workers` goroutines and returns the
+// results in index order. workers <= 0 selects DefaultWorkers(); workers == 1
+// is a purely serial loop (no goroutines), the reference execution the
+// parallel path must reproduce bit-identically. On error the lowest-index
+// error observed is returned, no further jobs are dispatched, and the partial
+// results are discarded.
+func mapOrdered[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	jobs := make(chan int)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	go func() {
+		defer close(jobs)
+		for i := 0; i < n; i++ {
+			select {
+			case jobs <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		errAt    = -1
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				v, err := fn(i)
+				if err != nil {
+					mu.Lock()
+					if errAt == -1 || i < errAt {
+						errAt, firstErr = i, err
+					}
+					mu.Unlock()
+					stopOnce.Do(func() { close(stop) })
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// inParallel runs the given thunks concurrently (bounded by workers) and
+// returns the lowest-index error, if any. It is mapOrdered for side-effecting
+// jobs that produce no value.
+func inParallel(workers int, fns ...func() error) error {
+	_, err := mapOrdered(workers, len(fns), func(i int) (struct{}, error) {
+		return struct{}{}, fns[i]()
+	})
+	return err
+}
+
+// cellSeed hashes an experiment cell's identity tuple into an RNG seed with a
+// splitmix64-style mix, so that neighbouring cells (adjacent sizes, topology
+// indices or group indices) get uncorrelated random streams. The first part
+// is conventionally the sweep's base Seed; callers append the coordinates
+// identifying the cell, e.g. (size, topologyIndex, comboIndex, groupIndex).
+func cellSeed(parts ...int64) int64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, p := range parts {
+		h ^= uint64(p)
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return int64(h)
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math/rand"
 
 	"groupcast/internal/metrics"
 	"groupcast/internal/overlay"
@@ -35,6 +36,12 @@ type SweepConfig struct {
 	// over ("Each experiment is repeated over 10 IP network topologies");
 	// 0 or 1 means a single topology.
 	Topologies int
+	// Workers bounds how many goroutines the sweep fans its cells out to.
+	// 0 means DefaultWorkers() (one per CPU); 1 runs fully serial. Every
+	// cell's random stream derives only from (Seed, size, topologyIndex,
+	// comboIndex, groupIndex), so the result is bit-identical at any worker
+	// count.
+	Workers int
 }
 
 // DefaultSweepConfig mirrors the paper's sweep.
@@ -74,6 +81,14 @@ type SweepRow struct {
 // RunSweep executes the sweep and returns one row per (size, overlay,
 // scheme) combination, in deterministic order. With cfg.Topologies > 1 every
 // cell is the mean over that many independent underlays.
+//
+// The sweep fans out across cfg.Workers goroutines at two levels: one job
+// per (size, topology) pair — each job owns its underlay, attachment,
+// coordinates and overlay graphs — and, inside each job, one task per
+// (combo, group) cell sharing those structures read-only. Every random
+// stream is seeded from the cell's identity alone, and reduction walks cells
+// in index order, so a fixed Seed produces bit-identical rows at any worker
+// count.
 func RunSweep(cfg SweepConfig) ([]SweepRow, error) {
 	if len(cfg.Sizes) == 0 {
 		cfg = DefaultSweepConfig()
@@ -82,27 +97,105 @@ func RunSweep(cfg SweepConfig) ([]SweepRow, error) {
 	if topos < 1 {
 		topos = 1
 	}
-	if topos == 1 {
-		return runSweepOnce(cfg, cfg.Seed)
+	// One pipeline job per (size, topology): job index si*topos + ti.
+	results, err := mapOrdered(cfg.Workers, len(cfg.Sizes)*topos, func(j int) ([]SweepRow, error) {
+		return runSweepCell(cfg, cfg.Sizes[j/topos], j%topos)
+	})
+	if err != nil {
+		return nil, err
 	}
-	var acc []SweepRow
-	for ti := 0; ti < topos; ti++ {
-		rows, err := runSweepOnce(cfg, cfg.Seed+int64(ti)*7919)
-		if err != nil {
-			return nil, err
-		}
-		if acc == nil {
-			acc = rows
-			continue
+	// Reduce topology repetitions into per-size means, in index order.
+	rows := make([]SweepRow, 0, 4*len(cfg.Sizes))
+	for si := range cfg.Sizes {
+		acc := results[si*topos]
+		for ti := 1; ti < topos; ti++ {
+			for i, r := range results[si*topos+ti] {
+				acc[i] = addRows(acc[i], r)
+			}
 		}
 		for i := range acc {
-			acc[i] = addRows(acc[i], rows[i])
+			acc[i] = scaleRow(acc[i], 1/float64(topos))
 		}
+		rows = append(rows, acc...)
 	}
-	for i := range acc {
-		acc[i] = scaleRow(acc[i], 1/float64(topos))
+	return rows, nil
+}
+
+// sweepCombo is one (overlay, scheme) combination of the evaluation grid.
+type sweepCombo struct {
+	kind   OverlayKind
+	graph  *overlay.Graph
+	levels protocol.ResourceLevels
+	scheme protocol.Scheme
+}
+
+// sweepCombos enumerates the grid in its fixed rendering order.
+func sweepCombos(gcGraph, plGraph *overlay.Graph, gcLevels, plLevels protocol.ResourceLevels) []sweepCombo {
+	return []sweepCombo{
+		{KindGroupCast, gcGraph, gcLevels, protocol.SSA},
+		{KindGroupCast, gcGraph, gcLevels, protocol.NSSA},
+		{KindPLOD, plGraph, plLevels, protocol.SSA},
+		{KindPLOD, plGraph, plLevels, protocol.NSSA},
 	}
-	return acc, nil
+}
+
+// runSweepCell runs one (size, topology) job: it builds a private
+// environment (underlay, attachment, coordinates, both overlays) seeded from
+// the cell identity, then fans the (combo, group) cells out over the worker
+// pool and reduces them in index order.
+func runSweepCell(cfg SweepConfig, n, ti int) ([]SweepRow, error) {
+	envSeed := cellSeed(cfg.Seed, int64(n), int64(ti))
+	pcfg := DefaultPipelineConfig(n, envSeed)
+	pcfg.UseCoordinates = cfg.UseCoordinates
+	p, err := BuildPipeline(pcfg)
+	if err != nil {
+		return nil, err
+	}
+	// The two overlay constructions are independent builds with their own
+	// RNGs; run them concurrently.
+	var (
+		gcGraph, plGraph   *overlay.Graph
+		gcLevels, plLevels protocol.ResourceLevels
+	)
+	if err := inParallel(cfg.Workers,
+		func() (err error) {
+			gcGraph, gcLevels, _, err = p.GroupCastOverlay(envSeed)
+			return err
+		},
+		func() (err error) {
+			plGraph, plLevels, err = p.PLODOverlay(envSeed)
+			return err
+		},
+	); err != nil {
+		return nil, err
+	}
+	combos := sweepCombos(gcGraph, plGraph, gcLevels, plLevels)
+	// Alive sets are shared read-only by every group task on the same graph.
+	gcAlive, plAlive := gcGraph.AlivePeers(), plGraph.AlivePeers()
+
+	groups := cfg.GroupsPerOverlay
+	if groups < 1 {
+		groups = 1
+	}
+	// One task per (combo, group) cell: task index ci*groups + gi.
+	outs, err := mapOrdered(cfg.Workers, len(combos)*groups, func(t int) (groupOutcome, error) {
+		ci, gi := t/groups, t%groups
+		c := combos[ci]
+		alive := gcAlive
+		if c.kind == KindPLOD {
+			alive = plAlive
+		}
+		rng := rand.New(rand.NewSource(cellSeed(cfg.Seed, int64(n), int64(ti), int64(ci), int64(gi))))
+		return p.runGroup(c.graph, alive, c.levels, c.scheme, cfg, rng)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SweepRow, len(combos))
+	for ci, c := range combos {
+		rows[ci] = reduceCell(p.Cfg.NumPeers, c.kind, c.scheme, outs[ci*groups:(ci+1)*groups])
+	}
+	return rows, nil
 }
 
 // addRows sums the metric fields of two rows of the same cell.
@@ -132,134 +225,110 @@ func scaleRow(a SweepRow, f float64) SweepRow {
 	return a
 }
 
-func runSweepOnce(cfg SweepConfig, seed int64) ([]SweepRow, error) {
-	var rows []SweepRow
-	for _, n := range cfg.Sizes {
-		pcfg := DefaultPipelineConfig(n, seed)
-		pcfg.UseCoordinates = cfg.UseCoordinates
-		p, err := BuildPipeline(pcfg)
-		if err != nil {
-			return nil, err
-		}
-		gcGraph, gcLevels, _, err := p.GroupCastOverlay(seed)
-		if err != nil {
-			return nil, err
-		}
-		plGraph, plLevels, err := p.PLODOverlay(seed)
-		if err != nil {
-			return nil, err
-		}
-		type combo struct {
-			kind   OverlayKind
-			graph  *overlay.Graph
-			levels protocol.ResourceLevels
-			scheme protocol.Scheme
-		}
-		combos := []combo{
-			{KindGroupCast, gcGraph, gcLevels, protocol.SSA},
-			{KindGroupCast, gcGraph, gcLevels, protocol.NSSA},
-			{KindPLOD, plGraph, plLevels, protocol.SSA},
-			{KindPLOD, plGraph, plLevels, protocol.NSSA},
-		}
-		for ci, c := range combos {
-			row, err := p.runCell(c.graph, c.levels, c.kind, c.scheme, cfg, seed, int64(ci))
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, row)
-		}
-	}
-	return rows, nil
+// groupOutcome is the measurement of one (overlay, scheme, group) cell —
+// the unit of parallel work inside a sweep job.
+type groupOutcome struct {
+	adMsgs, subMsgs, recvRate, succRate  float64
+	lookupLat                            float64
+	hasLat                               bool
+	delayPen, linkStr, nodeStr, overload float64
 }
 
-// runCell averages GroupsPerOverlay independent groups on one overlay with
-// one announcement scheme.
-func (p *Pipeline) runCell(g *overlay.Graph, levels protocol.ResourceLevels,
-	kind OverlayKind, scheme protocol.Scheme, cfg SweepConfig, seed, comboSeed int64) (SweepRow, error) {
-	row := SweepRow{N: p.Cfg.NumPeers, Overlay: kind, Scheme: scheme}
-	rng := rngFor(seed+comboSeed, int64(p.Cfg.NumPeers))
+// runGroup builds one group (rendezvous choice, subscriptions, spanning
+// tree) on the given overlay and evaluates it. The overlay graph, alive set,
+// resource levels and pipeline environment are shared with concurrent group
+// tasks and must only be read; all randomness comes from the task-private
+// rng.
+func (p *Pipeline) runGroup(g *overlay.Graph, alive []int, levels protocol.ResourceLevels,
+	scheme protocol.Scheme, cfg SweepConfig, rng *rand.Rand) (groupOutcome, error) {
+	var out groupOutcome
 	acfg := protocol.DefaultAdvertiseConfig()
 	acfg.Scheme = scheme
 	scfg := protocol.DefaultSubscribeConfig()
-
 	nSubs := int(cfg.SubscriberFraction * float64(p.Cfg.NumPeers))
 	if nSubs < 2 {
 		nSubs = 2
 	}
-	alive := g.AlivePeers()
-	groups := cfg.GroupsPerOverlay
-	if groups < 1 {
-		groups = 1
+
+	rendezvous := alive[rng.Intn(len(alive))]
+	subs := make([]int, 0, nSubs)
+	for _, idx := range rng.Perm(len(alive)) {
+		if len(subs) >= nSubs {
+			break
+		}
+		if alive[idx] != rendezvous {
+			subs = append(subs, alive[idx])
+		}
+	}
+	tree, adv, results, err := protocol.BuildGroup(g, rendezvous, subs, levels, acfg, scfg, rng, nil)
+	if err != nil {
+		return out, err
+	}
+	out.adMsgs = float64(adv.Messages)
+	out.recvRate = float64(adv.NumReceived()) / float64(len(alive))
+	ok := 0
+	var lat float64
+	var searched int
+	for _, r := range results {
+		out.subMsgs += float64(r.SearchMessages + r.JoinMessages)
+		if r.OK {
+			ok++
+		}
+		if r.UsedSearch && r.OK {
+			lat += r.SearchLatency
+			searched++
+		}
+	}
+	out.succRate = float64(ok) / float64(len(subs))
+	if searched > 0 {
+		out.lookupLat = lat / float64(searched)
+		out.hasLat = true
 	}
 
-	var (
-		adMsgs, subMsgs, recvRate, succRate, lookupLat   float64
-		delayPen, linkStr, nodeStr, overload, latSamples float64
-		evaluated                                        int
-	)
-	for gi := 0; gi < groups; gi++ {
-		rendezvous := alive[rng.Intn(len(alive))]
-		subs := make([]int, 0, nSubs)
-		for _, idx := range rng.Perm(len(alive)) {
-			if len(subs) >= nSubs {
-				break
-			}
-			if alive[idx] != rendezvous {
-				subs = append(subs, alive[idx])
-			}
-		}
-		tree, adv, results, err := protocol.BuildGroup(g, rendezvous, subs, levels, acfg, scfg, rng, nil)
-		if err != nil {
-			return row, err
-		}
-		adMsgs += float64(adv.Messages)
-		recvRate += float64(adv.NumReceived()) / float64(len(alive))
-		ok := 0
-		var cellSub, cellLat float64
-		var searched int
-		for _, r := range results {
-			cellSub += float64(r.SearchMessages + r.JoinMessages)
-			if r.OK {
-				ok++
-			}
-			if r.UsedSearch && r.OK {
-				cellLat += r.SearchLatency
-				searched++
-			}
-		}
-		subMsgs += cellSub
-		succRate += float64(ok) / float64(len(subs))
-		if searched > 0 {
-			lookupLat += cellLat / float64(searched)
+	m, err := p.Env.Evaluate(tree, rendezvous)
+	if err != nil {
+		return out, err
+	}
+	out.delayPen = m.DelayPenalty
+	out.linkStr = m.LinkStress
+	out.nodeStr = m.NodeStress
+	out.overload = m.OverloadIndex
+	return out, nil
+}
+
+// reduceCell folds the per-group outcomes of one (overlay, scheme) cell into
+// its sweep row. Accumulation walks groups in index order so the result does
+// not depend on which worker finished first.
+func reduceCell(n int, kind OverlayKind, scheme protocol.Scheme, outs []groupOutcome) SweepRow {
+	row := SweepRow{N: n, Overlay: kind, Scheme: scheme}
+	var lookupLat, latSamples float64
+	for _, o := range outs {
+		row.AdMessages += o.adMsgs
+		row.SubMessages += o.subMsgs
+		row.ReceivingRate += o.recvRate
+		row.SuccessRate += o.succRate
+		if o.hasLat {
+			lookupLat += o.lookupLat
 			latSamples++
 		}
-
-		m, err := p.Env.Evaluate(tree, rendezvous)
-		if err != nil {
-			return row, err
-		}
-		delayPen += m.DelayPenalty
-		linkStr += m.LinkStress
-		nodeStr += m.NodeStress
-		overload += m.OverloadIndex
-		evaluated++
+		row.DelayPenalty += o.delayPen
+		row.LinkStress += o.linkStr
+		row.NodeStress += o.nodeStr
+		row.OverloadIndex += o.overload
 	}
-	fg := float64(groups)
-	row.AdMessages = adMsgs / fg
-	row.SubMessages = subMsgs / fg
-	row.ReceivingRate = recvRate / fg
-	row.SuccessRate = succRate / fg
+	fg := float64(len(outs))
+	row.AdMessages /= fg
+	row.SubMessages /= fg
+	row.ReceivingRate /= fg
+	row.SuccessRate /= fg
 	if latSamples > 0 {
 		row.LookupLatencyMS = lookupLat / latSamples
 	}
-	if evaluated > 0 {
-		fe := float64(evaluated)
-		row.DelayPenalty = delayPen / fe
-		row.LinkStress = linkStr / fe
-		row.NodeStress = nodeStr / fe
-		row.OverloadIndex = overload / fe
-	}
-	return row, nil
+	row.DelayPenalty /= fg
+	row.LinkStress /= fg
+	row.NodeStress /= fg
+	row.OverloadIndex /= fg
+	return row
 }
 
 // Figure11 writes the service lookup message counts (advertisement +

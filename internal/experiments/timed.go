@@ -78,19 +78,29 @@ func (p *Pipeline) TimedOverlayBuild(meanJoinMillis float64, seed int64) (*Timed
 }
 
 // TimedBuildReport runs the event-driven construction at the Figure 7 scale
-// and writes its statistics next to the batch builder's for comparison.
-func TimedBuildReport(w io.Writer, n int, seed int64) error {
+// and writes its statistics next to the batch builder's for comparison. The
+// timed and batch builds run concurrently (bounded by workers); each owns its
+// RNG and graph, sharing only the read-only pipeline universe.
+func TimedBuildReport(w io.Writer, n int, seed int64, workers int) error {
 	cfg := DefaultPipelineConfig(n, seed)
 	p, err := BuildPipeline(cfg)
 	if err != nil {
 		return err
 	}
-	timed, err := p.TimedOverlayBuild(1000, seed)
-	if err != nil {
-		return err
-	}
-	batch, _, _, err := p.GroupCastOverlay(seed)
-	if err != nil {
+	var (
+		timed *TimedBuildResult
+		batch *overlay.Graph
+	)
+	if err := inParallel(workers,
+		func() (err error) {
+			timed, err = p.TimedOverlayBuild(1000, seed)
+			return err
+		},
+		func() (err error) {
+			batch, _, _, err = p.GroupCastOverlay(seed)
+			return err
+		},
+	); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "# Event-driven overlay construction (Expo(1s) joins) vs batch, %d peers\n", n)

@@ -60,7 +60,7 @@ func TestTimedBuildReport(t *testing.T) {
 		t.Skip("slow")
 	}
 	var b bytes.Buffer
-	if err := TimedBuildReport(&b, 300, 6); err != nil {
+	if err := TimedBuildReport(&b, 300, 6, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()

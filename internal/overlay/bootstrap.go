@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"groupcast/internal/core"
 	"groupcast/internal/metrics"
@@ -165,6 +166,9 @@ func (b *Builder) Join(i int) error {
 	for j := range freq {
 		candIDs = append(candIDs, j)
 	}
+	// Deterministic candidate order: the weighted selection below consumes
+	// the rng per index, so map iteration order would leak into the overlay.
+	sort.Ints(candIDs)
 	// Estimate r_i from the capacities of the sampled peers.
 	sample := make([]peer.Capacity, 0, len(candIDs))
 	for _, j := range candIDs {

@@ -8,6 +8,7 @@ package overlay
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"groupcast/internal/peer"
 )
@@ -154,17 +155,22 @@ func (g *Graph) HasEdge(from, to int) bool {
 	return ok
 }
 
-// OutNeighbors returns the peers i forwards to, in unspecified order.
+// OutNeighbors returns the peers i forwards to, in ascending peer order.
+// The deterministic order keeps every consumer (announcement forwarding,
+// searches, bootstrap probing) reproducible for a fixed seed regardless of
+// Go's randomized map iteration and of how many sweep workers run.
 func (g *Graph) OutNeighbors(i int) []int {
 	out := make([]int, 0, len(g.out[i]))
 	for j := range g.out[i] {
 		out = append(out, j)
 	}
+	sort.Ints(out)
 	return out
 }
 
 // Neighbors returns the union of i's in- and out-neighbours — the peers it
-// exchanges messages with.
+// exchanges messages with — in ascending peer order (see OutNeighbors for
+// why the order is fixed).
 func (g *Graph) Neighbors(i int) []int {
 	seen := make(map[int]struct{}, len(g.out[i])+len(g.in[i]))
 	for j := range g.out[i] {
@@ -177,6 +183,7 @@ func (g *Graph) Neighbors(i int) []int {
 	for j := range seen {
 		out = append(out, j)
 	}
+	sort.Ints(out)
 	return out
 }
 

@@ -2,6 +2,7 @@ package overlay
 
 import (
 	"math/rand"
+	"sort"
 
 	"groupcast/internal/core"
 	"groupcast/internal/peer"
@@ -156,6 +157,9 @@ func (b *Builder) repair(i, want int, rng *rand.Rand) int {
 	if len(candIDs) == 0 {
 		return 0
 	}
+	// Deterministic candidate order (see Builder.Join): the weighted
+	// selection consumes the rng per index.
+	sort.Ints(candIDs)
 	sample := make([]peer.Capacity, 0, len(candIDs))
 	for _, j := range candIDs {
 		sample = append(sample, uni.Caps[j])
