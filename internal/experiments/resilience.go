@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"groupcast/internal/coords"
+	"groupcast/internal/node"
+	"groupcast/internal/peer"
+	"groupcast/internal/transport"
+	"groupcast/internal/wire"
+)
+
+// This file is the chaos-soak resilience experiment: live node clusters run
+// under scripted fault schedules (seeded loss, crash-stops, partitions) and
+// the tree-repair strategies are compared — backup-access-point failover
+// (the dynamic-replication extension) against search-only repair. Reported
+// per scenario and mode: surviving members reattached, delivery ratio,
+// time-to-recover, and the control messages spent on repair.
+//
+// Outcome columns (members, survivors, reattached, delivery, recovered) are
+// deterministic for a fixed seed at any -workers count; the measured
+// columns (ttr-ms, repair-msgs) are wall-clock observations and vary run to
+// run.
+
+// resilienceScenario is one chaos-soak configuration.
+type resilienceScenario struct {
+	name  string
+	desc  string
+	nodes int
+	// schedule builds the scripted fault sequence once the crash victim is
+	// known. Offsets are measured from the moment the schedule is armed.
+	schedule func(victim string) []transport.FaultEvent
+	// victimSurvives marks scenarios whose fault is transient (partition):
+	// the victim is expected back and counts as a survivor.
+	victimSurvives bool
+}
+
+// faultAt is when every scenario's primary fault fires (time-to-recover is
+// measured from this offset).
+const faultAt = 200 * time.Millisecond
+
+// resilienceHorizon bounds one scenario run; a cluster that has not
+// recovered by then is reported as recovered=no.
+const resilienceHorizon = 25 * time.Second
+
+func resilienceScenarios() []resilienceScenario {
+	return []resilienceScenario{
+		{
+			name:  "parent-crash/5%-loss",
+			desc:  "crash-stop the busiest tree parent under 5% uniform message loss",
+			nodes: 18,
+			schedule: func(victim string) []transport.FaultEvent {
+				return []transport.FaultEvent{
+					transport.LinkRuleAt(0, "", "", transport.LinkRule{Drop: 0.05}),
+					transport.CrashAt(faultAt, victim),
+				}
+			},
+		},
+		{
+			name:  "parent-crash/burst-loss",
+			desc:  "crash-stop the busiest tree parent during a 25% loss burst that settles to 5%",
+			nodes: 18,
+			schedule: func(victim string) []transport.FaultEvent {
+				return []transport.FaultEvent{
+					transport.LinkRuleAt(0, "", "", transport.LinkRule{Drop: 0.25}),
+					transport.CrashAt(faultAt, victim),
+					transport.LinkRuleAt(2*time.Second, "", "", transport.LinkRule{Drop: 0.05}),
+				}
+			},
+		},
+		{
+			name:  "partition-heal/2%-loss",
+			desc:  "isolate the busiest tree parent for 3s (split-brain), then heal",
+			nodes: 18,
+			schedule: func(victim string) []transport.FaultEvent {
+				return []transport.FaultEvent{
+					transport.LinkRuleAt(0, "", "", transport.LinkRule{Drop: 0.02}),
+					transport.PartitionAt(faultAt, victim),
+					transport.HealAt(faultAt + 3*time.Second),
+				}
+			},
+			victimSurvives: true,
+		},
+	}
+}
+
+// resilienceRow is one (scenario, repair mode) measurement.
+type resilienceRow struct {
+	Scenario   string
+	Mode       string // "backup" or "search"
+	Members    int
+	Survivors  int
+	Reattached int
+	Delivery   float64
+	Recovered  bool
+	TTR        time.Duration
+	RepairMsgs uint64
+	ViaBackup  uint64
+	ViaSearch  uint64
+}
+
+// RunResilience runs every chaos-soak scenario under both repair modes
+// (cells fan out across workers goroutines; 0 = one per CPU) and writes the
+// comparison tables.
+func RunResilience(w io.Writer, seed int64, workers int) error {
+	scenarios := resilienceScenarios()
+	modes := []string{"backup", "search"}
+	type cell struct {
+		scen resilienceScenario
+		mode string
+		seed int64
+	}
+	cells := make([]cell, 0, len(scenarios)*len(modes))
+	for si, sc := range scenarios {
+		for mi, mode := range modes {
+			cells = append(cells, cell{sc, mode, cellSeed(seed, 71, int64(si), int64(mi))})
+		}
+	}
+	rows, err := mapOrdered(workers, len(cells), func(i int) (resilienceRow, error) {
+		c := cells[i]
+		return runResilienceCell(c.scen, c.mode, c.seed)
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "# resilience: live chaos soak, backup-access-point failover vs search-only repair")
+	fmt.Fprintln(w, "# (ttr-ms and repair-msgs are wall-clock measurements; the remaining columns are")
+	fmt.Fprintln(w, "#  deterministic for a fixed seed)")
+	ri := 0
+	for _, sc := range scenarios {
+		fmt.Fprintf(w, "\n## scenario %s — %s\n", sc.name, sc.desc)
+		fmt.Fprintf(w, "%-8s %-8s %-10s %-11s %-9s %-10s %-7s %-12s %-11s %s\n",
+			"mode", "members", "survivors", "reattached", "delivery", "recovered",
+			"ttr-ms", "repair-msgs", "via-backup", "via-search")
+		for range modes {
+			r := rows[ri]
+			ri++
+			rec := "no"
+			if r.Recovered {
+				rec = "yes"
+			}
+			fmt.Fprintf(w, "%-8s %-8d %-10d %-11d %-9.2f %-10s %-7d %-12d %-11d %d\n",
+				r.Mode, r.Members, r.Survivors, r.Reattached, r.Delivery, rec,
+				r.TTR.Milliseconds(), r.RepairMsgs, r.ViaBackup, r.ViaSearch)
+		}
+	}
+	return nil
+}
+
+// runResilienceCell builds one live cluster, arms the scenario's fault
+// schedule, and measures the repair.
+func runResilienceCell(sc resilienceScenario, mode string, seed int64) (resilienceRow, error) {
+	row := resilienceRow{Scenario: sc.name, Mode: mode}
+	mem := transport.NewMemNetwork()
+	chaos := transport.NewChaosNetwork(seed)
+	rng := rand.New(rand.NewSource(seed))
+	sampler := peer.MustTable1Sampler()
+
+	nodes := make([]*node.Node, 0, sc.nodes)
+	defer func() {
+		for _, nd := range nodes {
+			_ = nd.Close()
+		}
+	}()
+	for i := 0; i < sc.nodes; i++ {
+		cfg := node.DefaultConfig(float64(sampler.Sample(rng)),
+			coords.Point{rng.Float64() * 100, rng.Float64() * 100}, int64(i+1))
+		cfg.HeartbeatInterval = 150 * time.Millisecond
+		cfg.BeaconGraceEpochs = 4
+		cfg.AdvertiseRefreshEpochs = 3
+		cfg.DisableBackupFailover = mode == "search"
+		nd := node.New(chaos.Wrap(mem.NextEndpoint()), cfg)
+		nd.Start()
+		var contacts []string
+		for j := len(nodes) - 1; j >= 0 && len(contacts) < 5; j-- {
+			contacts = append(contacts, nodes[j].Addr())
+		}
+		if err := nd.Bootstrap(contacts, 2*time.Second); err != nil {
+			return row, fmt.Errorf("resilience %s/%s: bootstrap node %d: %w", sc.name, mode, i, err)
+		}
+		nodes = append(nodes, nd)
+	}
+
+	const gid = "resilience"
+	rdv := nodes[0]
+	if err := rdv.CreateGroup(gid); err != nil {
+		return row, err
+	}
+	if err := rdv.Advertise(gid); err != nil {
+		return row, err
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	// Membership: every non-rendezvous node joins (the fault-free phase, so
+	// retries make this deterministic), counting deliveries per member.
+	var mu sync.Mutex
+	got := make(map[string]int)
+	var members []*node.Node
+	for _, nd := range nodes[1:] {
+		joined := false
+		for attempt := 0; attempt < 4 && !joined; attempt++ {
+			joined = nd.Join(gid, time.Second) == nil
+		}
+		if !joined {
+			continue
+		}
+		addr := nd.Addr()
+		nd.SetPayloadHandler(func(string, wire.PeerInfo, []byte) {
+			mu.Lock()
+			got[addr]++
+			mu.Unlock()
+		})
+		members = append(members, nd)
+	}
+	row.Members = len(members)
+	// Let beacons flow once so backup access points are distributed before
+	// the faults begin.
+	time.Sleep(400 * time.Millisecond)
+
+	// The victim: the member currently relaying for the most tree children
+	// (ties broken by address for determinism).
+	victim := members[0]
+	victimKids := -1
+	for _, m := range members {
+		tv := m.Tree(gid)
+		if len(tv.Children) > victimKids ||
+			(len(tv.Children) == victimKids && m.Addr() < victim.Addr()) {
+			victim, victimKids = m, len(tv.Children)
+		}
+	}
+	survivors := make([]*node.Node, 0, len(members))
+	for _, m := range members {
+		if m != victim || sc.victimSurvives {
+			survivors = append(survivors, m)
+		}
+	}
+	row.Survivors = len(survivors)
+
+	before := make(map[string]uint64, len(survivors))
+	for _, m := range survivors {
+		before[m.Addr()] = repairMsgCount(m.Stats())
+	}
+
+	stopSchedule := chaos.PlaySchedule(sc.schedule(victim.Addr()))
+	defer stopSchedule()
+	armed := time.Now()
+
+	// Publish from the rendezvous until every survivor is reattached and
+	// has heard a post-fault payload, or the horizon passes. Payload loss
+	// is expected (faults are live); the steady publish stream means one
+	// delivered payload per survivor is enough to prove a working tree.
+	seq := 0
+	deadline := armed.Add(resilienceHorizon)
+	for time.Now().Before(deadline) {
+		if time.Since(armed) > faultAt {
+			seq++
+			_ = rdv.Publish(gid, []byte(fmt.Sprintf("seq-%d", seq)))
+		}
+		reattached, reached := resilienceProgress(survivors, gid, got, &mu)
+		if seq > 0 && reattached == len(survivors) && reached == len(survivors) {
+			row.Recovered = true
+			break
+		}
+		time.Sleep(40 * time.Millisecond)
+	}
+	row.TTR = time.Since(armed.Add(faultAt))
+	reattached, reached := resilienceProgress(survivors, gid, got, &mu)
+	row.Reattached = reattached
+	if len(survivors) > 0 {
+		row.Delivery = float64(reached) / float64(len(survivors))
+	}
+	for _, m := range survivors {
+		st := m.Stats()
+		row.RepairMsgs += repairMsgCount(st) - before[m.Addr()]
+		row.ViaBackup += st.RepairsViaBackup
+		row.ViaSearch += st.RepairsViaSearch
+	}
+	return row, nil
+}
+
+// resilienceProgress counts survivors currently attached to the tree and
+// survivors that have heard at least one post-fault payload.
+func resilienceProgress(survivors []*node.Node, gid string, got map[string]int, mu *sync.Mutex) (reattached, reached int) {
+	mu.Lock()
+	defer mu.Unlock()
+	for _, m := range survivors {
+		if m.Tree(gid).Attached {
+			reattached++
+		}
+		if got[m.Addr()] > 0 {
+			reached++
+		}
+	}
+	return reattached, reached
+}
+
+// repairMsgCount sums the control messages a node spent on tree repair:
+// joins, join acks, searches, and search hits.
+func repairMsgCount(st node.Stats) uint64 {
+	return st.Sent["join"] + st.Sent["join-ack"] + st.Sent["search"] + st.Sent["search-hit"]
+}

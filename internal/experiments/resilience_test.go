@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"groupcast/internal/transport"
+)
+
+// soakScenario is a trimmed parent-crash-under-5%-loss cell sized for CI.
+func soakScenario() resilienceScenario {
+	return resilienceScenario{
+		name:  "ci-parent-crash/5%-loss",
+		desc:  "trimmed regression cell",
+		nodes: 12,
+		schedule: func(victim string) []transport.FaultEvent {
+			return []transport.FaultEvent{
+				transport.LinkRuleAt(0, "", "", transport.LinkRule{Drop: 0.05}),
+				transport.CrashAt(faultAt, victim),
+			}
+		},
+	}
+}
+
+// outcome is the deterministic column set of a resilience row — everything
+// except the wall-clock measurements (ttr, message counts).
+type outcome struct {
+	Members, Survivors, Reattached int
+	Delivery                       float64
+	Recovered                      bool
+}
+
+func outcomeOf(r resilienceRow) outcome {
+	return outcome{r.Members, r.Survivors, r.Reattached, r.Delivery, r.Recovered}
+}
+
+// TestChaosSoakParentCrashRecovers is the fixed-seed chaos-soak regression:
+// under 5% loss with the busiest tree parent crash-stopped, every surviving
+// member must reattach and hear post-fault payloads (delivery ratio 1.0)
+// before the horizon — in both repair modes — and the repair strategies
+// must actually differ (backups used in one, searches in the other).
+func TestChaosSoakParentCrashRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak")
+	}
+	sc := soakScenario()
+	backup, err := runResilienceCell(sc, "backup", cellSeed(1, 71, 100, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	search, err := runResilienceCell(sc, "search", cellSeed(1, 71, 100, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []resilienceRow{backup, search} {
+		if r.Members != sc.nodes-1 {
+			t.Errorf("%s: %d of %d members joined", r.Mode, r.Members, sc.nodes-1)
+		}
+		if r.Survivors != r.Members-1 {
+			t.Errorf("%s: survivors = %d, want %d", r.Mode, r.Survivors, r.Members-1)
+		}
+		if !r.Recovered || r.Reattached != r.Survivors || r.Delivery != 1.0 {
+			t.Errorf("%s: recovered=%v reattached=%d/%d delivery=%.2f; want full recovery",
+				r.Mode, r.Recovered, r.Reattached, r.Survivors, r.Delivery)
+		}
+	}
+	if backup.ViaBackup == 0 {
+		t.Error("backup mode repaired without using a backup access point")
+	}
+	if search.ViaBackup != 0 {
+		t.Errorf("search mode used %d backup repairs despite the mode", search.ViaBackup)
+	}
+	if search.ViaSearch == 0 {
+		t.Error("search mode recovered without any search repair")
+	}
+}
+
+// TestChaosSoakWorkerDeterminism pins the -workers contract for the
+// resilience experiment: the outcome columns of a fixed-seed soak are
+// identical whether the cells run serially or concurrently. (The wall-clock
+// columns — ttr-ms, repair-msgs — are exempt by design.)
+func TestChaosSoakWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak")
+	}
+	sc := soakScenario()
+	modes := []string{"backup", "search"}
+	run := func(workers int) []outcome {
+		rows, err := mapOrdered(workers, len(modes), func(i int) (resilienceRow, error) {
+			return runResilienceCell(sc, modes[i], cellSeed(1, 71, 200, int64(i)))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]outcome, len(rows))
+		for i, r := range rows {
+			out[i] = outcomeOf(r)
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(2)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("outcome columns diverged across worker counts for %s:\n workers=1: %+v\n workers=2: %+v",
+				modes[i], serial[i], parallel[i])
+		}
+	}
+}
+
+// TestResilienceScheduleDescriptions keeps the scenario schedules honest:
+// every scenario renders a non-empty, deterministic fault script.
+func TestResilienceScheduleDescriptions(t *testing.T) {
+	for _, sc := range resilienceScenarios() {
+		events := sc.schedule("victim:addr")
+		if len(events) == 0 {
+			t.Fatalf("scenario %s has an empty schedule", sc.name)
+		}
+		a := transport.DescribeSchedule(events)
+		b := transport.DescribeSchedule(events)
+		if len(a) != len(events) {
+			t.Fatalf("scenario %s describes %d of %d events", sc.name, len(a), len(events))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("scenario %s description is nondeterministic at line %d", sc.name, i)
+			}
+		}
+		if sc.schedule("victim:addr")[len(events)-1].At > resilienceHorizon {
+			t.Fatalf("scenario %s schedules events past the horizon", sc.name)
+		}
+	}
+	if faultAt <= 0 || resilienceHorizon < 10*time.Second {
+		t.Fatal("fault timing constants are out of shape")
+	}
+}

@@ -1,0 +1,107 @@
+package node
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"groupcast/internal/wire"
+)
+
+// This file is the live-runtime port of the simulation's backup access
+// points (protocol.ComputeBackups / RemoveFailedWithBackups): every tree
+// node hands each child a few peers guaranteed outside the child's subtree
+// — the child's grandparent, its siblings, the rendezvous, and the node's
+// own inherited backups — on beacons and join acks. A member whose parent
+// dies reattaches through one of them directly (one join message) before
+// falling back to the TTL-scoped ripple search.
+
+// backupJoinTimeout bounds one backup access point's join handshake during
+// failover; a backup that died in the same burst must not absorb the whole
+// repair budget.
+const backupJoinTimeout = 500 * time.Millisecond
+
+// attached reports whether the node currently has a tree attachment for
+// the group (rendezvous, or a parent it has not given up on).
+func (n *Node) attached(gid string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	gs := n.groups[gid]
+	return gs != nil && (gs.rendezvous || gs.parent != "")
+}
+
+// backupsForChildLocked assembles the backup access points a parent hands
+// the given child: candidates outside the child's subtree, ranked nearest
+// to the child, capped at BackupFanout. Callers hold n.mu.
+func (n *Node) backupsForChildLocked(gs *groupState, child wire.PeerInfo) []wire.PeerInfo {
+	cands := make([]wire.PeerInfo, 0, len(gs.children)+len(gs.backups)+2)
+	seen := map[string]bool{child.Addr: true, n.self.Addr: true}
+	add := func(info wire.PeerInfo) {
+		if info.Addr == "" || seen[info.Addr] {
+			return
+		}
+		seen[info.Addr] = true
+		cands = append(cands, info)
+	}
+	// The child's grandparent, then siblings (their subtrees are disjoint
+	// from the child's), then our own backups (outside our subtree, hence
+	// outside the child's), then the rendezvous as the last resort.
+	add(gs.parentInfo)
+	for _, sib := range gs.children {
+		add(sib)
+	}
+	for _, b := range gs.backups {
+		add(b)
+	}
+	add(gs.rdvInfo)
+	sort.SliceStable(cands, func(i, j int) bool {
+		return n.dist(child, cands[i]) < n.dist(child, cands[j])
+	})
+	if len(cands) > n.cfg.BackupFanout {
+		cands = cands[:n.cfg.BackupFanout]
+	}
+	// The slices feeding cands are owned by the node; copy before the
+	// result escapes into a message.
+	return append([]wire.PeerInfo(nil), cands...)
+}
+
+// tryBackups reattaches a detached group through its precomputed backup
+// access points, nearest first. It returns nil when one of them accepted
+// the join.
+func (n *Node) tryBackups(gid string, asMember bool) error {
+	n.mu.Lock()
+	gs := n.groups[gid]
+	if gs == nil || gs.rendezvous || gs.parent != "" || len(gs.backups) == 0 {
+		n.mu.Unlock()
+		return fmt.Errorf("node: no usable backups for %q", gid)
+	}
+	self := n.selfInfoLocked()
+	rdv := gs.rdvInfo
+	cands := make([]wire.PeerInfo, 0, len(gs.backups))
+	for _, b := range gs.backups {
+		if b.Addr == self.Addr {
+			continue
+		}
+		if _, isChild := gs.children[b.Addr]; isChild {
+			// A direct child is inside our subtree: attaching under it
+			// would close a cycle.
+			continue
+		}
+		cands = append(cands, b)
+	}
+	n.mu.Unlock()
+	sort.SliceStable(cands, func(i, j int) bool {
+		return n.dist(self, cands[i]) < n.dist(self, cands[j])
+	})
+	for _, b := range cands {
+		if err := n.joinVia(gid, b.Addr, rdv, backupJoinTimeout, asMember); err == nil {
+			return nil
+		}
+		select {
+		case <-n.stop:
+			return ErrClosed
+		default:
+		}
+	}
+	return fmt.Errorf("node: all %d backup access points failed for %q", len(cands), gid)
+}

@@ -3,6 +3,7 @@ package node
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"groupcast/internal/core"
@@ -260,19 +261,29 @@ func (n *Node) handleBeacon(msg wire.Message) {
 	}
 	gs.rootPath = append([]string(nil), msg.Path...)
 	gs.lastBeacon = time.Now()
-	fwd := wire.Message{
-		Type:    wire.TBeacon,
-		From:    n.selfInfoLocked(),
-		GroupID: msg.GroupID,
-		Path:    append(append([]string(nil), msg.Path...), n.self.Addr),
+	gs.parentInfo = msg.From
+	gs.backups = append([]wire.PeerInfo(nil), msg.Backups...)
+	downPath := append(append([]string(nil), msg.Path...), n.self.Addr)
+	type beacon struct {
+		to  string
+		msg wire.Message
 	}
-	children := make([]string, 0, len(gs.children))
-	for addr := range gs.children {
-		children = append(children, addr)
+	fwds := make([]beacon, 0, len(gs.children))
+	for addr, info := range gs.children {
+		fwds = append(fwds, beacon{
+			to: addr,
+			msg: wire.Message{
+				Type:    wire.TBeacon,
+				From:    n.selfInfoLocked(),
+				GroupID: msg.GroupID,
+				Path:    downPath,
+				Backups: n.backupsForChildLocked(gs, info),
+			},
+		})
 	}
 	n.mu.Unlock()
-	for _, c := range children {
-		_ = n.send(c, fwd)
+	for _, f := range fwds {
+		_ = n.send(f.to, f.msg)
 	}
 }
 
@@ -287,7 +298,10 @@ func pathContains(path []string, addr string) bool {
 
 // joinVia sets parent, sends the join upstream, and waits for the immediate
 // parent's acknowledgement so the tree edge exists before the caller
-// publishes.
+// publishes. The join is retried (fresh correlation ID each attempt, the
+// budget split evenly across attempts) so a single lost join or ack doesn't
+// fail the attachment. On final failure the tentative parent edge is rolled
+// back so the epoch loop sees the group as detached.
 func (n *Node) joinVia(groupID, parentAddr string, rdv wire.PeerInfo, timeout time.Duration, asMember bool) error {
 	n.mu.Lock()
 	gs := n.groups[groupID]
@@ -302,9 +316,66 @@ func (n *Node) joinVia(groupID, parentAddr string, rdv wire.PeerInfo, timeout ti
 		gs.member = true
 	}
 	gs.parent = parentAddr
+	gs.parentInfo = wire.PeerInfo{Addr: parentAddr}
 	gs.rdvInfo = rdv
 	n.mu.Unlock()
 
+	attempts := n.cfg.RetryAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	attemptWait := timeout / time.Duration(attempts)
+	if attemptWait < 10*time.Millisecond {
+		attemptWait = 10 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			n.stats.retries.Add(1)
+		}
+		ack, err := n.joinOnce(groupID, parentAddr, rdv, attemptWait)
+		if err == nil {
+			// An ack whose root path runs through us means we picked a
+			// parent inside our own subtree: accepting it would close a
+			// cycle. Roll back and tell the parent to drop the edge.
+			if pathContains(ack.Path, n.self.Addr) {
+				n.mu.Lock()
+				if gs.parent == parentAddr {
+					gs.parent = ""
+					gs.parentInfo = wire.PeerInfo{}
+				}
+				n.mu.Unlock()
+				_ = n.send(parentAddr, wire.Message{
+					Type: wire.TLeave, From: n.selfInfo(), GroupID: groupID,
+				})
+				return fmt.Errorf("%w: %q (access point %s is inside our subtree)",
+					ErrJoinFailed, groupID, parentAddr)
+			}
+			n.mu.Lock()
+			gs.lastBeacon = time.Now() // grace until the first beacon arrives
+			n.mu.Unlock()
+			return nil
+		}
+		if err == ErrClosed {
+			return err
+		}
+		lastErr = err
+	}
+	// Roll back the tentative edge (unless a competing join already moved
+	// the group elsewhere) so this group reads as detached, not wedged
+	// under a dead parent.
+	n.mu.Lock()
+	if gs.parent == parentAddr {
+		gs.parent = ""
+		gs.parentInfo = wire.PeerInfo{}
+	}
+	n.mu.Unlock()
+	return lastErr
+}
+
+// joinOnce performs a single join handshake attempt against parentAddr and
+// returns the parent's ack.
+func (n *Node) joinOnce(groupID, parentAddr string, rdv wire.PeerInfo, wait time.Duration) (wire.Message, error) {
 	reqID, ch := n.nextReq()
 	defer n.dropReq(reqID)
 	self := n.selfInfo()
@@ -316,19 +387,16 @@ func (n *Node) joinVia(groupID, parentAddr string, rdv wire.PeerInfo, timeout ti
 		Rendezvous: rdv,
 		ReqID:      reqID,
 	}); err != nil {
-		return err
+		return wire.Message{}, err
 	}
 	select {
-	case <-ch:
-		n.mu.Lock()
-		gs.lastBeacon = time.Now() // grace until the first beacon arrives
-		n.mu.Unlock()
-		return nil
-	case <-time.After(timeout):
-		return fmt.Errorf("%w: %q (parent %s did not acknowledge)",
+	case ack := <-ch:
+		return ack, nil
+	case <-time.After(wait):
+		return wire.Message{}, fmt.Errorf("%w: %q (parent %s did not acknowledge)",
 			ErrJoinFailed, groupID, parentAddr)
 	case <-n.stop:
-		return ErrClosed
+		return wire.Message{}, ErrClosed
 	}
 }
 
@@ -353,12 +421,14 @@ func (n *Node) handleJoin(msg wire.Message) {
 		if ad, ok := n.adSeen[msg.GroupID]; ok && ad.upstream != "" {
 			upstream = ad.upstream
 			gs.parent = upstream
+			gs.parentInfo = wire.PeerInfo{Addr: upstream}
 		}
 	}
 	n.mu.Unlock()
 	if msg.ReqID != 0 {
 		n.mu.Lock()
 		ackPath := ownPathLocked(gs, n.self.Addr)
+		ackBackups := n.backupsForChildLocked(gs, msg.From)
 		n.mu.Unlock()
 		_ = n.send(msg.From.Addr, wire.Message{
 			Type:    wire.TJoinAck,
@@ -366,6 +436,7 @@ func (n *Node) handleJoin(msg wire.Message) {
 			GroupID: msg.GroupID,
 			ReqID:   msg.ReqID,
 			Path:    ackPath,
+			Backups: ackBackups,
 		})
 	}
 	if upstream != "" {
@@ -390,8 +461,9 @@ func ownPathLocked(gs *groupState, selfAddr string) []string {
 	return append(out, selfAddr)
 }
 
-// handleJoinAck refreshes the node's root path from its parent's ack (the
-// pending waiter, if any, is signalled separately by routePending).
+// handleJoinAck refreshes the node's root path, parent identity, and backup
+// access points from its parent's ack (the pending waiter, if any, is
+// signalled separately by routePending).
 func (n *Node) handleJoinAck(msg wire.Message) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -400,6 +472,10 @@ func (n *Node) handleJoinAck(msg wire.Message) {
 		return
 	}
 	gs.rootPath = append([]string(nil), msg.Path...)
+	gs.parentInfo = msg.From
+	if len(msg.Backups) > 0 {
+		gs.backups = append([]wire.PeerInfo(nil), msg.Backups...)
+	}
 }
 
 // handleSearch answers when this node can serve as an access point and
@@ -555,6 +631,46 @@ func (n *Node) Leave(groupID string) error {
 		_ = n.send(c, notice)
 	}
 	return nil
+}
+
+// TreeView is an observational snapshot of one group's tree attachment,
+// for tests, experiments, and operational introspection.
+type TreeView struct {
+	Exists     bool
+	Member     bool
+	Rendezvous bool
+	// Attached reports a live tree position: rendezvous, or a parent the
+	// node has not given up on.
+	Attached bool
+	Parent   string
+	Children []string
+	// Backups are the addresses of the precomputed backup access points.
+	Backups []string
+}
+
+// Tree snapshots the node's attachment state for a group.
+func (n *Node) Tree(groupID string) TreeView {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	gs := n.groups[groupID]
+	if gs == nil {
+		return TreeView{}
+	}
+	tv := TreeView{
+		Exists:     true,
+		Member:     gs.member,
+		Rendezvous: gs.rendezvous,
+		Attached:   gs.rendezvous || gs.parent != "",
+		Parent:     gs.parent,
+	}
+	for addr := range gs.children {
+		tv.Children = append(tv.Children, addr)
+	}
+	sort.Strings(tv.Children)
+	for _, b := range gs.backups {
+		tv.Backups = append(tv.Backups, b.Addr)
+	}
+	return tv
 }
 
 // Groups lists the groups this node is a member of.

@@ -73,6 +73,11 @@ func (n *Node) handleProbe(msg wire.Message) {
 	nbrs := make([]wire.PeerInfo, 0, len(n.neighbors)+1)
 	nbrs = append(nbrs, self)
 	for _, nb := range n.neighbors {
+		// Don't recommend suspect neighbours to bootstrapping peers: they
+		// missed a heartbeat and may already be dead.
+		if nb.suspect {
+			continue
+		}
 		nbrs = append(nbrs, nb.info)
 	}
 	n.mu.Unlock()
@@ -131,6 +136,7 @@ func (n *Node) touchNeighbor(info wire.PeerInfo) {
 	if nb, ok := n.neighbors[info.Addr]; ok {
 		nb.info = info
 		nb.lastAck = time.Now()
+		nb.suspect = false
 	}
 }
 
@@ -207,15 +213,27 @@ func (n *Node) refreshAdvertisements() {
 
 func (n *Node) epoch(stalled bool) {
 	grace := time.Duration(n.cfg.MissedHeartbeatsToFail+1) * n.cfg.HeartbeatInterval
+	// A neighbour becomes suspect after one silent epoch (plus slack for
+	// ack latency); it is re-probed mid-epoch and recommended to nobody
+	// until it answers, and declared dead at the full grace.
+	suspectAfter := n.cfg.HeartbeatInterval + n.cfg.HeartbeatInterval/2
 	now := time.Now()
 
 	n.mu.Lock()
 	var dead []string
 	var live []string
+	var newlySuspect []string
 	for addr, nb := range n.neighbors {
-		if !stalled && now.Sub(nb.lastAck) > grace {
+		switch {
+		case !stalled && now.Sub(nb.lastAck) > grace:
 			dead = append(dead, addr)
-		} else {
+		case !stalled && now.Sub(nb.lastAck) > suspectAfter:
+			if !nb.suspect {
+				nb.suspect = true
+				newlySuspect = append(newlySuspect, addr)
+			}
+			live = append(live, addr)
+		default:
 			live = append(live, addr)
 		}
 	}
@@ -223,10 +241,35 @@ func (n *Node) epoch(stalled bool) {
 
 	var orphaned []string
 	for _, addr := range dead {
+		n.stats.neighborsDead.Add(1)
 		orphaned = append(orphaned, n.removeNeighborAndOrphans(addr)...)
 	}
 	for _, addr := range live {
 		_ = n.send(addr, wire.Message{Type: wire.THeartbeat, From: n.selfInfo(), SentAt: now})
+	}
+	// Suspects get one extra mid-epoch probe: a lost heartbeat (or ack)
+	// must not cost a whole epoch of detection latency.
+	if len(newlySuspect) > 0 {
+		n.stats.suspects.Add(uint64(len(newlySuspect)))
+		reprobe := newlySuspect
+		time.AfterFunc(n.cfg.HeartbeatInterval/2, func() {
+			select {
+			case <-n.stop:
+				return
+			default:
+			}
+			n.mu.Lock()
+			var targets []string
+			for _, addr := range reprobe {
+				if nb, ok := n.neighbors[addr]; ok && nb.suspect {
+					targets = append(targets, addr)
+				}
+			}
+			n.mu.Unlock()
+			for _, addr := range targets {
+				_ = n.send(addr, wire.Message{Type: wire.THeartbeat, From: n.selfInfo(), SentAt: time.Now()})
+			}
+		})
 	}
 	// Rendezvous duty: beacon every group we root, down the tree.
 	n.beaconGroups()
@@ -268,43 +311,52 @@ func (n *Node) epoch(stalled bool) {
 }
 
 // beaconGroups floods a fresh rendezvous beacon down every group this node
-// roots.
+// roots. Each child's beacon carries its backup access points (siblings —
+// tree nodes guaranteed outside the child's subtree).
 func (n *Node) beaconGroups() {
 	n.mu.Lock()
 	type beacon struct {
-		msg      wire.Message
-		children []string
+		to  string
+		msg wire.Message
 	}
 	var beacons []beacon
 	for gid, gs := range n.groups {
 		if !gs.rendezvous || len(gs.children) == 0 {
 			continue
 		}
-		children := make([]string, 0, len(gs.children))
-		for addr := range gs.children {
-			children = append(children, addr)
+		for addr, info := range gs.children {
+			beacons = append(beacons, beacon{
+				to: addr,
+				msg: wire.Message{
+					Type:    wire.TBeacon,
+					From:    n.selfInfoLocked(),
+					GroupID: gid,
+					Path:    []string{n.self.Addr},
+					Backups: n.backupsForChildLocked(gs, info),
+				},
+			})
 		}
-		beacons = append(beacons, beacon{
-			msg: wire.Message{
-				Type:    wire.TBeacon,
-				From:    n.selfInfoLocked(),
-				GroupID: gid,
-				Path:    []string{n.self.Addr},
-			},
-			children: children,
-		})
 	}
 	n.mu.Unlock()
 	for _, b := range beacons {
-		for _, c := range b.children {
-			_ = n.send(c, b.msg)
-		}
+		_ = n.send(b.to, b.msg)
 	}
 }
 
 // reattachAsync repairs dangling forwarder uplinks without asserting
 // membership.
-func (n *Node) reattachAsync(groupIDs []string) {
+func (n *Node) reattachAsync(groupIDs []string) { n.repairAsync(groupIDs, false) }
+
+// rejoinAsync re-subscribes orphaned groups without blocking the caller. At
+// most one attempt per group is in flight at a time.
+func (n *Node) rejoinAsync(groupIDs []string) { n.repairAsync(groupIDs, true) }
+
+// repairAsync reattaches the given groups in the background, at most one
+// repair per group in flight at a time. Each repair tries the precomputed
+// backup access points first (live failover), then falls back to
+// search-based joins with exponential backoff; the epoch loop retriggers
+// any group still detached afterwards.
+func (n *Node) repairAsync(groupIDs []string, asMember bool) {
 	for _, gid := range groupIDs {
 		gid := gid
 		n.mu.Lock()
@@ -322,35 +374,36 @@ func (n *Node) reattachAsync(groupIDs []string) {
 				delete(n.rejoining, gid)
 				n.mu.Unlock()
 			}()
-			_ = n.joinInternal(gid, 2*time.Second, false)
+			n.repairAttachment(gid, asMember)
 		}()
 	}
 }
 
-// rejoinAsync re-subscribes orphaned groups without blocking the caller. At
-// most one attempt per group is in flight at a time.
-func (n *Node) rejoinAsync(groupIDs []string) {
-	for _, gid := range groupIDs {
-		gid := gid
-		n.mu.Lock()
-		if n.rejoining[gid] {
-			n.mu.Unlock()
-			continue
+// repairAttachment runs one repair for a detached group: backup failover
+// first, then retried search-based joins.
+func (n *Node) repairAttachment(gid string, asMember bool) {
+	if n.attached(gid) {
+		return
+	}
+	if !n.cfg.DisableBackupFailover {
+		if err := n.tryBackups(gid, asMember); err == nil {
+			n.stats.repairBackup.Add(1)
+			return
 		}
-		n.rejoining[gid] = true
-		n.mu.Unlock()
-		n.done.Add(1)
-		go func() {
-			defer n.done.Done()
-			defer func() {
-				n.mu.Lock()
-				delete(n.rejoining, gid)
-				n.mu.Unlock()
-			}()
-			// Direct reverse paths died with the parent; rely on the ripple
-			// search with a modest timeout. The epoch loop retries if this
-			// attempt fails.
-			_ = n.Join(gid, 2*time.Second)
-		}()
+	}
+	for attempt := 0; attempt < n.cfg.RetryAttempts; attempt++ {
+		if attempt > 0 {
+			n.stats.retries.Add(1)
+			if !n.sleepBackoff(attempt) {
+				return
+			}
+			if n.attached(gid) {
+				return
+			}
+		}
+		if err := n.joinInternal(gid, 2*time.Second, asMember); err == nil {
+			n.stats.repairSearch.Add(1)
+			return
+		}
 	}
 }

@@ -64,6 +64,22 @@ type Config struct {
 	EnableVivaldi bool
 	// Vivaldi tunes the spring model when enabled; zero value uses defaults.
 	Vivaldi coords.VivaldiConfig
+	// RetryAttempts bounds the attempts of the retried operations —
+	// bootstrap probes, tree joins, and the ripple search — before giving
+	// up (0 uses the default of 3).
+	RetryAttempts int
+	// RetryBaseDelay is the backoff before the second attempt; it doubles
+	// per attempt with jitter, capped at RetryMaxDelay. Zeros use the
+	// defaults (50ms base, 1s cap).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// BackupFanout is how many backup access points a tree node hands each
+	// child on beacons and join acks (0 uses the default of 3).
+	BackupFanout int
+	// DisableBackupFailover forces search-only tree repair: a member whose
+	// parent died goes straight to the ripple search instead of trying its
+	// precomputed backup access points first.
+	DisableBackupFailover bool
 }
 
 // DefaultConfig returns a live config mirroring the simulator defaults.
@@ -89,12 +105,20 @@ type PayloadHandler func(groupID string, from wire.PeerInfo, data []byte)
 type neighborState struct {
 	info    wire.PeerInfo
 	lastAck time.Time
+	// suspect marks a neighbour that missed a heartbeat and is being
+	// re-probed; it clears on the next ack and escalates to dead when the
+	// full grace elapses (the two-missed-heartbeats rule).
+	suspect bool
 }
 
 type groupState struct {
 	rendezvous bool
 	member     bool
 	parent     string // "" when root or detached
+	// parentInfo is the parent's last-known full identity (addr-only right
+	// after joinVia, refreshed with coordinates from beacons and join acks).
+	// It is the child's grandparent in backupsForChildLocked.
+	parentInfo wire.PeerInfo
 	children   map[string]wire.PeerInfo
 	seen       map[uint64]bool // payload MsgIDs already forwarded
 	rdvInfo    wire.PeerInfo
@@ -105,6 +129,11 @@ type groupState struct {
 	// (self last is excluded; best-effort, refreshed by join acks). Used to
 	// refuse re-attachment inside the node's own subtree.
 	rootPath []string
+	// backups are this node's precomputed backup access points — tree
+	// nodes outside its own subtree, handed down by the parent on beacons
+	// and join acks. When the parent dies, failover tries them nearest
+	// first before falling back to the ripple search.
+	backups []wire.PeerInfo
 }
 
 type adState struct {
@@ -171,6 +200,21 @@ func New(tr transport.Transport, cfg Config) *Node {
 	}
 	if cfg.BeaconGraceEpochs < 1 {
 		cfg.BeaconGraceEpochs = 6
+	}
+	if cfg.RetryAttempts < 1 {
+		cfg.RetryAttempts = 3
+	}
+	if cfg.RetryBaseDelay <= 0 {
+		cfg.RetryBaseDelay = 50 * time.Millisecond
+	}
+	if cfg.RetryMaxDelay < cfg.RetryBaseDelay {
+		cfg.RetryMaxDelay = time.Second
+		if cfg.RetryMaxDelay < cfg.RetryBaseDelay {
+			cfg.RetryMaxDelay = cfg.RetryBaseDelay
+		}
+	}
+	if cfg.BackupFanout < 1 {
+		cfg.BackupFanout = 3
 	}
 	coord := cfg.Coord
 	if coord == nil {
@@ -374,6 +418,10 @@ func (n *Node) nextMsgID() uint64 {
 // the PB-gated connection protocol. At least one connection is guaranteed
 // (an unconditional connect to the best candidate if every request was
 // declined).
+//
+// Contacts are probed concurrently, and a probe whose response is lost is
+// retried with exponential backoff, so dead contacts cost one shared wait
+// instead of a full timeout each.
 func (n *Node) Bootstrap(contacts []string, timeout time.Duration) error {
 	if err := n.runnable(); err != nil {
 		return err
@@ -382,34 +430,46 @@ func (n *Node) Bootstrap(contacts []string, timeout time.Duration) error {
 		return nil // first node in the overlay
 	}
 
-	// Probe phase.
-	freq := make(map[string]int)
-	infos := make(map[string]wire.PeerInfo)
+	// Probe phase: all contacts in parallel, each with bounded retries.
+	// The per-attempt wait divides the caller's timeout so the phase stays
+	// inside roughly one timeout regardless of how many contacts are dead.
+	attemptWait := timeout / time.Duration(n.cfg.RetryAttempts)
+	if attemptWait < 10*time.Millisecond {
+		attemptWait = 10 * time.Millisecond
+	}
+	var (
+		probeMu sync.Mutex
+		freq    = make(map[string]int)
+		infos   = make(map[string]wire.PeerInfo)
+		wg      sync.WaitGroup
+	)
 	for _, addr := range contacts {
 		if addr == n.self.Addr {
 			continue
 		}
-		reqID, ch := n.nextReq()
-		err := n.send(addr, wire.Message{Type: wire.TProbe, From: n.selfInfo(), ReqID: reqID})
-		if err != nil {
-			n.dropReq(reqID)
-			continue
-		}
-		select {
-		case resp := <-ch:
-			for _, info := range resp.Neighbors {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			resp, ok := n.probeWithRetry(addr, attemptWait)
+			if !ok {
+				return
+			}
+			probeMu.Lock()
+			defer probeMu.Unlock()
+			for _, info := range resp {
 				if info.Addr == n.self.Addr {
 					continue
 				}
 				freq[info.Addr]++
 				infos[info.Addr] = info
 			}
-		case <-time.After(timeout):
-		case <-n.stop:
-			n.dropReq(reqID)
-			return ErrClosed
-		}
-		n.dropReq(reqID)
+		}(addr)
+	}
+	wg.Wait()
+	select {
+	case <-n.stop:
+		return ErrClosed
+	default:
 	}
 	if len(infos) == 0 {
 		return fmt.Errorf("node: no bootstrap contact answered")

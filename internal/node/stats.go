@@ -3,6 +3,7 @@ package node
 import (
 	"sync/atomic"
 
+	"groupcast/internal/transport"
 	"groupcast/internal/wire"
 )
 
@@ -16,14 +17,38 @@ type Stats struct {
 	// DuplicatesDropped counts payloads and advertisements discarded by the
 	// MsgID dedup filter.
 	DuplicatesDropped uint64
+	// Retries counts retransmission attempts (probe, join, repair) taken
+	// after a timeout or send failure.
+	Retries uint64
+	// Suspected counts neighbours that entered the suspect state (silent
+	// past 1.5 heartbeat intervals) before either recovering or dying.
+	Suspected uint64
+	// NeighborsDeclaredDead counts neighbours removed by the failure
+	// detector after the full heartbeat grace elapsed.
+	NeighborsDeclaredDead uint64
+	// RepairsViaBackup counts tree reattachments that succeeded through a
+	// precomputed backup access point.
+	RepairsViaBackup uint64
+	// RepairsViaSearch counts tree reattachments that fell back to the
+	// reverse-path / ripple-search join.
+	RepairsViaSearch uint64
+	// Transport reports the transport layer's drop accounting (inbox
+	// sheds, send failures, chaos-injected faults) when the node's
+	// transport exposes it; zero otherwise.
+	Transport transport.DropStats
 }
 
 // statCounters is the node's internal lock-free tally.
 type statCounters struct {
-	sent      [32]atomic.Uint64 // indexed by wire.Type
-	received  [32]atomic.Uint64
-	delivered atomic.Uint64
-	dupes     atomic.Uint64
+	sent          [32]atomic.Uint64 // indexed by wire.Type
+	received      [32]atomic.Uint64
+	delivered     atomic.Uint64
+	dupes         atomic.Uint64
+	retries       atomic.Uint64
+	suspects      atomic.Uint64
+	neighborsDead atomic.Uint64
+	repairBackup  atomic.Uint64
+	repairSearch  atomic.Uint64
 }
 
 func (s *statCounters) onSend(t wire.Type) {
@@ -41,10 +66,18 @@ func (s *statCounters) onRecv(t wire.Type) {
 // Stats returns a snapshot of the node's message counters.
 func (n *Node) Stats() Stats {
 	out := Stats{
-		Sent:              make(map[string]uint64),
-		Received:          make(map[string]uint64),
-		Delivered:         n.stats.delivered.Load(),
-		DuplicatesDropped: n.stats.dupes.Load(),
+		Sent:                  make(map[string]uint64),
+		Received:              make(map[string]uint64),
+		Delivered:             n.stats.delivered.Load(),
+		DuplicatesDropped:     n.stats.dupes.Load(),
+		Retries:               n.stats.retries.Load(),
+		Suspected:             n.stats.suspects.Load(),
+		NeighborsDeclaredDead: n.stats.neighborsDead.Load(),
+		RepairsViaBackup:      n.stats.repairBackup.Load(),
+		RepairsViaSearch:      n.stats.repairSearch.Load(),
+	}
+	if dc, ok := n.tr.(transport.DropCounter); ok {
+		out.Transport = dc.DropStats()
 	}
 	for t := 1; t < len(n.stats.sent); t++ {
 		if v := n.stats.sent[t].Load(); v > 0 {

@@ -48,6 +48,35 @@ func TestEpochControllerDefaults(t *testing.T) {
 	}
 }
 
+func TestEpochControllerBurstRecovery(t *testing.T) {
+	// The exact multiplicative trajectory through a churn burst: halving
+	// per stormy epoch on the way down, 25% stretches on the way back.
+	c := NewEpochController(16000, 1000, 60000, 4)
+	if d := c.Observe(10); d != 8000 {
+		t.Fatalf("burst epoch 1: %v, want 8000", d)
+	}
+	if d := c.Observe(10); d != 4000 {
+		t.Fatalf("burst epoch 2: %v, want 4000", d)
+	}
+	if d := c.Observe(10); d != 2000 {
+		t.Fatalf("burst epoch 3: %v, want 2000", d)
+	}
+	// The burst ends; calm epochs stretch multiplicatively.
+	if d := c.Observe(0); d != 2500 {
+		t.Fatalf("recovery epoch 1: %v, want 2500", d)
+	}
+	if d := c.Observe(1); d != 3125 {
+		t.Fatalf("recovery epoch 2: %v, want 3125", d)
+	}
+	// On-target epochs hold the duration; a fresh burst bites immediately.
+	if d := c.Observe(3); d != 3125 {
+		t.Fatalf("on-target epoch moved to %v", d)
+	}
+	if d := c.Observe(7); d != 1562.5 {
+		t.Fatalf("fresh burst: %v, want 1562.5", d)
+	}
+}
+
 func TestEpochControllerBoundsProperty(t *testing.T) {
 	// Property: duration never leaves [Min, Max] under any repair sequence.
 	f := func(seed int64, reps []uint8) bool {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"groupcast/internal/wire"
@@ -98,6 +99,9 @@ func (n *MemNetwork) deliver(from, to string, msg wire.Message) error {
 		return fmt.Errorf("%w: %q", ErrUnknownPeer, to)
 	}
 	if drop {
+		if src := n.endpoint(from); src != nil {
+			src.fabricDrops.Add(1)
+		}
 		return nil // silently lost, as on a real network
 	}
 	if delay <= 0 {
@@ -109,17 +113,29 @@ func (n *MemNetwork) deliver(from, to string, msg wire.Message) error {
 	return nil
 }
 
+func (n *MemNetwork) endpoint(name string) *MemEndpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.endpoints[name]
+}
+
 // MemEndpoint is one node's attachment to a MemNetwork.
 type MemEndpoint struct {
 	net   *MemNetwork
 	addr  string
 	inbox chan wire.Message
 
+	inboxSheds  atomic.Uint64
+	fabricDrops atomic.Uint64
+
 	mu     sync.Mutex
 	closed bool
 }
 
-var _ Transport = (*MemEndpoint)(nil)
+var (
+	_ Transport   = (*MemEndpoint)(nil)
+	_ DropCounter = (*MemEndpoint)(nil)
+)
 
 // Addr returns the endpoint's fabric name.
 func (e *MemEndpoint) Addr() string { return e.addr }
@@ -149,6 +165,16 @@ func (e *MemEndpoint) push(msg wire.Message) {
 	select {
 	case e.inbox <- msg:
 	default:
+		e.inboxSheds.Add(1)
+	}
+}
+
+// DropStats reports the endpoint's loss counters: messages this endpoint
+// sent that the fabric dropped, and inbound messages shed on a full inbox.
+func (e *MemEndpoint) DropStats() DropStats {
+	return DropStats{
+		InboxSheds:  e.inboxSheds.Load(),
+		FabricDrops: e.fabricDrops.Load(),
 	}
 }
 

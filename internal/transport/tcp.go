@@ -5,16 +5,39 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"groupcast/internal/wire"
 )
 
+// TCPConfig bounds the TCP transport's blocking operations. A dead or
+// wedged peer must never stall Send (and the heartbeat loop behind it)
+// indefinitely.
+type TCPConfig struct {
+	// DialTimeout bounds connection establishment. Zero uses the default.
+	DialTimeout time.Duration
+	// WriteTimeout bounds each message write (applied as a per-write
+	// deadline on the connection). Zero uses the default.
+	WriteTimeout time.Duration
+}
+
+// DefaultTCPConfig returns the timeouts used by ListenTCP.
+func DefaultTCPConfig() TCPConfig {
+	return TCPConfig{DialTimeout: 5 * time.Second, WriteTimeout: 5 * time.Second}
+}
+
 // TCPTransport is a gob-framed TCP implementation of Transport. Each
 // endpoint listens on its address; outbound connections are cached per
-// destination and redialled once on write failure.
+// destination and redialled once on write failure. Dials and writes carry
+// deadlines so a dead peer fails the Send instead of hanging it.
 type TCPTransport struct {
 	ln    net.Listener
+	cfg   TCPConfig
 	inbox chan wire.Message
+
+	inboxSheds  atomic.Uint64
+	fabricDrops atomic.Uint64
 
 	mu      sync.Mutex
 	conns   map[string]*tcpConn
@@ -24,22 +47,40 @@ type TCPTransport struct {
 }
 
 type tcpConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
+	mu       sync.Mutex
+	conn     net.Conn
+	enc      *gob.Encoder
+	writeTmo time.Duration
 }
 
-var _ Transport = (*TCPTransport)(nil)
+var (
+	_ Transport   = (*TCPTransport)(nil)
+	_ DropCounter = (*TCPTransport)(nil)
+)
 
 // ListenTCP starts an endpoint on addr ("host:port"; ":0" picks a free
-// port).
+// port) with the default timeouts.
 func ListenTCP(addr string) (*TCPTransport, error) {
+	return ListenTCPConfig(addr, DefaultTCPConfig())
+}
+
+// ListenTCPConfig starts an endpoint with explicit timeouts (zero fields
+// fall back to the defaults).
+func ListenTCPConfig(addr string, cfg TCPConfig) (*TCPTransport, error) {
+	def := DefaultTCPConfig()
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = def.DialTimeout
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = def.WriteTimeout
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
 	t := &TCPTransport{
 		ln:      ln,
+		cfg:     cfg,
 		inbox:   make(chan wire.Message, 1024),
 		conns:   make(map[string]*tcpConn),
 		inbound: make(map[net.Conn]struct{}),
@@ -54,6 +95,15 @@ func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
 
 // Recv returns the inbound stream.
 func (t *TCPTransport) Recv() <-chan wire.Message { return t.inbox }
+
+// DropStats reports inbound messages shed on a full inbox and outbound
+// messages lost to dial/write failures after the retry.
+func (t *TCPTransport) DropStats() DropStats {
+	return DropStats{
+		InboxSheds:  t.inboxSheds.Load(),
+		FabricDrops: t.fabricDrops.Load(),
+	}
+}
 
 func (t *TCPTransport) acceptLoop() {
 	defer t.wg.Done()
@@ -98,13 +148,16 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		select {
 		case t.inbox <- msg:
 		default:
-			// Inbox full: shed load rather than stall the peer.
+			// Inbox full: shed load rather than stall the peer, but account
+			// for it so soak tests can assert on loss.
+			t.inboxSheds.Add(1)
 		}
 	}
 }
 
 // Send writes msg to addr over a cached connection, dialling on demand and
-// retrying once with a fresh connection on failure.
+// retrying once with a fresh connection on failure. Dials and writes are
+// deadline-bounded by the transport's TCPConfig.
 func (t *TCPTransport) Send(addr string, msg wire.Message) error {
 	t.mu.Lock()
 	if t.closed {
@@ -122,21 +175,23 @@ func (t *TCPTransport) Send(addr string, msg wire.Message) error {
 	}
 	c, err := t.dial(addr)
 	if err != nil {
+		t.fabricDrops.Add(1)
 		return err
 	}
 	if err := c.encode(msg); err != nil {
 		t.dropConn(addr, c)
+		t.fabricDrops.Add(1)
 		return fmt.Errorf("transport: send to %s: %w", addr, err)
 	}
 	return nil
 }
 
 func (t *TCPTransport) dial(addr string) (*tcpConn, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	c := &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+	c := &tcpConn{conn: conn, enc: gob.NewEncoder(conn), writeTmo: t.cfg.WriteTimeout}
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -166,6 +221,11 @@ func (t *TCPTransport) dropConn(addr string, c *tcpConn) {
 func (c *tcpConn) encode(msg wire.Message) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.writeTmo > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(c.writeTmo)); err != nil {
+			return err
+		}
+	}
 	return c.enc.Encode(&msg)
 }
 

@@ -29,3 +29,27 @@ var (
 	ErrClosed      = errors.New("transport: endpoint closed")
 	ErrUnknownPeer = errors.New("transport: unknown destination")
 )
+
+// DropStats counts the messages an endpoint lost, split by cause. All
+// counts are cumulative and monotonically increasing.
+type DropStats struct {
+	// InboxSheds counts inbound messages discarded because the endpoint's
+	// inbox was full (backpressure becomes loss, like UDP).
+	InboxSheds uint64
+	// FabricDrops counts outbound messages the fabric or chaos layer lost
+	// (injected loss, partitions, crash-stopped peers).
+	FabricDrops uint64
+	// Duplicates counts extra copies injected by the chaos layer.
+	Duplicates uint64
+}
+
+// Total is the number of messages lost (duplicates are extra copies, not
+// losses, and are excluded).
+func (d DropStats) Total() uint64 { return d.InboxSheds + d.FabricDrops }
+
+// DropCounter is implemented by transports that account for shed and
+// dropped messages. The node layer surfaces these through its Stats so soak
+// tests can assert on loss.
+type DropCounter interface {
+	DropStats() DropStats
+}

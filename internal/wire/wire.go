@@ -116,4 +116,12 @@ type Message struct {
 	// rendezvous) on join acks and search hits, letting re-joining members
 	// avoid attaching inside their own subtree.
 	Path []string
+
+	// Backups lists precomputed backup access points on beacons and join
+	// acks: tree nodes outside the recipient's subtree (its grandparent,
+	// siblings, the rendezvous, and inherited ancestors' backups) that the
+	// recipient can fail over to directly when its parent dies, without
+	// paying a ripple search. This is the live-runtime port of the
+	// dynamic-replication extension (protocol.ComputeBackups).
+	Backups []PeerInfo
 }
