@@ -46,8 +46,14 @@ func run() error {
 		seed     = flag.Int64("seed", time.Now().UnixNano(), "random seed")
 		quiet    = flag.Bool("quiet", false, "suppress status lines")
 		vivaldi  = flag.Bool("vivaldi", false, "measure live Vivaldi network coordinates from heartbeat RTTs")
+		mode     = flag.String("mode", "best-effort", "delivery mode for -create'd groups: best-effort, reliable, reliable-ordered")
 	)
 	flag.Parse()
+
+	deliveryMode, err := wire.ParseDeliveryMode(*mode)
+	if err != nil {
+		return err
+	}
 
 	tr, err := transport.ListenTCP(*listen)
 	if err != nil {
@@ -81,13 +87,13 @@ func run() error {
 	switch {
 	case *create != "":
 		groupID = *create
-		if err := n.CreateGroup(groupID); err != nil {
+		if err := n.CreateGroupMode(groupID, deliveryMode); err != nil {
 			return err
 		}
 		if err := n.Advertise(groupID); err != nil {
 			return err
 		}
-		status("created and advertised group %q", groupID)
+		status("created and advertised group %q (%s)", groupID, deliveryMode)
 	case *join != "":
 		groupID = *join
 		// The advertisement may still be in flight; retry briefly.

@@ -1,0 +1,374 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"groupcast/internal/coords"
+	"groupcast/internal/metrics"
+	"groupcast/internal/node"
+	"groupcast/internal/peer"
+	"groupcast/internal/transport"
+	"groupcast/internal/wire"
+)
+
+// This file is the data-plane goodput experiment: live clusters publish a
+// fixed payload schedule from two sources while seeded per-link loss runs,
+// and the three delivery modes are compared — best-effort tree flooding
+// against the reliable (NACK + digest anti-entropy) and reliable-ordered
+// (per-source FIFO release) data planes.
+//
+// Outcome columns (members, published, complete, fifo) are deterministic for
+// a fixed seed at any -workers count: membership is established fault-free
+// with retries, the publish schedule is fixed, the reliable modes recover
+// every loss within the horizon, and FIFO is structural (links preserve
+// order; only unordered retransmissions break it). The measured columns
+// (delivery at the horizon, dup-overhead, nacks, retransmits, recovery-ms)
+// are wall-clock observations and vary run to run.
+
+// goodputScenario is one loss configuration.
+type goodputScenario struct {
+	name string
+	desc string
+	// schedule is the link-fault script armed after membership is
+	// established (offsets from arming).
+	schedule []transport.FaultEvent
+	// lossy marks scenarios where best-effort delivery is expected to be
+	// incomplete.
+	lossy bool
+}
+
+func goodputScenarios() []goodputScenario {
+	return []goodputScenario{
+		{
+			name: "no-loss",
+			desc: "fault-free fabric (baseline: every mode should be complete)",
+		},
+		{
+			name: "5%-loss",
+			desc: "5% uniform per-link loss for the whole run",
+			schedule: []transport.FaultEvent{
+				transport.LinkRuleAt(0, "", "", transport.LinkRule{Drop: 0.05}),
+			},
+			lossy: true,
+		},
+		{
+			name: "burst-loss",
+			desc: "25% loss burst during the publish phase, settling to 5%",
+			schedule: []transport.FaultEvent{
+				transport.LinkRuleAt(0, "", "", transport.LinkRule{Drop: 0.25}),
+				transport.LinkRuleAt(time.Second, "", "", transport.LinkRule{Drop: 0.05}),
+			},
+			lossy: true,
+		},
+	}
+}
+
+// goodputRow is one (scenario, delivery mode) measurement.
+type goodputRow struct {
+	Scenario string
+	Mode     wire.DeliveryMode
+	Members  int
+	// Published is the total payload count across both publishers.
+	Published int
+	// Complete reports that every member delivered every foreign payload
+	// within the horizon; FIFO that every member's per-source deliveries
+	// were in exact publish order.
+	Complete bool
+	FIFO     bool
+	// Delivery is the delivered fraction of the expected member deliveries
+	// at the horizon (1.0 when Complete); MinMember is the worst single
+	// member's fraction — the fairness signal that exposes an orphaned
+	// subtree a cluster-wide average would hide.
+	Delivery  float64
+	MinMember float64
+	// Dupes, Nacks, Retransmits sum the respective node counters across the
+	// cluster; RecoveryMs is how long after the last publish the cluster
+	// took to become complete (0 when it never did).
+	Dupes       uint64
+	Nacks       uint64
+	Retransmits uint64
+	RecoveryMs  int64
+}
+
+const (
+	goodputNodes     = 12
+	goodputPerSource = 25
+	// goodputHorizon is deliberately generous: complete cells exit the moment
+	// they finish, so the slack is only ever spent when the machine is
+	// starved (race detector, oversubscribed CI) and recovery is still
+	// making progress.
+	goodputHorizon = 45 * time.Second
+	// goodputQuiet ends a cell early once deliveries stop progressing AND no
+	// gap recovery is pending anywhere (the best-effort cells never complete
+	// under loss; waiting the full horizon for them would be wasted
+	// wall-clock). Quiescence alone is not enough for the reliable modes: a
+	// NACK retry at max backoff under scheduler load can look idle for
+	// seconds while recovery is still live.
+	goodputQuiet = 2 * time.Second
+)
+
+// RunGoodput runs the loss × delivery-mode sweep (cells fan out across
+// workers goroutines; 0 = one per CPU) and writes the comparison tables.
+func RunGoodput(w io.Writer, seed int64, workers int) error {
+	scenarios := goodputScenarios()
+	modes := []wire.DeliveryMode{wire.BestEffort, wire.Reliable, wire.ReliableOrdered}
+	rows, err := runGoodputRows(seed, workers)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "# goodput: reliable data plane vs best-effort flooding under seeded link loss")
+	fmt.Fprintln(w, "# (members, published, complete, fifo are deterministic for a fixed seed;")
+	fmt.Fprintln(w, "#  delivery, dupes, nacks, retransmits, recovery-ms are wall-clock measurements)")
+	ri := 0
+	for _, sc := range scenarios {
+		fmt.Fprintf(w, "\n## scenario %s — %s\n", sc.name, sc.desc)
+		fmt.Fprintf(w, "%-17s %-8s %-10s %-9s %-5s %-9s %-11s %-6s %-6s %-12s %s\n",
+			"mode", "members", "published", "complete", "fifo", "delivery",
+			"min-member", "dupes", "nacks", "retransmits", "recovery-ms")
+		for range modes {
+			r := rows[ri]
+			ri++
+			fmt.Fprintf(w, "%-17s %-8d %-10d %-9s %-5s %-9.3f %-11.3f %-6d %-6d %-12d %d\n",
+				r.Mode, r.Members, r.Published, yesNo(r.Complete), yesNo(r.FIFO),
+				r.Delivery, r.MinMember, r.Dupes, r.Nacks, r.Retransmits, r.RecoveryMs)
+		}
+	}
+	return nil
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// runGoodputRows produces the sweep's rows in (scenario, mode) order.
+func runGoodputRows(seed int64, workers int) ([]goodputRow, error) {
+	scenarios := goodputScenarios()
+	modes := []wire.DeliveryMode{wire.BestEffort, wire.Reliable, wire.ReliableOrdered}
+	type cell struct {
+		scen goodputScenario
+		mode wire.DeliveryMode
+		seed int64
+	}
+	cells := make([]cell, 0, len(scenarios)*len(modes))
+	for si, sc := range scenarios {
+		for mi, mode := range modes {
+			cells = append(cells, cell{sc, mode, cellSeed(seed, 83, int64(si), int64(mi))})
+		}
+	}
+	return mapOrdered(workers, len(cells), func(i int) (goodputRow, error) {
+		c := cells[i]
+		return runGoodputCell(c.scen, c.mode, c.seed)
+	})
+}
+
+// runGoodputCell builds one live cluster, arms the loss schedule, runs the
+// fixed publish schedule from two sources, and scores the delivery.
+func runGoodputCell(sc goodputScenario, mode wire.DeliveryMode, seed int64) (goodputRow, error) {
+	row := goodputRow{Scenario: sc.name, Mode: mode}
+	mem := transport.NewMemNetwork()
+	chaos := transport.NewChaosNetwork(seed)
+	rng := rand.New(rand.NewSource(seed))
+	sampler := peer.MustTable1Sampler()
+
+	nodes := make([]*node.Node, 0, goodputNodes)
+	defer func() {
+		for _, nd := range nodes {
+			_ = nd.Close()
+		}
+	}()
+	for i := 0; i < goodputNodes; i++ {
+		cfg := node.DefaultConfig(float64(sampler.Sample(rng)),
+			coords.Point{rng.Float64() * 100, rng.Float64() * 100}, int64(i+1))
+		cfg.HeartbeatInterval = 150 * time.Millisecond
+		cfg.BeaconGraceEpochs = 4
+		nd := node.New(chaos.Wrap(mem.NextEndpoint()), cfg)
+		nd.Start()
+		var contacts []string
+		for j := len(nodes) - 1; j >= 0 && len(contacts) < 5; j-- {
+			contacts = append(contacts, nodes[j].Addr())
+		}
+		if err := nd.Bootstrap(contacts, 2*time.Second); err != nil {
+			return row, fmt.Errorf("goodput %s/%s: bootstrap node %d: %w", sc.name, mode, i, err)
+		}
+		nodes = append(nodes, nd)
+	}
+
+	const gid = "goodput"
+	rdv := nodes[0]
+	if err := rdv.CreateGroupMode(gid, mode); err != nil {
+		return row, err
+	}
+	if err := rdv.Advertise(gid); err != nil {
+		return row, err
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	// Membership and recording (fault-free phase: retries make the member
+	// count deterministic). Each member records, per source, the payload
+	// indices in arrival order.
+	type record struct {
+		mu   sync.Mutex
+		seqs map[string][]int
+	}
+	recs := make(map[string]*record, goodputNodes)
+	install := func(nd *node.Node) {
+		rec := &record{seqs: make(map[string][]int)}
+		recs[nd.Addr()] = rec
+		nd.SetPayloadHandler(func(_ string, from wire.PeerInfo, data []byte) {
+			var idx int
+			if _, err := fmt.Sscanf(string(data), "p%d", &idx); err != nil {
+				return
+			}
+			rec.mu.Lock()
+			rec.seqs[from.Addr] = append(rec.seqs[from.Addr], idx)
+			rec.mu.Unlock()
+		})
+	}
+	install(rdv)
+	members := []*node.Node{rdv}
+	for _, nd := range nodes[1:] {
+		joined := false
+		for attempt := 0; attempt < 4 && !joined; attempt++ {
+			joined = nd.Join(gid, time.Second) == nil
+		}
+		if !joined {
+			return row, fmt.Errorf("goodput %s/%s: node %s never joined", sc.name, mode, nd.Addr())
+		}
+		install(nd)
+		members = append(members, nd)
+	}
+	row.Members = len(members)
+	// One beacon round so every member has learned the group's mode before
+	// payloads flow.
+	time.Sleep(400 * time.Millisecond)
+
+	if len(sc.schedule) > 0 {
+		stop := chaos.PlaySchedule(sc.schedule)
+		defer stop()
+	}
+
+	// Fixed publish schedule: the rendezvous and one mid-cluster member each
+	// publish goodputPerSource payloads, interleaved.
+	pubs := []*node.Node{rdv, nodes[goodputNodes/2]}
+	for i := 0; i < goodputPerSource; i++ {
+		for _, p := range pubs {
+			_ = p.Publish(gid, []byte(fmt.Sprintf("p%d", i)))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	published := goodputPerSource * len(pubs)
+	row.Published = published
+	publishedAt := time.Now()
+
+	// Expected deliveries: every member hears every foreign source.
+	expected := 0
+	for _, m := range members {
+		for _, p := range pubs {
+			if p.Addr() != m.Addr() {
+				expected += goodputPerSource
+			}
+		}
+	}
+	delivered := func() int {
+		total := 0
+		for _, m := range members {
+			rec := recs[m.Addr()]
+			rec.mu.Lock()
+			for src, got := range rec.seqs {
+				if src != m.Addr() {
+					total += len(got)
+				}
+			}
+			rec.mu.Unlock()
+		}
+		return total
+	}
+
+	// Wait for completion, early-exiting once deliveries stop progressing
+	// and no node still has a gap under recovery or a payload held back for
+	// ordered release.
+	recoveryPending := func() bool {
+		for _, nd := range nodes {
+			rv := nd.Reliability(gid)
+			if rv.PendingGaps > 0 || rv.PendingOrdered > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	deadline := publishedAt.Add(goodputHorizon)
+	last, lastChange := delivered(), time.Now()
+	for time.Now().Before(deadline) {
+		cur := delivered()
+		if cur >= expected {
+			row.Complete = true
+			row.RecoveryMs = time.Since(publishedAt).Milliseconds()
+			break
+		}
+		if cur != last {
+			last, lastChange = cur, time.Now()
+		} else if time.Since(lastChange) > goodputQuiet && !recoveryPending() {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if expected > 0 {
+		row.Delivery = float64(delivered()) / float64(expected)
+	}
+	// Per-member delivery fractions: the summary's minimum is the worst
+	// member (expected per member is the same everywhere but at the
+	// publishers, which don't hear their own stream).
+	fracs := make([]float64, 0, len(members))
+	for _, m := range members {
+		rec := recs[m.Addr()]
+		memberExpected, memberGot := 0, 0
+		rec.mu.Lock()
+		for _, p := range pubs {
+			if p.Addr() == m.Addr() {
+				continue
+			}
+			memberExpected += goodputPerSource
+			memberGot += len(rec.seqs[p.Addr()])
+		}
+		rec.mu.Unlock()
+		if memberExpected > 0 {
+			fracs = append(fracs, float64(memberGot)/float64(memberExpected))
+		}
+	}
+	if sum, err := metrics.Summarize(fracs); err == nil {
+		row.MinMember = sum.Min
+	}
+
+	// FIFO: every member's per-source delivery index lists must be strictly
+	// increasing (complete cells: exactly 0..N-1).
+	row.FIFO = true
+	for _, m := range members {
+		rec := recs[m.Addr()]
+		rec.mu.Lock()
+		for src, got := range rec.seqs {
+			if src == m.Addr() {
+				continue
+			}
+			if !sort.IntsAreSorted(got) {
+				row.FIFO = false
+			}
+		}
+		rec.mu.Unlock()
+	}
+	for _, nd := range nodes {
+		st := nd.Stats()
+		row.Dupes += st.DuplicatesDropped
+		row.Nacks += st.NacksSent
+		row.Retransmits += st.Retransmits
+	}
+	return row, nil
+}

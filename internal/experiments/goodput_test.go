@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"testing"
+
+	"groupcast/internal/wire"
+)
+
+// goodputOutcome is the deterministic column set of a goodput row —
+// everything except the wall-clock measurements (delivery ratio at the
+// horizon, dupes, nacks, retransmits, recovery-ms).
+type goodputOutcome struct {
+	Scenario  string
+	Mode      wire.DeliveryMode
+	Members   int
+	Published int
+	Complete  bool
+	FIFO      bool
+}
+
+func goodputOutcomeOf(r goodputRow) goodputOutcome {
+	return goodputOutcome{r.Scenario, r.Mode, r.Members, r.Published, r.Complete, r.FIFO}
+}
+
+// TestGoodputReliableModesRecoverLoss is the fixed-seed data-plane
+// regression: under seeded per-link loss, both reliable modes must deliver
+// 100% of the publish schedule (complete=yes) with reliable-ordered also
+// FIFO at every member, while best-effort flooding is incomplete on every
+// lossy scenario — the contrast proving the NACK/digest machinery, not
+// luck, closes the gaps.
+func TestGoodputReliableModesRecoverLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live goodput sweep")
+	}
+	rows, err := runGoodputRows(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(goodputScenarios()) * 3; len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	lossy := make(map[string]bool)
+	for _, sc := range goodputScenarios() {
+		lossy[sc.name] = sc.lossy
+	}
+	for _, r := range rows {
+		if r.Members != goodputNodes {
+			t.Errorf("%s/%s: %d of %d members joined", r.Scenario, r.Mode, r.Members, goodputNodes)
+		}
+		if r.Published != 2*goodputPerSource {
+			t.Errorf("%s/%s: published = %d", r.Scenario, r.Mode, r.Published)
+		}
+		switch r.Mode {
+		case wire.Reliable, wire.ReliableOrdered:
+			if !r.Complete || r.Delivery != 1.0 {
+				t.Errorf("%s/%s: complete=%v delivery=%.3f; reliable modes must recover every loss",
+					r.Scenario, r.Mode, r.Complete, r.Delivery)
+			}
+			if r.Mode == wire.ReliableOrdered && !r.FIFO {
+				t.Errorf("%s/%s: FIFO violated in ordered mode", r.Scenario, r.Mode)
+			}
+			if lossy[r.Scenario] && r.Nacks == 0 && r.Retransmits == 0 {
+				t.Errorf("%s/%s: recovered a lossy run with zero NACKs and retransmits?",
+					r.Scenario, r.Mode)
+			}
+		case wire.BestEffort:
+			if lossy[r.Scenario] && r.Complete {
+				t.Errorf("%s/best-effort: complete under loss — the loss schedule is not biting", r.Scenario)
+			}
+			if !lossy[r.Scenario] && !r.Complete {
+				t.Errorf("%s/best-effort: incomplete without loss", r.Scenario)
+			}
+			if r.Nacks != 0 || r.Retransmits != 0 {
+				t.Errorf("%s/best-effort: nacks=%d retransmits=%d in fire-and-forget mode",
+					r.Scenario, r.Nacks, r.Retransmits)
+			}
+		}
+	}
+}
+
+// TestGoodputWorkerDeterminism pins the -workers contract for the goodput
+// sweep: the outcome columns of a fixed-seed run are identical whether the
+// cells run serially or concurrently. (The wall-clock columns are exempt by
+// design.)
+func TestGoodputWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live goodput sweep")
+	}
+	run := func(workers int) []goodputOutcome {
+		rows, err := runGoodputRows(7, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]goodputOutcome, len(rows))
+		for i, r := range rows {
+			out[i] = goodputOutcomeOf(r)
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(3)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("outcome columns diverged across worker counts:\n workers=1: %+v\n workers=3: %+v",
+				serial[i], parallel[i])
+		}
+	}
+}

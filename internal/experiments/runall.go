@@ -38,9 +38,11 @@ func RunAll(w io.Writer, cfg SweepConfig, seed int64, workers int) error {
 			}
 			return nil
 		},
-		// The chaos soak runs live clusters; its section workers stay at 1
-		// because the sections above already occupy the pool.
+		// The chaos soak and the goodput sweep run live clusters; their
+		// section workers stay at 1 because the sections above already
+		// occupy the pool.
 		func(buf io.Writer) error { return RunResilience(buf, seed, 1) },
+		func(buf io.Writer) error { return RunGoodput(buf, seed, 1) },
 	}
 	bufs, err := mapOrdered(workers, len(sections), func(i int) (*bytes.Buffer, error) {
 		var buf bytes.Buffer

@@ -98,7 +98,7 @@ func TestBeaconCycleDetection(t *testing.T) {
 		defer nd.mu.Unlock()
 		gs := nd.groups["g"]
 		if gs == nil {
-			gs = &groupState{children: make(map[string]wire.PeerInfo), seen: make(map[uint64]bool)}
+			gs = newGroupState(wire.BestEffort)
 			nd.groups["g"] = gs
 		}
 		gs.member = true

@@ -77,6 +77,7 @@ func (n *Node) tryBackups(gid string, asMember bool) error {
 	}
 	self := n.selfInfoLocked()
 	rdv := gs.rdvInfo
+	mode := gs.mode
 	cands := make([]wire.PeerInfo, 0, len(gs.backups))
 	for _, b := range gs.backups {
 		if b.Addr == self.Addr {
@@ -94,7 +95,7 @@ func (n *Node) tryBackups(gid string, asMember bool) error {
 		return n.dist(self, cands[i]) < n.dist(self, cands[j])
 	})
 	for _, b := range cands {
-		if err := n.joinVia(gid, b.Addr, rdv, backupJoinTimeout, asMember); err == nil {
+		if err := n.joinVia(gid, b.Addr, rdv, mode, backupJoinTimeout, asMember); err == nil {
 			return nil
 		}
 		select {

@@ -8,12 +8,29 @@ import (
 
 	"groupcast/internal/core"
 	"groupcast/internal/peer"
+	"groupcast/internal/reliable"
 	"groupcast/internal/wire"
 )
 
+// newGroupState allocates the per-group bookkeeping.
+func newGroupState(mode wire.DeliveryMode) *groupState {
+	return &groupState{
+		mode:     mode,
+		children: make(map[string]wire.PeerInfo),
+		recv:     make(map[string]*reliable.SourceWindow),
+	}
+}
+
 // CreateGroup makes this node the rendezvous point (and first member) of a
-// new communication group.
+// new communication group with the node's configured delivery mode.
 func (n *Node) CreateGroup(groupID string) error {
+	return n.CreateGroupMode(groupID, n.cfg.DeliveryMode)
+}
+
+// CreateGroupMode makes this node the rendezvous point of a new group with
+// an explicit delivery mode. The mode is a group property: members inherit
+// it from this rendezvous via advertisements, join acks, and beacons.
+func (n *Node) CreateGroupMode(groupID string, mode wire.DeliveryMode) error {
 	if err := n.runnable(); err != nil {
 		return err
 	}
@@ -23,15 +40,13 @@ func (n *Node) CreateGroup(groupID string) error {
 		return fmt.Errorf("node: group %q already exists here", groupID)
 	}
 	self := n.selfInfoLocked()
-	n.groups[groupID] = &groupState{
-		rendezvous: true,
-		member:     true,
-		children:   make(map[string]wire.PeerInfo),
-		seen:       make(map[uint64]bool),
-		rdvInfo:    self,
-		rootPath:   []string{},
-	}
-	n.adSeen[groupID] = adState{upstream: "", rendezvous: self}
+	gs := newGroupState(mode)
+	gs.rendezvous = true
+	gs.member = true
+	gs.rdvInfo = self
+	gs.rootPath = []string{}
+	n.groups[groupID] = gs
+	n.adSeen[groupID] = adState{upstream: "", rendezvous: self, mode: mode}
 	return nil
 }
 
@@ -46,10 +61,11 @@ func (n *Node) Advertise(groupID string) error {
 		n.mu.Unlock()
 		return fmt.Errorf("%w: %q (only the rendezvous advertises)", ErrNoGroup, groupID)
 	}
+	mode := gs.mode
 	n.mu.Unlock()
 	msgID := n.nextMsgID()
 	n.mu.Lock()
-	n.seenAds[msgID] = true
+	n.seenAds.Seen(msgID, time.Now())
 	n.mu.Unlock()
 	self := n.selfInfo()
 	n.forwardAdvertisement(wire.Message{
@@ -59,6 +75,7 @@ func (n *Node) Advertise(groupID string) error {
 		Rendezvous: self,
 		TTL:        n.cfg.AdvertiseTTL,
 		MsgID:      msgID,
+		Mode:       mode,
 	}, "")
 	return nil
 }
@@ -67,14 +84,13 @@ func (n *Node) Advertise(groupID string) error {
 // a utility-selected fraction of neighbours (SSA).
 func (n *Node) handleAdvertise(msg wire.Message) {
 	n.mu.Lock()
-	if n.seenAds[msg.MsgID] {
+	if n.seenAds.Seen(msg.MsgID, time.Now()) {
 		n.stats.dupes.Add(1)
 		n.mu.Unlock()
 		return
 	}
-	n.seenAds[msg.MsgID] = true
 	if _, known := n.adSeen[msg.GroupID]; !known {
-		n.adSeen[msg.GroupID] = adState{upstream: msg.From.Addr, rendezvous: msg.Rendezvous}
+		n.adSeen[msg.GroupID] = adState{upstream: msg.From.Addr, rendezvous: msg.Rendezvous, mode: msg.Mode}
 	}
 	n.mu.Unlock()
 	if msg.TTL <= 1 {
@@ -158,7 +174,7 @@ func (n *Node) joinInternal(groupID string, timeout time.Duration, asMember bool
 	n.mu.Unlock()
 
 	if sawAd && ad.upstream != "" {
-		return n.joinVia(groupID, ad.upstream, ad.rendezvous, timeout, asMember)
+		return n.joinVia(groupID, ad.upstream, ad.rendezvous, ad.mode, timeout, asMember)
 	}
 	if sawAd && ad.upstream == "" {
 		// We are the rendezvous (handled above) or the ad record is local.
@@ -180,7 +196,7 @@ func (n *Node) joinInternal(groupID string, timeout time.Duration, asMember bool
 		MsgID:   msgID,
 	}
 	n.mu.Lock()
-	n.seenAds[msgID] = true // don't answer our own search
+	n.seenAds.Seen(msgID, time.Now()) // don't answer our own search
 	nbrs := n.neighborAddrsLocked()
 	n.mu.Unlock()
 	for _, addr := range nbrs {
@@ -196,7 +212,7 @@ func (n *Node) joinInternal(groupID string, timeout time.Duration, asMember bool
 			if pathContains(hit.Path, n.self.Addr) {
 				continue
 			}
-			return n.joinVia(groupID, hit.From.Addr, hit.Rendezvous, timeout, asMember)
+			return n.joinVia(groupID, hit.From.Addr, hit.Rendezvous, hit.Mode, timeout, asMember)
 		case <-deadline:
 			return fmt.Errorf("%w: %q (no access point within TTL %d)",
 				ErrJoinFailed, groupID, n.cfg.SearchTTL)
@@ -262,6 +278,7 @@ func (n *Node) handleBeacon(msg wire.Message) {
 	gs.rootPath = append([]string(nil), msg.Path...)
 	gs.lastBeacon = time.Now()
 	gs.parentInfo = msg.From
+	gs.mode = msg.Mode // rendezvous-authoritative, carried down the tree
 	gs.backups = append([]wire.PeerInfo(nil), msg.Backups...)
 	downPath := append(append([]string(nil), msg.Path...), n.self.Addr)
 	type beacon struct {
@@ -277,6 +294,7 @@ func (n *Node) handleBeacon(msg wire.Message) {
 				From:    n.selfInfoLocked(),
 				GroupID: msg.GroupID,
 				Path:    downPath,
+				Mode:    gs.mode,
 				Backups: n.backupsForChildLocked(gs, info),
 			},
 		})
@@ -302,14 +320,11 @@ func pathContains(path []string, addr string) bool {
 // budget split evenly across attempts) so a single lost join or ack doesn't
 // fail the attachment. On final failure the tentative parent edge is rolled
 // back so the epoch loop sees the group as detached.
-func (n *Node) joinVia(groupID, parentAddr string, rdv wire.PeerInfo, timeout time.Duration, asMember bool) error {
+func (n *Node) joinVia(groupID, parentAddr string, rdv wire.PeerInfo, mode wire.DeliveryMode, timeout time.Duration, asMember bool) error {
 	n.mu.Lock()
 	gs := n.groups[groupID]
 	if gs == nil {
-		gs = &groupState{
-			children: make(map[string]wire.PeerInfo),
-			seen:     make(map[uint64]bool),
-		}
+		gs = newGroupState(mode)
 		n.groups[groupID] = gs
 	}
 	if asMember {
@@ -318,6 +333,7 @@ func (n *Node) joinVia(groupID, parentAddr string, rdv wire.PeerInfo, timeout ti
 	gs.parent = parentAddr
 	gs.parentInfo = wire.PeerInfo{Addr: parentAddr}
 	gs.rdvInfo = rdv
+	mode = gs.mode
 	n.mu.Unlock()
 
 	attempts := n.cfg.RetryAttempts
@@ -333,7 +349,7 @@ func (n *Node) joinVia(groupID, parentAddr string, rdv wire.PeerInfo, timeout ti
 		if attempt > 0 {
 			n.stats.retries.Add(1)
 		}
-		ack, err := n.joinOnce(groupID, parentAddr, rdv, attemptWait)
+		ack, err := n.joinOnce(groupID, parentAddr, rdv, mode, attemptWait)
 		if err == nil {
 			// An ack whose root path runs through us means we picked a
 			// parent inside our own subtree: accepting it would close a
@@ -375,7 +391,7 @@ func (n *Node) joinVia(groupID, parentAddr string, rdv wire.PeerInfo, timeout ti
 
 // joinOnce performs a single join handshake attempt against parentAddr and
 // returns the parent's ack.
-func (n *Node) joinOnce(groupID, parentAddr string, rdv wire.PeerInfo, wait time.Duration) (wire.Message, error) {
+func (n *Node) joinOnce(groupID, parentAddr string, rdv wire.PeerInfo, mode wire.DeliveryMode, wait time.Duration) (wire.Message, error) {
 	reqID, ch := n.nextReq()
 	defer n.dropReq(reqID)
 	self := n.selfInfo()
@@ -385,6 +401,7 @@ func (n *Node) joinOnce(groupID, parentAddr string, rdv wire.PeerInfo, wait time
 		GroupID:    groupID,
 		Subscriber: self,
 		Rendezvous: rdv,
+		Mode:       mode,
 		ReqID:      reqID,
 	}); err != nil {
 		return wire.Message{}, err
@@ -407,11 +424,8 @@ func (n *Node) handleJoin(msg wire.Message) {
 	n.mu.Lock()
 	gs := n.groups[msg.GroupID]
 	if gs == nil {
-		gs = &groupState{
-			children: make(map[string]wire.PeerInfo),
-			seen:     make(map[uint64]bool),
-			rdvInfo:  msg.Rendezvous,
-		}
+		gs = newGroupState(msg.Mode)
+		gs.rdvInfo = msg.Rendezvous
 		n.groups[msg.GroupID] = gs
 	}
 	gs.children[msg.From.Addr] = msg.From
@@ -436,6 +450,7 @@ func (n *Node) handleJoin(msg wire.Message) {
 			GroupID: msg.GroupID,
 			ReqID:   msg.ReqID,
 			Path:    ackPath,
+			Mode:    gs.mode,
 			Backups: ackBackups,
 		})
 	}
@@ -448,6 +463,7 @@ func (n *Node) handleJoin(msg wire.Message) {
 			GroupID:    msg.GroupID,
 			Subscriber: msg.Subscriber,
 			Rendezvous: msg.Rendezvous,
+			Mode:       msg.Mode,
 			ReqID:      n.nextMsgID(),
 		})
 	}
@@ -473,6 +489,7 @@ func (n *Node) handleJoinAck(msg wire.Message) {
 	}
 	gs.rootPath = append([]string(nil), msg.Path...)
 	gs.parentInfo = msg.From
+	gs.mode = msg.Mode // the parent's view is closer to the rendezvous
 	if len(msg.Backups) > 0 {
 		gs.backups = append([]wire.PeerInfo(nil), msg.Backups...)
 	}
@@ -482,17 +499,18 @@ func (n *Node) handleJoinAck(msg wire.Message) {
 // otherwise floods the query within its TTL.
 func (n *Node) handleSearch(msg wire.Message) {
 	n.mu.Lock()
-	if n.seenAds[msg.MsgID] {
+	if n.seenAds.Seen(msg.MsgID, time.Now()) {
 		n.mu.Unlock()
 		return
 	}
-	n.seenAds[msg.MsgID] = true
 	gs := n.groups[msg.GroupID]
 	ad, sawAd := n.adSeen[msg.GroupID]
 	onTree := n.onTreeLocked(gs)
 	rdv := ad.rendezvous
+	mode := ad.mode
 	if gs != nil {
 		rdv = gs.rdvInfo
+		mode = gs.mode
 	}
 	nbrs := n.neighborAddrsLocked()
 	n.mu.Unlock()
@@ -510,6 +528,7 @@ func (n *Node) handleSearch(msg wire.Message) {
 			GroupID:    msg.GroupID,
 			ReqID:      msg.ReqID,
 			Rendezvous: rdv,
+			Mode:       mode,
 			Path:       path,
 		})
 		return
@@ -527,8 +546,11 @@ func (n *Node) handleSearch(msg wire.Message) {
 	}
 }
 
-// Publish sends a payload to the group over its spanning tree. The caller
-// must be a member.
+// Publish sends a payload to the group over its spanning tree, stamped with
+// this publisher's next per-group sequence number. The caller must be a
+// member. Publish reports ErrPublishFailed when the node has tree links but
+// every send failed immediately (e.g. all links point at crashed or
+// partitioned peers) — the payload reached no one.
 func (n *Node) Publish(groupID string, data []byte) error {
 	if err := n.runnable(); err != nil {
 		return err
@@ -539,55 +561,94 @@ func (n *Node) Publish(groupID string, data []byte) error {
 		n.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotMember, groupID)
 	}
+	if gs.pub == nil {
+		gs.pub = reliable.NewSendBuffer(n.cfg.ReliableCache)
+	}
+	seq := gs.pub.Next(data)
+	self := n.selfInfoLocked()
+	targets := forwardTargetsLocked(gs, "")
 	n.mu.Unlock()
-	msgID := n.nextMsgID()
-	n.mu.Lock()
-	gs.seen[msgID] = true
-	n.mu.Unlock()
-	n.forwardPayload(wire.Message{
+	msg := wire.Message{
 		Type:    wire.TPayload,
-		From:    n.selfInfo(),
+		From:    self,
 		GroupID: groupID,
-		MsgID:   msgID,
+		Seq:     seq,
+		Relay:   self,
 		Data:    data,
-	}, "")
+	}
+	sent := 0
+	for _, addr := range targets {
+		if n.send(addr, msg) == nil {
+			sent++
+		}
+	}
+	if len(targets) > 0 && sent == 0 {
+		return fmt.Errorf("%w: %q (%d link(s), 0 reachable)",
+			ErrPublishFailed, groupID, len(targets))
+	}
 	return nil
 }
 
-// handlePayload delivers to the application when this node is a member and
-// forwards over the remaining tree edges.
+// handlePayload runs the payload through the per-source receive window
+// (dedup, gap detection, ordering), delivers what the window releases when
+// this node is a member, and forwards fresh payloads over the remaining tree
+// edges. deliverMu is held across the window update and the handler calls so
+// concurrent release paths (recv, NACK sweep, digest) cannot interleave an
+// ordered stream.
 func (n *Node) handlePayload(msg wire.Message) {
+	hop := msg.Relay.Addr
+	if hop == "" {
+		hop = msg.From.Addr
+	}
+	n.deliverMu.Lock()
 	n.mu.Lock()
 	gs := n.groups[msg.GroupID]
-	if gs == nil || gs.seen[msg.MsgID] {
-		if gs != nil {
-			n.stats.dupes.Add(1)
-		}
+	if gs == nil || msg.From.Addr == n.self.Addr {
 		n.mu.Unlock()
+		n.deliverMu.Unlock()
 		return
 	}
-	gs.seen[msg.MsgID] = true
+	w := n.windowForLocked(gs, msg.From)
+	_, fromChild := gs.children[hop]
+	if w.LastHop == "" || hop == gs.parent || fromChild {
+		// Only a current tree link may (re)aim the NACK direction: a
+		// retransmission arrives directly from whichever cache answered, and
+		// letting it hijack LastHop can point two neighbours' recovery at
+		// each other, away from the source.
+		w.LastHop = hop
+	}
+	var res reliable.ObserveResult
+	w.Observe(msg.Seq, msg.Data, time.Now(), &res)
+	n.noteWindowLocked(&res)
+	if !res.Fresh {
+		n.stats.dupes.Add(1)
+	}
 	deliver := gs.member
 	h := n.handler
 	n.mu.Unlock()
 	if deliver && h != nil {
-		n.stats.delivered.Add(1)
-		h(msg.GroupID, msg.From, msg.Data)
+		for _, d := range res.Deliver {
+			n.stats.delivered.Add(1)
+			h(msg.GroupID, msg.From, d.Data)
+		}
 	}
-	fwd := msg
-	n.forwardPayload(fwd, msg.From.Addr)
-}
-
-// forwardPayload sends the payload to the tree parent and children except
-// the link it arrived on. The original sender info is preserved so members
-// see who published.
-func (n *Node) forwardPayload(msg wire.Message, arrivedFrom string) {
-	n.mu.Lock()
-	gs := n.groups[msg.GroupID]
-	if gs == nil {
-		n.mu.Unlock()
+	n.deliverMu.Unlock()
+	if !res.Fresh {
 		return
 	}
+	n.mu.Lock()
+	fwd := msg
+	fwd.Relay = n.selfInfoLocked()
+	targets := forwardTargetsLocked(gs, hop)
+	n.mu.Unlock()
+	for _, addr := range targets {
+		_ = n.send(addr, fwd)
+	}
+}
+
+// forwardTargetsLocked lists the tree links a payload should travel on:
+// parent and children except the link it arrived over. Callers hold n.mu.
+func forwardTargetsLocked(gs *groupState, arrivedFrom string) []string {
 	targets := make([]string, 0, len(gs.children)+1)
 	if gs.parent != "" && gs.parent != arrivedFrom {
 		targets = append(targets, gs.parent)
@@ -597,10 +658,7 @@ func (n *Node) forwardPayload(msg wire.Message, arrivedFrom string) {
 			targets = append(targets, addr)
 		}
 	}
-	n.mu.Unlock()
-	for _, addr := range targets {
-		_ = n.send(addr, msg)
-	}
+	return targets
 }
 
 // Leave departs a group gracefully: children are told to re-join and the

@@ -62,6 +62,10 @@ func (n *Node) handle(msg wire.Message) {
 		n.handlePayload(msg)
 	case wire.TBeacon:
 		n.handleBeacon(msg)
+	case wire.TNack:
+		n.handleNack(msg)
+	case wire.TDigest:
+		n.handleDigest(msg)
 	case wire.TLeave:
 		n.handleLeave(msg)
 	}
@@ -187,6 +191,9 @@ func (n *Node) heartbeatLoop() {
 			epochs++
 			if n.cfg.AdvertiseRefreshEpochs > 0 && epochs%n.cfg.AdvertiseRefreshEpochs == 0 {
 				n.refreshAdvertisements()
+			}
+			if n.cfg.DigestEveryEpochs > 0 && epochs%n.cfg.DigestEveryEpochs == 0 {
+				n.digestGroups()
 			}
 		case <-n.stop:
 			return
@@ -332,6 +339,7 @@ func (n *Node) beaconGroups() {
 					From:    n.selfInfoLocked(),
 					GroupID: gid,
 					Path:    []string{n.self.Addr},
+					Mode:    gs.mode,
 					Backups: n.backupsForChildLocked(gs, info),
 				},
 			})

@@ -19,6 +19,7 @@ import (
 	"groupcast/internal/coords"
 	"groupcast/internal/core"
 	"groupcast/internal/peer"
+	"groupcast/internal/reliable"
 	"groupcast/internal/transport"
 	"groupcast/internal/wire"
 )
@@ -80,6 +81,35 @@ type Config struct {
 	// parent died goes straight to the ripple search instead of trying its
 	// precomputed backup access points first.
 	DisableBackupFailover bool
+
+	// DeliveryMode is the data-plane reliability level for groups this node
+	// creates (BestEffort, Reliable, or ReliableOrdered). Members inherit a
+	// group's mode from its rendezvous via advertisements, join acks, and
+	// beacons; this field only seeds CreateGroup.
+	DeliveryMode wire.DeliveryMode
+	// NackInterval paces the gap-recovery sweep that turns detected
+	// sequence gaps into NACKs (0 uses the default of 40ms).
+	NackInterval time.Duration
+	// NackMaxAttempts abandons a gap after this many unanswered NACKs
+	// (0 uses the reliable package default).
+	NackMaxAttempts int
+	// NackTTL bounds the hop-by-hop escalation of a NACK toward the source
+	// when a relay's cache misses (0 uses the default).
+	NackTTL int
+	// ReliableWindow is the per-source receive-window span in sequence
+	// numbers; ReliableCache is the per-source retransmission buffer depth.
+	// Zeros use the reliable package defaults. Together they bound the
+	// memory a group can pin per source.
+	ReliableWindow int
+	ReliableCache  int
+	// DigestEveryEpochs is how many heartbeat epochs pass between
+	// anti-entropy digests on tree links (0 uses the default of 1; requires
+	// heartbeats to be enabled).
+	DigestEveryEpochs int
+	// SeenMax and SeenTTL bound the advertisement/search duplicate filter
+	// (zeros use the reliable package defaults).
+	SeenMax int
+	SeenTTL time.Duration
 }
 
 // DefaultConfig returns a live config mirroring the simulator defaults.
@@ -120,8 +150,15 @@ type groupState struct {
 	// It is the child's grandparent in backupsForChildLocked.
 	parentInfo wire.PeerInfo
 	children   map[string]wire.PeerInfo
-	seen       map[uint64]bool // payload MsgIDs already forwarded
-	rdvInfo    wire.PeerInfo
+	// mode is the group's delivery mode (a rendezvous property; members
+	// learn it from advertisements, join acks, and beacons).
+	mode wire.DeliveryMode
+	// pub sequences this node's own publishes and retains them for NACKs.
+	pub *reliable.SendBuffer
+	// recv holds one sliding receive window per payload source: dedup, gap
+	// detection, retransmit cache, and (ordered mode) in-order release.
+	recv    map[string]*reliable.SourceWindow
+	rdvInfo wire.PeerInfo
 	// lastBeacon is when the rendezvous beacon last reached this node (set
 	// on join ack as a grace start).
 	lastBeacon time.Time
@@ -139,6 +176,7 @@ type groupState struct {
 type adState struct {
 	upstream   string
 	rendezvous wire.PeerInfo
+	mode       wire.DeliveryMode
 }
 
 // Node is one live GroupCast peer.
@@ -153,13 +191,19 @@ type Node struct {
 	neighbors map[string]*neighborState
 	groups    map[string]*groupState
 	adSeen    map[string]adState
-	seenAds   map[uint64]bool
+	seenAds   *reliable.Dedup
 	pending   map[uint64]chan wire.Message
 	handler   PayloadHandler
 	reqSeq    uint64
 	msgSeq    uint64
 	started   bool
 	closed    bool
+
+	// deliverMu serializes payload hand-off to the application so ordered
+	// streams stay ordered across the competing release paths (live
+	// arrivals on the receive loop, abandonment skips on the NACK sweep,
+	// forced releases on digests). It is never held while n.mu is taken.
+	deliverMu sync.Mutex
 
 	stats statCounters
 	// rejoining guards against overlapping re-join attempts per group.
@@ -176,6 +220,10 @@ var (
 	ErrNoGroup    = errors.New("node: unknown group")
 	ErrJoinFailed = errors.New("node: could not reach the group")
 	ErrNotMember  = errors.New("node: not a group member")
+	// ErrPublishFailed reports a publish that reached no tree link: every
+	// downstream send failed immediately (partition, crashes, closed
+	// transport), so the payload cannot have left this node.
+	ErrPublishFailed = errors.New("node: publish reached no tree link")
 )
 
 // New creates a node over the transport. Call Start before using it.
@@ -216,6 +264,30 @@ func New(tr transport.Transport, cfg Config) *Node {
 	if cfg.BackupFanout < 1 {
 		cfg.BackupFanout = 3
 	}
+	if cfg.NackInterval <= 0 {
+		cfg.NackInterval = 40 * time.Millisecond
+	}
+	if cfg.NackMaxAttempts < 1 {
+		cfg.NackMaxAttempts = reliable.DefaultNackMaxAttempts
+	}
+	if cfg.NackTTL < 1 {
+		cfg.NackTTL = reliable.DefaultNackTTL
+	}
+	if cfg.ReliableWindow < 2 {
+		cfg.ReliableWindow = reliable.DefaultWindowSpan
+	}
+	if cfg.ReliableCache < 1 {
+		cfg.ReliableCache = reliable.DefaultCachePayloads
+	}
+	if cfg.DigestEveryEpochs < 1 {
+		cfg.DigestEveryEpochs = 1
+	}
+	if cfg.SeenMax < 1 {
+		cfg.SeenMax = reliable.DefaultSeenMax
+	}
+	if cfg.SeenTTL <= 0 {
+		cfg.SeenTTL = reliable.DefaultSeenTTL
+	}
 	coord := cfg.Coord
 	if coord == nil {
 		coord = coords.Point{0, 0, 0}
@@ -242,7 +314,7 @@ func New(tr transport.Transport, cfg Config) *Node {
 		neighbors: make(map[string]*neighborState),
 		groups:    make(map[string]*groupState),
 		adSeen:    make(map[string]adState),
-		seenAds:   make(map[uint64]bool),
+		seenAds:   reliable.NewDedup(cfg.SeenMax, cfg.SeenTTL),
 		pending:   make(map[uint64]chan wire.Message),
 		rejoining: make(map[string]bool),
 		stop:      make(chan struct{}),
@@ -321,6 +393,8 @@ func (n *Node) Start() {
 		n.done.Add(1)
 		go n.heartbeatLoop()
 	}
+	n.done.Add(1)
+	go n.reliableLoop()
 }
 
 // Close stops the node: it notifies neighbours, stops its goroutines, and

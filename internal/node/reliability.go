@@ -1,0 +1,415 @@
+package node
+
+import (
+	"sort"
+	"time"
+
+	"groupcast/internal/reliable"
+	"groupcast/internal/wire"
+)
+
+// This file is the node half of the reliable data plane (internal/reliable
+// holds the pure state machines): per-source receive windows fed by
+// handlePayload, the NACK sweep that turns detected gaps into upstream
+// retransmission requests, the relays' NACK answering/escalation, and the
+// per-epoch digest anti-entropy that recovers trailing losses no later
+// payload would ever reveal.
+
+// maxSourcesPerGroup bounds how many per-source receive windows one group
+// may pin; creating one more evicts the longest-idle window.
+const maxSourcesPerGroup = 256
+
+// windowForLocked returns the receive window tracking src's stream in gs,
+// creating (or rebuilding, when the group's delivery mode changed since the
+// window was built) it on demand. Callers hold n.mu.
+func (n *Node) windowForLocked(gs *groupState, src wire.PeerInfo) *reliable.SourceWindow {
+	ordered := gs.mode == wire.ReliableOrdered
+	reliableMode := gs.mode != wire.BestEffort
+	w := gs.recv[src.Addr]
+	if w == nil || !w.Configured(ordered, reliableMode) {
+		if w == nil && len(gs.recv) >= maxSourcesPerGroup {
+			evictIdlestWindow(gs)
+		}
+		w = reliable.NewSourceWindow(n.cfg.ReliableWindow, n.cfg.ReliableCache, ordered, reliableMode)
+		gs.recv[src.Addr] = w
+	}
+	if w.Info.Addr == "" || src.Coord != nil {
+		w.Info = src
+	}
+	return w
+}
+
+// evictIdlestWindow drops the receive window that has been silent longest.
+func evictIdlestWindow(gs *groupState) {
+	var victim string
+	var oldest time.Time
+	for addr, w := range gs.recv {
+		if victim == "" || w.LastActive.Before(oldest) {
+			victim, oldest = addr, w.LastActive
+		}
+	}
+	if victim != "" {
+		delete(gs.recv, victim)
+	}
+}
+
+// noteWindowLocked folds one window operation's counters into the node
+// stats. Callers hold n.mu (the counters themselves are atomic; the name
+// records the calling convention of the window paths).
+func (n *Node) noteWindowLocked(res *reliable.ObserveResult) {
+	if res.OutOfWindow > 0 {
+		n.stats.outOfWindow.Add(uint64(res.OutOfWindow))
+	}
+	if res.GapsOpened > 0 {
+		n.stats.gapsOpen.Add(uint64(res.GapsOpened))
+	}
+	if res.GapsRecovered > 0 {
+		n.stats.gapsRecovered.Add(uint64(res.GapsRecovered))
+	}
+	if res.GapsAbandoned > 0 {
+		n.stats.gapsAbandoned.Add(uint64(res.GapsAbandoned))
+	}
+}
+
+// handleNack answers a retransmission request from this node's buffers —
+// the publish buffer when we are the source, the relay cache otherwise —
+// and escalates cache misses one hop closer to the source.
+func (n *Node) handleNack(msg wire.Message) {
+	if msg.Origin.Addr == "" || msg.NackSource == "" {
+		return
+	}
+	n.mu.Lock()
+	gs := n.groups[msg.GroupID]
+	if gs == nil {
+		n.mu.Unlock()
+		return
+	}
+	self := n.selfInfoLocked()
+	srcInfo := wire.PeerInfo{Addr: msg.NackSource}
+	lookup := func(seq uint64) ([]byte, bool) { return nil, false }
+	if msg.NackSource == self.Addr {
+		srcInfo = self
+		if gs.pub != nil {
+			lookup = gs.pub.Get
+		}
+	} else if w := gs.recv[msg.NackSource]; w != nil {
+		if w.Info.Addr != "" {
+			srcInfo = w.Info
+		}
+		lookup = w.Get
+	}
+	type resend struct {
+		seq  uint64
+		data []byte
+	}
+	var hits []resend
+	var misses []uint64
+	for _, seq := range msg.NackSeqs {
+		if data, ok := lookup(seq); ok {
+			hits = append(hits, resend{seq, data})
+		} else {
+			misses = append(misses, seq)
+		}
+	}
+	// A miss escalates one hop toward the source: the link the stream
+	// arrived on, else the tree parent, else any other tree link (the
+	// stream floods every link, so some neighbour's cache is closer to the
+	// source; the TTL bounds the walk). Never bounce it back to the
+	// requester or the peer that just asked us. When no tree link is
+	// viable — or stale hints have formed a cycle that walks away from the
+	// source — the request goes to the source itself, whose send buffer
+	// always holds the payload: tree-local caches are the fast path,
+	// source unicast the terminus that makes recovery dead-end-free.
+	var upstream string
+	if len(misses) > 0 && msg.TTL > 1 && msg.NackSource != self.Addr {
+		blocked := func(a string) bool {
+			return a == "" || a == msg.From.Addr || a == msg.Origin.Addr
+		}
+		if w := gs.recv[msg.NackSource]; w != nil {
+			upstream = w.LastHop
+		}
+		if blocked(upstream) {
+			upstream = gs.parent
+		}
+		if blocked(upstream) {
+			upstream = ""
+			for _, a := range forwardTargetsLocked(gs, "") {
+				if !blocked(a) {
+					upstream = a
+					break
+				}
+			}
+		}
+		if blocked(upstream) {
+			upstream = msg.NackSource
+		}
+	}
+	n.mu.Unlock()
+
+	for _, r := range hits {
+		n.stats.retransmits.Add(1)
+		_ = n.send(msg.Origin.Addr, wire.Message{
+			Type:    wire.TPayload,
+			From:    srcInfo,
+			GroupID: msg.GroupID,
+			Seq:     r.seq,
+			Relay:   self,
+			Data:    r.data,
+		})
+	}
+	if upstream != "" {
+		n.stats.nacksFwd.Add(1)
+		_ = n.send(upstream, wire.Message{
+			Type:       wire.TNack,
+			From:       self,
+			GroupID:    msg.GroupID,
+			NackSource: msg.NackSource,
+			NackSeqs:   misses,
+			Origin:     msg.Origin,
+			TTL:        msg.TTL - 1,
+		})
+	}
+}
+
+// handleDigest ingests a tree neighbour's per-source high-water marks: any
+// advertised sequence this node has not received becomes a gap for the NACK
+// sweep. This is the anti-entropy path — it is what recovers a stream's
+// trailing losses and bootstraps rejoined members onto in-flight streams.
+func (n *Node) handleDigest(msg wire.Message) {
+	type release struct {
+		src  wire.PeerInfo
+		data []byte
+	}
+	now := time.Now()
+	n.deliverMu.Lock()
+	n.mu.Lock()
+	gs := n.groups[msg.GroupID]
+	if gs == nil || gs.mode == wire.BestEffort {
+		n.mu.Unlock()
+		n.deliverMu.Unlock()
+		return
+	}
+	var released []release
+	for _, e := range msg.Digest {
+		if e.Source == "" || e.Source == n.self.Addr || e.High == 0 {
+			continue
+		}
+		w := n.windowForLocked(gs, wire.PeerInfo{Addr: e.Source})
+		if w.LastHop == "" {
+			// The digest sender knows the stream; NACK it until a payload
+			// reveals the live relay link.
+			w.LastHop = msg.From.Addr
+		}
+		var res reliable.ObserveResult
+		w.NoteAdvertised(e.High, now, &res)
+		n.noteWindowLocked(&res)
+		for _, d := range res.Deliver {
+			released = append(released, release{w.Info, d.Data})
+		}
+	}
+	deliver := gs.member
+	h := n.handler
+	n.mu.Unlock()
+	if deliver && h != nil {
+		for _, r := range released {
+			n.stats.delivered.Add(1)
+			h(msg.GroupID, r.src, r.data)
+		}
+	}
+	n.deliverMu.Unlock()
+}
+
+// reliableLoop paces the gap-recovery sweep.
+func (n *Node) reliableLoop() {
+	defer n.done.Done()
+	ticker := time.NewTicker(n.cfg.NackInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			n.nackSweep()
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// nackSweep turns every due sequence gap into a NACK up the arrival link
+// (tree parent as fallback). Gaps that exhausted their attempts are
+// abandoned here, which in ordered mode may unlock held-back deliveries.
+func (n *Node) nackSweep() {
+	pol := reliable.NackPolicy{
+		BaseDelay:   n.cfg.NackInterval,
+		MaxDelay:    time.Second,
+		MaxAttempts: n.cfg.NackMaxAttempts,
+		MaxBatch:    reliable.DefaultNackBatch,
+	}
+	type nack struct {
+		to  string
+		msg wire.Message
+	}
+	type release struct {
+		gid  string
+		src  wire.PeerInfo
+		data []byte
+	}
+	now := time.Now()
+	n.deliverMu.Lock()
+	n.mu.Lock()
+	self := n.selfInfoLocked()
+	var nacks []nack
+	var released []release
+	handlers := make(map[string]bool)
+	for gid, gs := range n.groups {
+		if gs.mode == wire.BestEffort {
+			continue
+		}
+		handlers[gid] = gs.member
+		for srcAddr, w := range gs.recv {
+			var res reliable.ObserveResult
+			due := w.DueGaps(now, pol, &res)
+			n.noteWindowLocked(&res)
+			for _, d := range res.Deliver {
+				released = append(released, release{gid, w.Info, d.Data})
+			}
+			if len(due) == 0 {
+				continue
+			}
+			target := w.LastHop
+			if target == "" {
+				target = gs.parent
+			}
+			if target == "" {
+				// No tree hint at all (e.g. the root learned of the stream
+				// only through digests): ask the source directly.
+				target = srcAddr
+			}
+			nacks = append(nacks, nack{target, wire.Message{
+				Type:       wire.TNack,
+				From:       self,
+				GroupID:    gid,
+				NackSource: srcAddr,
+				NackSeqs:   due,
+				Origin:     self,
+				TTL:        n.cfg.NackTTL,
+			}})
+		}
+	}
+	h := n.handler
+	n.mu.Unlock()
+	if h != nil {
+		for _, r := range released {
+			if !handlers[r.gid] {
+				continue
+			}
+			n.stats.delivered.Add(1)
+			h(r.gid, r.src, r.data)
+		}
+	}
+	n.deliverMu.Unlock()
+	for _, nk := range nacks {
+		n.stats.nacksSent.Add(1)
+		_ = n.send(nk.to, nk.msg)
+	}
+}
+
+// digestGroups sends this node's per-source high-water digest over every
+// tree link of every reliable-mode group, and evicts receive windows that
+// have been idle past the seen TTL.
+func (n *Node) digestGroups() {
+	type digest struct {
+		to  string
+		msg wire.Message
+	}
+	now := time.Now()
+	n.mu.Lock()
+	self := n.selfInfoLocked()
+	var digests []digest
+	for gid, gs := range n.groups {
+		if gs.mode == wire.BestEffort {
+			continue
+		}
+		for srcAddr, w := range gs.recv {
+			if now.Sub(w.LastActive) > n.cfg.SeenTTL {
+				delete(gs.recv, srcAddr)
+			}
+		}
+		entries := make([]wire.DigestEntry, 0, len(gs.recv)+1)
+		if gs.pub != nil && gs.pub.High() > 0 {
+			entries = append(entries, wire.DigestEntry{Source: n.self.Addr, High: gs.pub.High()})
+		}
+		for srcAddr, w := range gs.recv {
+			if w.High() > 0 {
+				entries = append(entries, wire.DigestEntry{Source: srcAddr, High: w.High()})
+			}
+		}
+		if len(entries) == 0 {
+			continue
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Source < entries[j].Source })
+		msg := wire.Message{
+			Type:    wire.TDigest,
+			From:    self,
+			GroupID: gid,
+			Mode:    gs.mode,
+			Digest:  entries,
+		}
+		for _, addr := range forwardTargetsLocked(gs, "") {
+			digests = append(digests, digest{addr, msg})
+		}
+	}
+	n.mu.Unlock()
+	for _, d := range digests {
+		_ = n.send(d.to, d.msg)
+	}
+}
+
+// ReliabilityView snapshots one group's data-plane state for tests,
+// experiments, and operational introspection. Every count is bounded by
+// construction (windows slide, caches are rings, the dedup filter is
+// TTL/size-capped), which the bounded-memory soak asserts through this view.
+type ReliabilityView struct {
+	Exists bool
+	Mode   wire.DeliveryMode
+	// Sources counts the per-source receive windows currently tracked.
+	Sources int
+	// WindowEntries sums the windows' received-set sizes; PendingGaps sums
+	// the sequences under NACK recovery; PendingOrdered sums the payloads
+	// held back for in-order release.
+	WindowEntries  int
+	PendingGaps    int
+	PendingOrdered int
+	// CachedPayloads sums the relay retransmission caches.
+	CachedPayloads int
+	// SendBufferSeq is this node's own publish high-water mark for the
+	// group; SendBufferCached is how many of its payloads remain buffered.
+	SendBufferSeq    uint64
+	SendBufferCached int
+	// SeenAds is the node-wide advertisement/search dedup filter size.
+	SeenAds int
+}
+
+// Reliability snapshots the reliable data-plane state for a group.
+func (n *Node) Reliability(groupID string) ReliabilityView {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rv := ReliabilityView{SeenAds: n.seenAds.Len()}
+	gs := n.groups[groupID]
+	if gs == nil {
+		return rv
+	}
+	rv.Exists = true
+	rv.Mode = gs.mode
+	rv.Sources = len(gs.recv)
+	for _, w := range gs.recv {
+		rv.WindowEntries += w.Tracked()
+		rv.PendingGaps += w.PendingGaps()
+		rv.PendingOrdered += w.PendingOrdered()
+		rv.CachedPayloads += w.Cached()
+	}
+	if gs.pub != nil {
+		rv.SendBufferSeq = gs.pub.High()
+		rv.SendBufferCached = gs.pub.Cached()
+	}
+	return rv
+}

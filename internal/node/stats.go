@@ -32,6 +32,28 @@ type Stats struct {
 	// RepairsViaSearch counts tree reattachments that fell back to the
 	// reverse-path / ripple-search join.
 	RepairsViaSearch uint64
+	// SendErrors counts sends the transport failed immediately (closed
+	// endpoint, unknown peer, crashed or partitioned destination). Silent
+	// wire loss is not counted here — the transport cannot see it.
+	SendErrors uint64
+	// NacksSent counts retransmission requests this node originated for its
+	// own sequence gaps; NacksForwarded counts NACKs escalated upstream on
+	// behalf of another node after a local cache miss.
+	NacksSent      uint64
+	NacksForwarded uint64
+	// Retransmits counts payloads this node re-sent from a retransmission
+	// buffer in answer to a NACK.
+	Retransmits uint64
+	// GapsDetected / GapsRecovered / GapsAbandoned count per-source sequence
+	// gaps opened by out-of-order arrival or digests, closed by a late or
+	// retransmitted payload, and given up (fell off the window or exhausted
+	// NACK attempts).
+	GapsDetected  uint64
+	GapsRecovered uint64
+	GapsAbandoned uint64
+	// OutOfWindow counts payloads discarded for falling below the receive
+	// window (too old to track).
+	OutOfWindow uint64
 	// Transport reports the transport layer's drop accounting (inbox
 	// sheds, send failures, chaos-injected faults) when the node's
 	// transport exposes it; zero otherwise.
@@ -49,6 +71,14 @@ type statCounters struct {
 	neighborsDead atomic.Uint64
 	repairBackup  atomic.Uint64
 	repairSearch  atomic.Uint64
+	sendErrors    atomic.Uint64
+	nacksSent     atomic.Uint64
+	nacksFwd      atomic.Uint64
+	retransmits   atomic.Uint64
+	gapsOpen      atomic.Uint64
+	gapsRecovered atomic.Uint64
+	gapsAbandoned atomic.Uint64
+	outOfWindow   atomic.Uint64
 }
 
 func (s *statCounters) onSend(t wire.Type) {
@@ -75,6 +105,14 @@ func (n *Node) Stats() Stats {
 		NeighborsDeclaredDead: n.stats.neighborsDead.Load(),
 		RepairsViaBackup:      n.stats.repairBackup.Load(),
 		RepairsViaSearch:      n.stats.repairSearch.Load(),
+		SendErrors:            n.stats.sendErrors.Load(),
+		NacksSent:             n.stats.nacksSent.Load(),
+		NacksForwarded:        n.stats.nacksFwd.Load(),
+		Retransmits:           n.stats.retransmits.Load(),
+		GapsDetected:          n.stats.gapsOpen.Load(),
+		GapsRecovered:         n.stats.gapsRecovered.Load(),
+		GapsAbandoned:         n.stats.gapsAbandoned.Load(),
+		OutOfWindow:           n.stats.outOfWindow.Load(),
 	}
 	if dc, ok := n.tr.(transport.DropCounter); ok {
 		out.Transport = dc.DropStats()
@@ -94,5 +132,9 @@ func (n *Node) Stats() Stats {
 // through it.
 func (n *Node) send(addr string, msg wire.Message) error {
 	n.stats.onSend(msg.Type)
-	return n.tr.Send(addr, msg)
+	err := n.tr.Send(addr, msg)
+	if err != nil {
+		n.stats.sendErrors.Add(1)
+	}
+	return err
 }

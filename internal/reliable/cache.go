@@ -1,0 +1,61 @@
+package reliable
+
+// PayloadCache is a bounded, sequence-indexed retransmission buffer: a ring
+// of capacity slots where sequence s lives in slot s mod capacity. Inserting
+// a newer sequence evicts whatever older one occupied its slot, so the cache
+// always holds (at most) the most recent `capacity` sequences — a sliding
+// buffer with O(1) insert and lookup and no allocation churn.
+//
+// Payload slices are stored as given, not copied; callers must not mutate
+// them afterwards (the wire layer treats payloads as immutable too).
+type PayloadCache struct {
+	slots []cacheSlot
+}
+
+type cacheSlot struct {
+	seq  uint64
+	data []byte
+	full bool
+}
+
+// NewPayloadCache returns a cache holding at most capacity payloads
+// (capacity < 1 is treated as 1).
+func NewPayloadCache(capacity int) *PayloadCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PayloadCache{slots: make([]cacheSlot, capacity)}
+}
+
+// Put retains data under seq. An older sequence never evicts a newer one
+// from its slot (late retransmit arrivals must not regress the buffer).
+func (c *PayloadCache) Put(seq uint64, data []byte) {
+	s := &c.slots[int(seq%uint64(len(c.slots)))]
+	if s.full && s.seq >= seq {
+		return
+	}
+	*s = cacheSlot{seq: seq, data: data, full: true}
+}
+
+// Get returns the payload retained for seq, if it is still in the buffer.
+func (c *PayloadCache) Get(seq uint64) ([]byte, bool) {
+	s := c.slots[int(seq%uint64(len(c.slots)))]
+	if !s.full || s.seq != seq {
+		return nil, false
+	}
+	return s.data, true
+}
+
+// Len counts the payloads currently held.
+func (c *PayloadCache) Len() int {
+	n := 0
+	for _, s := range c.slots {
+		if s.full {
+			n++
+		}
+	}
+	return n
+}
+
+// Cap returns the slot count (the hard bound on held payloads).
+func (c *PayloadCache) Cap() int { return len(c.slots) }

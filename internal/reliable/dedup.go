@@ -1,0 +1,72 @@
+package reliable
+
+import "time"
+
+// Dedup is a bounded duplicate filter for flooded message IDs
+// (advertisements, searches): a set with FIFO + TTL eviction that replaces
+// the grow-forever `seen` maps. An ID is remembered from first sight until
+// it ages past the TTL or the set exceeds its capacity, whichever comes
+// first — exactly the lifetime a flood's duplicates can still arrive in.
+//
+// Not self-locking; the owner serializes access.
+type Dedup struct {
+	max int
+	ttl time.Duration
+	ids map[uint64]time.Time
+
+	fifo []dedupEntry
+	head int
+}
+
+type dedupEntry struct {
+	id uint64
+	at time.Time
+}
+
+// NewDedup returns a filter remembering at most max IDs for up to ttl
+// (non-positive values fall back to the package defaults).
+func NewDedup(max int, ttl time.Duration) *Dedup {
+	if max < 1 {
+		max = DefaultSeenMax
+	}
+	if ttl <= 0 {
+		ttl = DefaultSeenTTL
+	}
+	return &Dedup{max: max, ttl: ttl, ids: make(map[uint64]time.Time)}
+}
+
+// Seen reports whether id is already in the filter, inserting it when not:
+// the first call for an id returns false, later calls within the retention
+// window return true.
+func (d *Dedup) Seen(id uint64, now time.Time) bool {
+	d.prune(now)
+	if at, ok := d.ids[id]; ok && now.Sub(at) <= d.ttl {
+		return true
+	}
+	d.ids[id] = now
+	d.fifo = append(d.fifo, dedupEntry{id, now})
+	return false
+}
+
+// prune evicts expired entries and enforces the capacity bound.
+func (d *Dedup) prune(now time.Time) {
+	for d.head < len(d.fifo) {
+		e := d.fifo[d.head]
+		if len(d.ids) <= d.max && now.Sub(e.at) <= d.ttl {
+			break
+		}
+		// Only drop the map entry if it still belongs to this FIFO slot (a
+		// re-inserted id has a newer slot further back).
+		if at, ok := d.ids[e.id]; ok && at.Equal(e.at) {
+			delete(d.ids, e.id)
+		}
+		d.head++
+	}
+	if d.head > len(d.fifo)/2 && d.head > 64 {
+		d.fifo = append([]dedupEntry(nil), d.fifo[d.head:]...)
+		d.head = 0
+	}
+}
+
+// Len returns the number of IDs currently remembered.
+func (d *Dedup) Len() int { return len(d.ids) }

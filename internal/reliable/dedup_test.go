@@ -1,0 +1,59 @@
+package reliable
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDedupRemembersWithinTTL(t *testing.T) {
+	now := time.Now()
+	d := NewDedup(100, time.Minute)
+	if d.Seen(42, now) {
+		t.Fatal("first sight reported as seen")
+	}
+	if !d.Seen(42, now.Add(time.Second)) {
+		t.Fatal("second sight not remembered")
+	}
+	if d.Seen(42, now.Add(2*time.Minute)) {
+		t.Fatal("expired id still remembered")
+	}
+	// Re-insertion after expiry starts a fresh retention window.
+	if !d.Seen(42, now.Add(2*time.Minute+time.Second)) {
+		t.Fatal("re-inserted id forgotten immediately")
+	}
+}
+
+func TestDedupCapacityBound(t *testing.T) {
+	now := time.Now()
+	const max = 64
+	d := NewDedup(max, time.Hour)
+	for i := uint64(0); i < 10000; i++ {
+		d.Seen(i, now.Add(time.Duration(i)*time.Microsecond))
+	}
+	if d.Len() > max+1 {
+		t.Fatalf("Len = %d, want <= %d", d.Len(), max+1)
+	}
+	// The most recent ids survive; the oldest are gone.
+	if !d.Seen(9999, now.Add(time.Second)) {
+		t.Fatal("newest id evicted")
+	}
+	if d.Seen(0, now.Add(time.Second)) {
+		t.Fatal("oldest id kept past capacity")
+	}
+}
+
+func TestDedupTTLEviction(t *testing.T) {
+	now := time.Now()
+	d := NewDedup(1000, 10*time.Millisecond)
+	for i := uint64(0); i < 100; i++ {
+		d.Seen(i, now)
+	}
+	if d.Len() != 100 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	// One insert after the TTL sweeps the whole expired generation.
+	d.Seen(1000, now.Add(time.Second))
+	if d.Len() != 1 {
+		t.Fatalf("expired generation survives: Len = %d", d.Len())
+	}
+}

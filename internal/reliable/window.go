@@ -1,0 +1,349 @@
+package reliable
+
+import (
+	"sort"
+	"time"
+
+	"groupcast/internal/wire"
+)
+
+// SendBuffer is a publisher's per-group sequencer and sliding send buffer:
+// it stamps monotonically increasing sequence numbers on outgoing payloads
+// (first sequence is 1) and retains the most recent ones so the publisher
+// can answer NACKs for anything a receiver missed.
+type SendBuffer struct {
+	seq   uint64
+	cache *PayloadCache
+}
+
+// NewSendBuffer returns a send buffer retaining up to capacity payloads.
+func NewSendBuffer(capacity int) *SendBuffer {
+	return &SendBuffer{cache: NewPayloadCache(capacity)}
+}
+
+// Next allocates the next sequence number and retains data under it.
+func (b *SendBuffer) Next(data []byte) uint64 {
+	b.seq++
+	b.cache.Put(b.seq, data)
+	return b.seq
+}
+
+// High returns the highest sequence allocated so far (0 before the first).
+func (b *SendBuffer) High() uint64 { return b.seq }
+
+// Get returns the retained payload for seq, if still buffered.
+func (b *SendBuffer) Get(seq uint64) ([]byte, bool) { return b.cache.Get(seq) }
+
+// Cached counts the payloads currently retained.
+func (b *SendBuffer) Cached() int { return b.cache.Len() }
+
+// Delivery is one payload a SourceWindow releases to the application.
+type Delivery struct {
+	Seq  uint64
+	Data []byte
+}
+
+// ObserveResult accumulates what one window operation did, so the caller
+// can update its counters and hand released payloads to the application in
+// order.
+type ObserveResult struct {
+	// Fresh is true when the observed payload had not been seen before.
+	Fresh bool
+	// OutOfWindow counts arrivals below the window (very late duplicates or
+	// retransmissions of abandoned sequences) that were dropped.
+	OutOfWindow int
+	// GapsOpened / GapsRecovered / GapsAbandoned count gap lifecycle
+	// transitions caused by this operation.
+	GapsOpened    int
+	GapsRecovered int
+	GapsAbandoned int
+	// Deliver lists the payloads released to the application, in the order
+	// they must be handed over.
+	Deliver []Delivery
+}
+
+// gap is one missing sequence the receiver is trying to recover.
+type gap struct {
+	since    time.Time // when the gap was first detected
+	attempts int       // NACKs sent so far
+	nextDue  time.Time // earliest time the next NACK may fire
+}
+
+// SourceWindow tracks one remote publisher's stream at a receiver: a
+// sliding window of the last `span` sequence numbers that deduplicates
+// arrivals, detects gaps, schedules their recovery, caches relayed payloads
+// so this node can answer downstream NACKs, and — in ordered mode — holds
+// out-of-order arrivals back until they can be released in publish order.
+//
+// State is bounded by construction: the received set and the ordered
+// pending buffer never exceed span entries, the cache never exceeds its
+// capacity, and gaps are a subset of the window. The window is not
+// self-locking; the owning node serializes access.
+type SourceWindow struct {
+	span     int
+	ordered  bool
+	reliable bool
+
+	// Info is the source's last-known identity (zero but for the address
+	// until a payload carries the full quadruplet).
+	Info wire.PeerInfo
+	// LastHop is the tree link the stream last arrived on — the first NACK
+	// target. Falls back to the digest sender that advertised the stream.
+	LastHop string
+	// LastActive is the last time this window saw any traffic (payload,
+	// digest, or NACK activity); idle windows are evicted by the node.
+	LastActive time.Time
+
+	high     uint64 // highest sequence observed or advertised
+	pruned   uint64 // all state at or below this sequence has been dropped
+	next     uint64 // ordered mode: lowest sequence not yet released
+	received map[uint64]bool
+	pending  map[uint64][]byte // ordered mode only
+	gaps     map[uint64]*gap   // reliable modes only
+	cache    *PayloadCache     // reliable modes only
+}
+
+// NewSourceWindow builds a window of the given span. In reliable mode gaps
+// are tracked for NACK recovery and payloads cached for retransmission; in
+// ordered mode arrivals are additionally released in sequence order.
+func NewSourceWindow(span, cacheCap int, ordered, reliableMode bool) *SourceWindow {
+	if span < 2 {
+		span = 2
+	}
+	w := &SourceWindow{
+		span:     span,
+		ordered:  ordered,
+		reliable: reliableMode,
+		next:     1,
+		received: make(map[uint64]bool),
+	}
+	if reliableMode {
+		w.gaps = make(map[uint64]*gap)
+		w.cache = NewPayloadCache(cacheCap)
+	}
+	if ordered {
+		w.pending = make(map[uint64][]byte)
+	}
+	return w
+}
+
+// Configured reports whether the window was built with the given mode flags
+// (the node rebuilds a window whose group's delivery mode was learned after
+// the window was created).
+func (w *SourceWindow) Configured(ordered, reliableMode bool) bool {
+	return w.ordered == ordered && w.reliable == reliableMode
+}
+
+// low returns the bottom of the window: sequences at or below it are gone.
+func (w *SourceWindow) low() uint64 {
+	if w.high > uint64(w.span) {
+		return w.high - uint64(w.span)
+	}
+	return 0
+}
+
+// Observe processes one arrival. It reports whether the payload is fresh,
+// updates gap state, and appends any releasable payloads to res.Deliver (the
+// arrival itself in unordered modes; in ordered mode, every consecutive
+// pending payload the arrival unlocked).
+func (w *SourceWindow) Observe(seq uint64, data []byte, now time.Time, res *ObserveResult) {
+	w.LastActive = now
+	if seq == 0 {
+		// Unsequenced payload (foreign or legacy publisher): deliver as-is,
+		// dedup is the caller's problem.
+		res.Fresh = true
+		res.Deliver = append(res.Deliver, Delivery{0, data})
+		return
+	}
+	if seq <= w.pruned || seq <= w.low() || (w.ordered && seq < w.next) {
+		// Below the window or already released past: a very late duplicate
+		// or the retransmission of an abandoned sequence.
+		res.OutOfWindow++
+		return
+	}
+	if w.received[seq] {
+		return // duplicate within the window
+	}
+	res.Fresh = true
+	w.advance(seq, false, now, res)
+	w.received[seq] = true
+	if g, open := w.gaps[seq]; open {
+		_ = g
+		delete(w.gaps, seq)
+		res.GapsRecovered++
+	}
+	if w.cache != nil {
+		w.cache.Put(seq, data)
+	}
+	if w.ordered {
+		w.pending[seq] = data
+		w.release(res)
+	} else {
+		res.Deliver = append(res.Deliver, Delivery{seq, data})
+	}
+}
+
+// NoteAdvertised ingests a digest's high-water mark: sequences up to high
+// are known to exist, so any this window has not received become gaps for
+// the recovery sweep (anti-entropy for trailing losses, which no later
+// payload would ever reveal).
+func (w *SourceWindow) NoteAdvertised(high uint64, now time.Time, res *ObserveResult) {
+	w.LastActive = now
+	if high <= w.high {
+		return
+	}
+	w.advance(high, true, now, res)
+}
+
+// advance moves the top of the window to seq, opening gaps for skipped
+// sequences that fit the window (inclusive also marks seq itself missing —
+// the digest path) and sliding the bottom forward.
+func (w *SourceWindow) advance(seq uint64, inclusive bool, now time.Time, res *ObserveResult) {
+	if seq <= w.high {
+		return
+	}
+	if w.gaps != nil {
+		start := w.high + 1
+		if newLow := seqFloor(seq, w.span); start <= newLow {
+			start = newLow + 1
+		}
+		end := seq - 1
+		if inclusive {
+			end = seq
+		}
+		for s := start; s <= end; s++ {
+			if !w.received[s] && w.gaps[s] == nil {
+				w.gaps[s] = &gap{since: now}
+				res.GapsOpened++
+			}
+		}
+	}
+	w.high = seq
+	w.slide(res)
+}
+
+// seqFloor is the window bottom implied by a top of seq.
+func seqFloor(seq uint64, span int) uint64 {
+	if seq > uint64(span) {
+		return seq - uint64(span)
+	}
+	return 0
+}
+
+// slide drops state below the window bottom. Gaps that fall off are
+// abandoned; in ordered mode, pending payloads below the bottom are force-
+// released in sequence order (delivery with holes beats deadlock), and the
+// release cursor jumps past the abandoned range.
+func (w *SourceWindow) slide(res *ObserveResult) {
+	newLow := w.low()
+	for s := w.pruned + 1; s <= newLow; s++ {
+		if w.gaps != nil {
+			if _, open := w.gaps[s]; open {
+				delete(w.gaps, s)
+				res.GapsAbandoned++
+			}
+		}
+		if w.ordered {
+			if data, ok := w.pending[s]; ok {
+				res.Deliver = append(res.Deliver, Delivery{s, data})
+				delete(w.pending, s)
+			}
+		}
+		delete(w.received, s)
+	}
+	w.pruned = newLow
+	if w.ordered && w.next <= newLow {
+		w.next = newLow + 1
+	}
+}
+
+// release appends every releasable pending payload to res.Deliver: the
+// consecutive run from the cursor, skipping sequences whose recovery was
+// abandoned (their gap entry is gone and they were never received).
+func (w *SourceWindow) release(res *ObserveResult) {
+	if !w.ordered {
+		return
+	}
+	for w.next <= w.high {
+		if data, ok := w.pending[w.next]; ok {
+			res.Deliver = append(res.Deliver, Delivery{w.next, data})
+			delete(w.pending, w.next)
+			w.next++
+			continue
+		}
+		if w.received[w.next] {
+			w.next++ // released earlier; cursor catching up
+			continue
+		}
+		if _, open := w.gaps[w.next]; open {
+			return // recovery still in flight: hold ordering
+		}
+		w.next++ // abandoned sequence: skip the hole
+	}
+}
+
+// DueGaps returns the missing sequences whose next NACK is due, advancing
+// their attempt counters and backoff. Gaps past pol.MaxAttempts are
+// abandoned instead (in ordered mode this may unlock pending deliveries,
+// appended to res.Deliver). The result is ascending and capped at
+// pol.MaxBatch.
+func (w *SourceWindow) DueGaps(now time.Time, pol NackPolicy, res *ObserveResult) []uint64 {
+	if len(w.gaps) == 0 {
+		return nil
+	}
+	var due []uint64
+	abandoned := false
+	for s, g := range w.gaps {
+		if pol.MaxAttempts > 0 && g.attempts >= pol.MaxAttempts {
+			delete(w.gaps, s)
+			res.GapsAbandoned++
+			abandoned = true
+			continue
+		}
+		if now.Before(g.nextDue) {
+			continue
+		}
+		due = append(due, s)
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	if pol.MaxBatch > 0 && len(due) > pol.MaxBatch {
+		due = due[:pol.MaxBatch]
+	}
+	for _, s := range due {
+		g := w.gaps[s]
+		g.attempts++
+		g.nextDue = now.Add(pol.backoff(g.attempts))
+	}
+	if abandoned {
+		w.release(res)
+	}
+	return due
+}
+
+// Get returns the cached payload for seq (for answering NACKs).
+func (w *SourceWindow) Get(seq uint64) ([]byte, bool) {
+	if w.cache == nil {
+		return nil, false
+	}
+	return w.cache.Get(seq)
+}
+
+// High returns the highest sequence observed or advertised.
+func (w *SourceWindow) High() uint64 { return w.high }
+
+// Tracked counts the window's received-set entries.
+func (w *SourceWindow) Tracked() int { return len(w.received) }
+
+// Cached counts the payloads held for retransmission.
+func (w *SourceWindow) Cached() int {
+	if w.cache == nil {
+		return 0
+	}
+	return w.cache.Len()
+}
+
+// PendingGaps counts the sequences currently under recovery.
+func (w *SourceWindow) PendingGaps() int { return len(w.gaps) }
+
+// PendingOrdered counts payloads buffered awaiting in-order release.
+func (w *SourceWindow) PendingOrdered() int { return len(w.pending) }

@@ -435,8 +435,12 @@ func (e *ChaosEndpoint) Send(addr string, msg wire.Message) error {
 		switch v.blocked {
 		case "crash":
 			e.net.crashDrops.Add(1)
+			// A crashed peer refuses connections on a real network: fail
+			// the send so callers can account for it.
+			return fmt.Errorf("%w: %s crashed", ErrUnreachable, addr)
 		case "partition":
 			e.net.partitionDrops.Add(1)
+			return fmt.Errorf("%w: %s partitioned from %s", ErrUnreachable, addr, e.addr)
 		default:
 			e.net.ruleDrops.Add(1)
 		}

@@ -28,6 +28,11 @@ type Transport interface {
 var (
 	ErrClosed      = errors.New("transport: endpoint closed")
 	ErrUnknownPeer = errors.New("transport: unknown destination")
+	// ErrUnreachable reports a destination behind a hard fault — crashed or
+	// on the far side of a partition — where a real transport would fail the
+	// connection rather than silently lose the message. Probabilistic loss
+	// stays silent (lost on the wire, as on UDP).
+	ErrUnreachable = errors.New("transport: destination unreachable")
 )
 
 // DropStats counts the messages an endpoint lost, split by cause. All

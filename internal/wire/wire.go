@@ -30,6 +30,8 @@ const (
 	TLeave        // graceful neighbour departure
 	THeartbeat    // epoch keepalive
 	THeartbeatAck // keepalive response
+	TNack         // retransmission request for missing payload sequences
+	TDigest       // per-source high-water digest (anti-entropy heartbeat)
 )
 
 // String names the message type.
@@ -65,9 +67,67 @@ func (t Type) String() string {
 		return "heartbeat"
 	case THeartbeatAck:
 		return "heartbeat-ack"
+	case TNack:
+		return "nack"
+	case TDigest:
+		return "digest"
 	default:
 		return fmt.Sprintf("type(%d)", int(t))
 	}
+}
+
+// DeliveryMode selects a group's data-plane reliability level. The mode is
+// a group property chosen by the rendezvous at creation time; members learn
+// it from advertisements, join acks, and beacons.
+type DeliveryMode uint8
+
+// Delivery modes, weakest first.
+const (
+	// BestEffort is fire-and-forget tree flooding: payloads lost on the
+	// wire are gone, duplicates are filtered, no ordering is promised.
+	BestEffort DeliveryMode = iota
+	// Reliable adds per-source sequencing with NACK retransmission and
+	// digest anti-entropy: every payload is eventually delivered (within
+	// the recovery window) but may arrive out of order.
+	Reliable
+	// ReliableOrdered additionally releases each source's payloads to the
+	// application in publish order (per-source FIFO).
+	ReliableOrdered
+)
+
+// String names the delivery mode.
+func (m DeliveryMode) String() string {
+	switch m {
+	case BestEffort:
+		return "best-effort"
+	case Reliable:
+		return "reliable"
+	case ReliableOrdered:
+		return "reliable-ordered"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// ParseDeliveryMode maps a mode name (as printed by String) back to the
+// mode.
+func ParseDeliveryMode(s string) (DeliveryMode, error) {
+	switch s {
+	case "best-effort", "besteffort", "":
+		return BestEffort, nil
+	case "reliable":
+		return Reliable, nil
+	case "reliable-ordered", "ordered":
+		return ReliableOrdered, nil
+	}
+	return BestEffort, fmt.Errorf("wire: unknown delivery mode %q", s)
+}
+
+// DigestEntry is one source's high-water mark in a TDigest message: the
+// sender has seen (or published) sequences up to High from Source.
+type DigestEntry struct {
+	Source string
+	High   uint64
 }
 
 // PeerInfo is the identifier quadruplet of Section 3.3:
@@ -104,10 +164,31 @@ type Message struct {
 	// Subscriber is the peer a join is being made for.
 	Subscriber PeerInfo
 
-	// MsgID deduplicates flooded payloads and advertisements.
+	// MsgID deduplicates flooded advertisements and searches.
 	MsgID uint64
 	// Data is the application payload.
 	Data []byte
+
+	// Seq is the payload's per-(group, source) sequence number, stamped by
+	// the publisher (first sequence is 1; 0 means unsequenced). From stays
+	// the original publisher across hops, so (GroupID, From.Addr, Seq)
+	// identifies a payload end to end.
+	Seq uint64
+	// Relay is the forwarding hop a payload last travelled through (the
+	// publisher itself on the first hop). Receivers NACK missing sequences
+	// back along this link.
+	Relay PeerInfo
+	// Mode carries the group's delivery mode on advertisements, joins,
+	// join acks, search hits, beacons, and digests.
+	Mode DeliveryMode
+	// NackSource and NackSeqs name the publisher and the missing sequences
+	// a TNack requests; Origin is the requester the retransmissions go
+	// straight back to, and TTL bounds the hop-by-hop escalation toward
+	// the source.
+	NackSource string
+	NackSeqs   []uint64
+	// Digest lists per-source high-water marks on TDigest messages.
+	Digest []DigestEntry
 
 	// SentAt timestamps heartbeats for RTT measurement.
 	SentAt time.Time
