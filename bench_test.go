@@ -20,6 +20,7 @@ import (
 	"groupcast/internal/peer"
 	"groupcast/internal/protocol"
 	"groupcast/internal/sim"
+	"groupcast/internal/trace"
 	"groupcast/internal/transport"
 	"groupcast/internal/wire"
 )
@@ -331,8 +332,21 @@ func BenchmarkAblationHostCacheBootstrap(b *testing.B) {
 
 // BenchmarkLiveClusterPublish measures end-to-end payload dissemination on a
 // live 16-node in-memory cluster: one benchmark iteration is one publish
-// delivered to every member.
+// delivered to every member. The tracer-less run is the baseline every
+// pre-observability deployment pays (the hot path adds one nil check);
+// BenchmarkLiveClusterPublishTraced is the same cluster with full event
+// capture on every node, bounding the tracing overhead.
 func BenchmarkLiveClusterPublish(b *testing.B) {
+	benchLiveClusterPublish(b, nil)
+}
+
+// BenchmarkLiveClusterPublishTraced repeats BenchmarkLiveClusterPublish with
+// a 4096-event ring tracer on every node.
+func BenchmarkLiveClusterPublishTraced(b *testing.B) {
+	benchLiveClusterPublish(b, func() *trace.Tracer { return trace.New(4096, nil) })
+}
+
+func benchLiveClusterPublish(b *testing.B, tracer func() *trace.Tracer) {
 	net := transport.NewMemNetwork()
 	rng := rand.New(rand.NewSource(1))
 	var nodes []*node.Node
@@ -340,6 +354,9 @@ func BenchmarkLiveClusterPublish(b *testing.B) {
 		cfg := node.DefaultConfig(float64(10*(1+i%3)),
 			coords.Point{rng.Float64() * 100, rng.Float64() * 100}, int64(i+1))
 		cfg.HeartbeatInterval = 0 // no background noise during measurement
+		if tracer != nil {
+			cfg.Tracer = tracer()
+		}
 		nd := node.New(net.NextEndpoint(), cfg)
 		nd.Start()
 		var contacts []string

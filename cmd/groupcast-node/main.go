@@ -13,6 +13,11 @@
 //
 // Every line typed on stdin is published to the group; received payloads are
 // printed with their sender.
+//
+// Observability (see docs/OBSERVABILITY.md): -debug-addr serves the live
+// introspection endpoint (/debug/vars, /debug/tree, /debug/overlay,
+// /debug/trace, /debug/pprof/), which also enables in-memory message
+// tracing; -trace-file additionally streams every trace event as NDJSON.
 package main
 
 import (
@@ -24,10 +29,16 @@ import (
 	"time"
 
 	"groupcast/internal/coords"
+	"groupcast/internal/introspect"
 	"groupcast/internal/node"
+	"groupcast/internal/trace"
 	"groupcast/internal/transport"
 	"groupcast/internal/wire"
 )
+
+// traceRingCapacity bounds the in-memory trace buffer served by
+// /debug/trace (newest events win; NDJSON sees everything).
+const traceRingCapacity = 4096
 
 func main() {
 	if err := run(); err != nil {
@@ -38,15 +49,17 @@ func main() {
 
 func run() error {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:0", "TCP listen address")
-		contacts = flag.String("contacts", "", "comma-separated bootstrap addresses")
-		create   = flag.String("create", "", "create (and advertise) a group as its rendezvous")
-		join     = flag.String("join", "", "join an existing group")
-		capacity = flag.Float64("capacity", 10, "node capacity (64 kbps connection units)")
-		seed     = flag.Int64("seed", time.Now().UnixNano(), "random seed")
-		quiet    = flag.Bool("quiet", false, "suppress status lines")
-		vivaldi  = flag.Bool("vivaldi", false, "measure live Vivaldi network coordinates from heartbeat RTTs")
-		mode     = flag.String("mode", "best-effort", "delivery mode for -create'd groups: best-effort, reliable, reliable-ordered")
+		listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		contacts  = flag.String("contacts", "", "comma-separated bootstrap addresses")
+		create    = flag.String("create", "", "create (and advertise) a group as its rendezvous")
+		join      = flag.String("join", "", "join an existing group")
+		capacity  = flag.Float64("capacity", 10, "node capacity (64 kbps connection units)")
+		seed      = flag.Int64("seed", 0, "random seed (0 derives one from the clock)")
+		quiet     = flag.Bool("quiet", false, "suppress status lines")
+		vivaldi   = flag.Bool("vivaldi", false, "measure live Vivaldi network coordinates from heartbeat RTTs")
+		mode      = flag.String("mode", "best-effort", "delivery mode for -create'd groups: best-effort, reliable, reliable-ordered")
+		debugAddr = flag.String("debug-addr", "", "serve the introspection endpoint on this address (enables tracing)")
+		traceFile = flag.String("trace-file", "", "append trace events as NDJSON to this file (enables tracing)")
 	)
 	flag.Parse()
 
@@ -55,22 +68,54 @@ func run() error {
 		return err
 	}
 
+	// Normalize the seed once so every consumer (node RNG, logs) sees the
+	// same effective value: 0 means "give me a fresh one", anything else is
+	// reproducible. The old behaviour — a time-derived flag *default* —
+	// made `-seed` look deterministic in -help while never being so.
+	effectiveSeed := *seed
+	if effectiveSeed == 0 {
+		effectiveSeed = time.Now().UnixNano()
+	}
+
 	tr, err := transport.ListenTCP(*listen)
 	if err != nil {
 		return err
 	}
-	cfg := node.DefaultConfig(*capacity, coords.Point{0, 0, 0}, *seed)
+	cfg := node.DefaultConfig(*capacity, coords.Point{0, 0, 0}, effectiveSeed)
 	cfg.EnableVivaldi = *vivaldi
-	n := node.New(tr, cfg)
-	n.Start()
-	defer n.Close()
 
 	status := func(format string, args ...any) {
 		if !*quiet {
 			fmt.Printf(format+"\n", args...)
 		}
 	}
-	status("listening on %s", n.Addr())
+
+	var sink trace.Sink
+	if *traceFile != "" {
+		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("trace file: %w", err)
+		}
+		defer f.Close()
+		sink = trace.NewNDJSON(f)
+	}
+	if *debugAddr != "" || sink != nil {
+		cfg.Tracer = trace.New(traceRingCapacity, sink)
+	}
+
+	n := node.New(tr, cfg)
+	n.Start()
+	defer n.Close()
+	status("listening on %s (seed %d)", n.Addr(), effectiveSeed)
+
+	if *debugAddr != "" {
+		dbg, err := introspect.Start(*debugAddr, n)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		status("debug endpoint on http://%s/debug/vars", dbg.Addr())
+	}
 
 	var boots []string
 	for _, c := range strings.Split(*contacts, ",") {

@@ -1,0 +1,114 @@
+// Package introspect is the live-debugging surface of a GroupCast node: an
+// opt-in HTTP endpoint (groupcast-node -debug-addr) serving the node's
+// metrics registry, tree and overlay snapshots, recent trace events, and
+// the Go runtime profiler. Everything is read-only and JSON (except pprof),
+// so `curl | jq` is the whole client story.
+//
+// Endpoint catalog (see docs/OBSERVABILITY.md):
+//
+//	/debug/vars     metrics registry snapshot + node stats (JSON)
+//	/debug/tree     per-group tree attachment with per-link utility/latency
+//	/debug/overlay  neighbour table with liveness and coordinates
+//	/debug/trace    recent trace events, newest last (?n= caps the count)
+//	/debug/pprof/   the standard Go profiler index
+//	/debug/expvars  the stdlib expvar dump (Go runtime memstats etc.)
+package introspect
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"groupcast/internal/node"
+)
+
+// Handler builds the debug mux for one node. The mux is self-contained (no
+// global registration), so tests can run many nodes' endpoints in one
+// process.
+func Handler(n *node.Node) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"addr":    n.Addr(),
+			"metrics": n.Metrics().Snapshot(),
+			"stats":   n.Stats(),
+		})
+	})
+	mux.HandleFunc("/debug/tree", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"addr":  n.Addr(),
+			"trees": n.TreeDetails(),
+		})
+	})
+	mux.HandleFunc("/debug/overlay", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, n.OverlayView())
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		limit := 0
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, "invalid n", http.StatusBadRequest)
+				return
+			}
+			limit = v
+		}
+		evs := n.TraceEvents(limit)
+		writeJSON(w, map[string]any{
+			"addr":    n.Addr(),
+			"tracing": n.Tracer() != nil,
+			"events":  evs,
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	// The stdlib expvar dump under a non-conflicting path: /debug/vars is
+	// ours (and self-contained per node); the process-global Go runtime
+	// stats live here.
+	mux.Handle("/debug/expvars", expvar.Handler())
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing useful left to do.
+		_ = err
+	}
+}
+
+// Server is a running debug endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start serves the node's debug endpoint on addr (":0" picks a free port).
+func Start(addr string, n *node.Node) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("introspect: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           Handler(n),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

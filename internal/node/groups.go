@@ -9,6 +9,7 @@ import (
 	"groupcast/internal/core"
 	"groupcast/internal/peer"
 	"groupcast/internal/reliable"
+	"groupcast/internal/trace"
 	"groupcast/internal/wire"
 )
 
@@ -76,6 +77,10 @@ func (n *Node) Advertise(groupID string) error {
 		TTL:        n.cfg.AdvertiseTTL,
 		MsgID:      msgID,
 		Mode:       mode,
+		// The flood's MsgID doubles as its trace ID: every relayed copy
+		// carries it, so one announcement is one trace.
+		TraceID:  msgID,
+		OriginAt: time.Now(),
 	}, "")
 	return nil
 }
@@ -99,6 +104,7 @@ func (n *Node) handleAdvertise(msg wire.Message) {
 	fwd := msg
 	fwd.From = n.selfInfo()
 	fwd.TTL = msg.TTL - 1
+	fwd.Hops = msg.Hops + 1
 	n.forwardAdvertisement(fwd, msg.From.Addr)
 }
 
@@ -139,6 +145,7 @@ func (n *Node) forwardAdvertisement(msg wire.Message, upstream string) {
 		}
 	}
 	n.mu.Unlock()
+	msg.RelayedAt = time.Now()
 	for _, info := range targets {
 		_ = n.send(info.Addr, msg)
 	}
@@ -187,13 +194,15 @@ func (n *Node) joinInternal(groupID string, timeout time.Duration, asMember bool
 	msgID := n.nextMsgID()
 	self := n.selfInfo()
 	search := wire.Message{
-		Type:    wire.TSearch,
-		From:    self,
-		GroupID: groupID,
-		TTL:     n.cfg.SearchTTL,
-		Origin:  self,
-		ReqID:   reqID,
-		MsgID:   msgID,
+		Type:     wire.TSearch,
+		From:     self,
+		GroupID:  groupID,
+		TTL:      n.cfg.SearchTTL,
+		Origin:   self,
+		ReqID:    reqID,
+		MsgID:    msgID,
+		TraceID:  msgID,
+		OriginAt: time.Now(),
 	}
 	n.mu.Lock()
 	n.seenAds.Seen(msgID, time.Now()) // don't answer our own search
@@ -395,6 +404,10 @@ func (n *Node) joinOnce(groupID, parentAddr string, rdv wire.PeerInfo, mode wire
 	reqID, ch := n.nextReq()
 	defer n.dropReq(reqID)
 	self := n.selfInfo()
+	var traceID uint64
+	if n.tracer != nil {
+		traceID = n.nextMsgID()
+	}
 	if err := n.send(parentAddr, wire.Message{
 		Type:       wire.TJoin,
 		From:       self,
@@ -403,6 +416,9 @@ func (n *Node) joinOnce(groupID, parentAddr string, rdv wire.PeerInfo, mode wire
 		Rendezvous: rdv,
 		Mode:       mode,
 		ReqID:      reqID,
+		TraceID:    traceID,
+		OriginAt:   time.Now(),
+		RelayedAt:  time.Now(),
 	}); err != nil {
 		return wire.Message{}, err
 	}
@@ -452,6 +468,9 @@ func (n *Node) handleJoin(msg wire.Message) {
 			Path:    ackPath,
 			Mode:    gs.mode,
 			Backups: ackBackups,
+			// Echo the join's trace ID so the ack belongs to the same trace.
+			TraceID:   msg.TraceID,
+			RelayedAt: time.Now(),
 		})
 	}
 	if upstream != "" {
@@ -465,6 +484,10 @@ func (n *Node) handleJoin(msg wire.Message) {
 			Rendezvous: msg.Rendezvous,
 			Mode:       msg.Mode,
 			ReqID:      n.nextMsgID(),
+			TraceID:    msg.TraceID,
+			Hops:       msg.Hops + 1,
+			OriginAt:   msg.OriginAt,
+			RelayedAt:  time.Now(),
 		})
 	}
 }
@@ -530,6 +553,9 @@ func (n *Node) handleSearch(msg wire.Message) {
 			Rendezvous: rdv,
 			Mode:       mode,
 			Path:       path,
+			TraceID:    msg.TraceID,
+			Hops:       msg.Hops,
+			RelayedAt:  time.Now(),
 		})
 		return
 	}
@@ -539,6 +565,8 @@ func (n *Node) handleSearch(msg wire.Message) {
 	fwd := msg
 	fwd.From = n.selfInfo()
 	fwd.TTL = msg.TTL - 1
+	fwd.Hops = msg.Hops + 1
+	fwd.RelayedAt = time.Now()
 	for _, addr := range nbrs {
 		if addr != msg.From.Addr {
 			_ = n.send(addr, fwd)
@@ -555,6 +583,11 @@ func (n *Node) Publish(groupID string, data []byte) error {
 	if err := n.runnable(); err != nil {
 		return err
 	}
+	var traceID uint64
+	if n.tracer != nil {
+		traceID = n.nextMsgID()
+	}
+	origin := time.Now()
 	n.mu.Lock()
 	gs := n.groups[groupID]
 	if gs == nil || !gs.member {
@@ -564,22 +597,41 @@ func (n *Node) Publish(groupID string, data []byte) error {
 	if gs.pub == nil {
 		gs.pub = reliable.NewSendBuffer(n.cfg.ReliableCache)
 	}
-	seq := gs.pub.Next(data)
+	seq := gs.pub.NextItem(reliable.Item{Data: data, TraceID: traceID, OriginAt: origin})
 	self := n.selfInfoLocked()
 	targets := forwardTargetsLocked(gs, "")
 	n.mu.Unlock()
 	msg := wire.Message{
-		Type:    wire.TPayload,
-		From:    self,
-		GroupID: groupID,
-		Seq:     seq,
-		Relay:   self,
-		Data:    data,
+		Type:     wire.TPayload,
+		From:     self,
+		GroupID:  groupID,
+		Seq:      seq,
+		Relay:    self,
+		Data:     data,
+		TraceID:  traceID,
+		OriginAt: origin,
 	}
+	if n.tracer != nil {
+		n.tracer.Record(trace.Event{
+			Time: origin, Node: self.Addr, Kind: trace.KindPublish,
+			Msg: msg.Type.String(), Group: groupID,
+			TraceID: traceID, Seq: seq, Source: self.Addr, N: len(targets),
+		})
+	}
+	sendStart := time.Now()
+	msg.RelayedAt = sendStart
 	sent := 0
 	for _, addr := range targets {
 		if n.send(addr, msg) == nil {
 			sent++
+			if n.tracer != nil {
+				n.tracer.Record(trace.Event{
+					Time: time.Now(), Node: self.Addr, Kind: trace.KindSend,
+					Msg: msg.Type.String(), Group: groupID,
+					TraceID: traceID, Seq: seq, Source: self.Addr, Peer: addr,
+					SendUS: time.Since(sendStart).Microseconds(),
+				})
+			}
 		}
 	}
 	if len(targets) > 0 && sent == 0 {
@@ -617,8 +669,11 @@ func (n *Node) handlePayload(msg wire.Message) {
 		// each other, away from the source.
 		w.LastHop = hop
 	}
+	now := time.Now()
 	var res reliable.ObserveResult
-	w.Observe(msg.Seq, msg.Data, time.Now(), &res)
+	w.ObserveItem(msg.Seq, reliable.Item{
+		Data: msg.Data, TraceID: msg.TraceID, OriginAt: msg.OriginAt,
+	}, now, &res)
 	n.noteWindowLocked(&res)
 	if !res.Fresh {
 		n.stats.dupes.Add(1)
@@ -626,9 +681,14 @@ func (n *Node) handlePayload(msg wire.Message) {
 	deliver := gs.member
 	h := n.handler
 	n.mu.Unlock()
+	// Gap-recovery round trips: detection → recovering arrival.
+	for _, rtt := range res.RecoveredAfter {
+		n.metrics.nackRTT.ObserveDurationMs(float64(rtt) / float64(time.Millisecond))
+	}
 	if deliver && h != nil {
 		for _, d := range res.Deliver {
 			n.stats.delivered.Add(1)
+			n.observeDeliver(msg.GroupID, msg.From.Addr, msg.Hops, d)
 			h(msg.GroupID, msg.From, d.Data)
 		}
 	}
@@ -639,11 +699,45 @@ func (n *Node) handlePayload(msg wire.Message) {
 	n.mu.Lock()
 	fwd := msg
 	fwd.Relay = n.selfInfoLocked()
+	fwd.Hops = msg.Hops + 1
 	targets := forwardTargetsLocked(gs, hop)
 	n.mu.Unlock()
+	sendStart := time.Now()
+	fwd.RelayedAt = sendStart
 	for _, addr := range targets {
-		_ = n.send(addr, fwd)
+		if n.send(addr, fwd) == nil && n.tracer != nil {
+			n.tracer.Record(trace.Event{
+				Time: time.Now(), Node: n.self.Addr, Kind: trace.KindSend,
+				Msg: fwd.Type.String(), Group: fwd.GroupID,
+				TraceID: fwd.TraceID, Seq: fwd.Seq, Source: fwd.From.Addr,
+				Peer: addr, Hop: fwd.Hops,
+				SendUS: time.Since(sendStart).Microseconds(),
+			})
+		}
 	}
+}
+
+// observeDeliver records one payload hand-off to the application: the
+// publish→deliver latency histogram (when the publisher stamped an origin
+// time) and, when tracing, a deliver event joined to the payload's trace.
+func (n *Node) observeDeliver(groupID, source string, hops int, d reliable.Delivery) {
+	now := time.Now()
+	var ageUS int64
+	if !d.OriginAt.IsZero() {
+		if age := now.Sub(d.OriginAt); age > 0 {
+			ageUS = age.Microseconds()
+			n.metrics.publishDeliver.ObserveDurationMs(float64(age) / float64(time.Millisecond))
+		}
+	}
+	if n.tracer == nil {
+		return
+	}
+	n.tracer.Record(trace.Event{
+		Time: now, Node: n.self.Addr, Kind: trace.KindDeliver,
+		Msg: wire.TPayload.String(), Group: groupID,
+		TraceID: d.TraceID, Seq: d.Seq, Source: source, Hop: hops,
+		AgeUS: ageUS,
+	})
 }
 
 // forwardTargetsLocked lists the tree links a payload should travel on:

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"groupcast/internal/core"
+	"groupcast/internal/transport"
 	"groupcast/internal/wire"
 )
 
@@ -26,8 +27,42 @@ func (n *Node) recvLoop() {
 	}
 }
 
+// tracedTypes marks the message types worth a recv trace event: the data
+// plane and the group control plane. Heartbeats, probes, and connection
+// setup are traffic, not protocol actions, and would drown the ring.
+var tracedTypes = map[wire.Type]bool{
+	wire.TPayload:   true,
+	wire.TAdvertise: true,
+	wire.TJoin:      true,
+	wire.TJoinAck:   true,
+	wire.TSearch:    true,
+	wire.TSearchHit: true,
+	wire.TNack:      true,
+	wire.TDigest:    true,
+}
+
 func (n *Node) handle(msg wire.Message) {
+	start := time.Now()
 	n.stats.onRecv(msg.Type)
+	if msg.Type == wire.TPayload {
+		// Per-hop relay latency: previous hop's transport hand-off to our
+		// handler start (queue + wire in one number).
+		if !msg.RelayedAt.IsZero() {
+			if d := start.Sub(msg.RelayedAt); d > 0 {
+				n.metrics.relayHop.ObserveDurationMs(float64(d) / float64(time.Millisecond))
+			}
+		}
+		if qr, ok := n.tr.(transport.QueueReporter); ok {
+			n.metrics.queueDepth.Observe(float64(qr.QueueDepth()))
+		}
+	}
+	n.dispatch(msg)
+	if n.tracer != nil && tracedTypes[msg.Type] {
+		n.traceRecv(msg, start, time.Since(start))
+	}
+}
+
+func (n *Node) dispatch(msg wire.Message) {
 	switch msg.Type {
 	case wire.TProbe:
 		n.handleProbe(msg)
@@ -50,7 +85,9 @@ func (n *Node) handle(msg wire.Message) {
 	case wire.THeartbeatAck:
 		n.touchNeighbor(msg.From)
 		if !msg.SentAt.IsZero() {
-			n.observeRTT(msg.From, float64(time.Since(msg.SentAt))/float64(time.Millisecond))
+			rttMs := float64(time.Since(msg.SentAt)) / float64(time.Millisecond)
+			n.metrics.heartbeatRTT.ObserveDurationMs(rttMs)
+			n.observeRTT(msg.From, rttMs)
 		}
 	case wire.TAdvertise:
 		n.handleAdvertise(msg)

@@ -20,6 +20,7 @@ import (
 	"groupcast/internal/core"
 	"groupcast/internal/peer"
 	"groupcast/internal/reliable"
+	"groupcast/internal/trace"
 	"groupcast/internal/transport"
 	"groupcast/internal/wire"
 )
@@ -110,6 +111,12 @@ type Config struct {
 	// (zeros use the reliable package defaults).
 	SeenMax int
 	SeenTTL time.Duration
+
+	// Tracer receives structured per-message trace events (see
+	// internal/trace). Nil disables tracing; the hot path then pays a single
+	// nil check per message. Metrics are independent of the tracer and
+	// always on.
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig returns a live config mirroring the simulator defaults.
@@ -206,6 +213,10 @@ type Node struct {
 	deliverMu sync.Mutex
 
 	stats statCounters
+	// tracer is the opt-in message tracer (nil = disabled); metrics is the
+	// always-on instrument registry. See observe.go.
+	tracer  *trace.Tracer
+	metrics nodeMetrics
 	// rejoining guards against overlapping re-join attempts per group.
 	rejoining map[string]bool
 
@@ -316,12 +327,14 @@ func New(tr transport.Transport, cfg Config) *Node {
 		adSeen:    make(map[string]adState),
 		seenAds:   reliable.NewDedup(cfg.SeenMax, cfg.SeenTTL),
 		pending:   make(map[uint64]chan wire.Message),
+		tracer:    cfg.Tracer,
 		rejoining: make(map[string]bool),
 		stop:      make(chan struct{}),
 	}
 	if vivaldi != nil {
 		n.self.CoordErr = vivaldi.ErrorEstimate()
 	}
+	n.initObservability()
 	return n
 }
 
@@ -476,6 +489,10 @@ func (n *Node) dropReq(id uint64) {
 func (n *Node) nextMsgID() uint64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	return n.nextMsgIDLocked()
+}
+
+func (n *Node) nextMsgIDLocked() uint64 {
 	n.msgSeq++
 	// Addresses are unique, so (addr, seq) is unique; fold the address into
 	// the ID so independent nodes don't collide.

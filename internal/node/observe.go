@@ -1,0 +1,334 @@
+package node
+
+import (
+	"sort"
+	"time"
+
+	"groupcast/internal/core"
+	"groupcast/internal/metrics"
+	"groupcast/internal/trace"
+	"groupcast/internal/transport"
+	"groupcast/internal/wire"
+)
+
+// This file is the node's observability surface: the always-on metrics
+// registry (lock-free counters and histograms, cheap enough for the hot
+// path), the opt-in message tracer, and the structured snapshots the
+// introspection endpoint serves (/debug/tree, /debug/overlay).
+
+// Metric and histogram names registered by the node. The introspection
+// endpoint serves them under /debug/vars; docs/OBSERVABILITY.md catalogs
+// them.
+const (
+	MetricPublishDeliverLatency = "publish_deliver_latency_ms"
+	MetricRelayHopLatency       = "relay_hop_latency_ms"
+	MetricNackRTT               = "nack_rtt_ms"
+	MetricHeartbeatRTT          = "heartbeat_rtt_ms"
+	MetricRecvQueueDepth        = "recv_queue_depth"
+)
+
+// nodeMetrics holds the node's registered instruments. The histogram
+// pointers are resolved once at construction so hot paths skip the registry
+// map lookup.
+type nodeMetrics struct {
+	reg *metrics.Registry
+
+	publishDeliver *metrics.FixedHistogram
+	relayHop       *metrics.FixedHistogram
+	nackRTT        *metrics.FixedHistogram
+	heartbeatRTT   *metrics.FixedHistogram
+	queueDepth     *metrics.FixedHistogram
+}
+
+// initObservability wires the metrics registry (always on) and registers
+// the node's gauges. Called once from New, before any loop starts.
+func (n *Node) initObservability() {
+	reg := metrics.NewRegistry()
+	n.metrics = nodeMetrics{
+		reg:            reg,
+		publishDeliver: reg.Histogram(MetricPublishDeliverLatency, metrics.DefaultLatencyBuckets()),
+		relayHop:       reg.Histogram(MetricRelayHopLatency, metrics.DefaultLatencyBuckets()),
+		nackRTT:        reg.Histogram(MetricNackRTT, metrics.DefaultLatencyBuckets()),
+		heartbeatRTT:   reg.Histogram(MetricHeartbeatRTT, metrics.DefaultLatencyBuckets()),
+		queueDepth:     reg.Histogram(MetricRecvQueueDepth, metrics.DefaultDepthBuckets()),
+	}
+	reg.Gauge("neighbors", func() float64 {
+		return float64(n.NumNeighbors())
+	})
+	if qr, ok := n.tr.(transport.QueueReporter); ok {
+		reg.Gauge(MetricRecvQueueDepth, func() float64 {
+			return float64(qr.QueueDepth())
+		})
+	}
+	if dc, ok := n.tr.(transport.DropCounter); ok {
+		reg.Gauge("transport_inbox_sheds", func() float64 {
+			return float64(dc.DropStats().InboxSheds)
+		})
+		reg.Gauge("transport_fabric_drops", func() float64 {
+			return float64(dc.DropStats().FabricDrops)
+		})
+		reg.Gauge("transport_duplicates", func() float64 {
+			return float64(dc.DropStats().Duplicates)
+		})
+	}
+	reg.Gauge("reliable_pending_gaps", func() float64 {
+		gaps, _, _ := n.reliableOccupancy()
+		return float64(gaps)
+	})
+	reg.Gauge("reliable_window_entries", func() float64 {
+		_, entries, _ := n.reliableOccupancy()
+		return float64(entries)
+	})
+	reg.Gauge("reliable_cached_payloads", func() float64 {
+		_, _, cached := n.reliableOccupancy()
+		return float64(cached)
+	})
+	reg.Gauge("reliable_oldest_gap_age_ms", func() float64 {
+		return n.oldestGapAge().Seconds() * 1000
+	})
+}
+
+// reliableOccupancy sums the reliable data plane's bounded state across all
+// groups: pending gaps, window entries, and cached payloads.
+func (n *Node) reliableOccupancy() (gaps, entries, cached int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, gs := range n.groups {
+		for _, w := range gs.recv {
+			gaps += w.PendingGaps()
+			entries += w.Tracked()
+			cached += w.Cached()
+		}
+		if gs.pub != nil {
+			cached += gs.pub.Cached()
+		}
+	}
+	return gaps, entries, cached
+}
+
+// oldestGapAge is the age of the longest-outstanding sequence gap across
+// every receive window (0 when recovery is idle).
+func (n *Node) oldestGapAge() time.Duration {
+	now := time.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var oldest time.Duration
+	for _, gs := range n.groups {
+		for _, w := range gs.recv {
+			if age := w.OldestGapAge(now); age > oldest {
+				oldest = age
+			}
+		}
+	}
+	return oldest
+}
+
+// Metrics returns the node's instrument registry (always non-nil).
+func (n *Node) Metrics() *metrics.Registry { return n.metrics.reg }
+
+// Tracer returns the node's tracer (nil when tracing is disabled).
+func (n *Node) Tracer() *trace.Tracer { return n.tracer }
+
+// TraceEvents returns the newest n buffered trace events, oldest first
+// (n <= 0 returns everything buffered; nil when tracing is disabled).
+func (n *Node) TraceEvents(limit int) []trace.Event {
+	if n.tracer == nil {
+		return nil
+	}
+	return n.tracer.Events(limit)
+}
+
+// traceRecv records the ingestion of one traced message type, folding in the
+// timing the handler measured. No-op without a tracer.
+func (n *Node) traceRecv(msg wire.Message, start time.Time, handleDur time.Duration) {
+	ev := trace.Event{
+		Time:     start,
+		Node:     n.self.Addr,
+		Kind:     trace.KindRecv,
+		Msg:      msg.Type.String(),
+		Group:    msg.GroupID,
+		TraceID:  msg.TraceID,
+		Seq:      msg.Seq,
+		Peer:     msg.From.Addr,
+		Hop:      msg.Hops,
+		HandleUS: handleDur.Microseconds(),
+	}
+	if msg.Type == wire.TPayload {
+		ev.Source = msg.From.Addr
+		if msg.Relay.Addr != "" {
+			ev.Peer = msg.Relay.Addr
+		}
+	}
+	if msg.Type == wire.TNack {
+		ev.Source = msg.NackSource
+		ev.N = len(msg.NackSeqs)
+	}
+	if !msg.RelayedAt.IsZero() {
+		if q := start.Sub(msg.RelayedAt); q > 0 {
+			ev.QueueUS = q.Microseconds()
+		}
+	}
+	if !msg.OriginAt.IsZero() {
+		if age := start.Sub(msg.OriginAt); age > 0 {
+			ev.AgeUS = age.Microseconds()
+		}
+	}
+	n.tracer.Record(ev)
+}
+
+// LinkDetail describes one tree link for /debug/tree: the peer's identity
+// plus the latency estimate (coordinate distance) and Eq. 6 selection
+// preference this node computes for it.
+type LinkDetail struct {
+	Addr     string  `json:"addr"`
+	Role     string  `json:"role"` // "parent" or "child"
+	Capacity float64 `json:"capacity"`
+	// LatencyMs is the coordinate-space distance to the peer — the latency
+	// estimate the utility model runs on.
+	LatencyMs float64 `json:"latency_ms"`
+	// Utility is the peer's normalized Selection Preference (Eq. 6) among
+	// this node's tree links (0 when it cannot be computed).
+	Utility float64 `json:"utility"`
+}
+
+// TreeDetail is one group's tree attachment with per-link detail, as served
+// by /debug/tree.
+type TreeDetail struct {
+	Group      string       `json:"group"`
+	Mode       string       `json:"mode"`
+	Member     bool         `json:"member"`
+	Rendezvous bool         `json:"rendezvous"`
+	Attached   bool         `json:"attached"`
+	Links      []LinkDetail `json:"links,omitempty"`
+	Backups    []string     `json:"backups,omitempty"`
+	RootPath   []string     `json:"root_path,omitempty"`
+}
+
+// TreeDetails snapshots every group's tree attachment with per-link utility
+// and latency estimates, sorted by group ID.
+func (n *Node) TreeDetails() []TreeDetail {
+	n.mu.Lock()
+	self := n.selfInfoLocked()
+	type linkPeer struct {
+		info wire.PeerInfo
+		role string
+	}
+	out := make([]TreeDetail, 0, len(n.groups))
+	for gid, gs := range n.groups {
+		td := TreeDetail{
+			Group:      gid,
+			Mode:       gs.mode.String(),
+			Member:     gs.member,
+			Rendezvous: gs.rendezvous,
+			Attached:   gs.rendezvous || gs.parent != "",
+			RootPath:   append([]string(nil), gs.rootPath...),
+		}
+		for _, b := range gs.backups {
+			td.Backups = append(td.Backups, b.Addr)
+		}
+		var peers []linkPeer
+		if gs.parent != "" {
+			peers = append(peers, linkPeer{gs.parentInfo, "parent"})
+		}
+		for _, info := range gs.children {
+			peers = append(peers, linkPeer{info, "child"})
+		}
+		sort.Slice(peers, func(i, j int) bool { return peers[i].info.Addr < peers[j].info.Addr })
+		cands := make([]core.Candidate, len(peers))
+		for i, p := range peers {
+			cands[i] = core.Candidate{
+				Capacity: p.info.Capacity,
+				Distance: n.dist(self, p.info),
+			}
+		}
+		prefs, err := core.SelectionPreferencesFor(resourceLevelFor(n.cfg.Capacity, cands), cands)
+		for i, p := range peers {
+			ld := LinkDetail{
+				Addr:      p.info.Addr,
+				Role:      p.role,
+				Capacity:  p.info.Capacity,
+				LatencyMs: cands[i].Distance,
+			}
+			if err == nil && i < len(prefs) {
+				ld.Utility = prefs[i]
+			}
+			td.Links = append(td.Links, ld)
+		}
+		out = append(out, td)
+	}
+	n.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Group < out[j].Group })
+	return out
+}
+
+// resourceLevelFor estimates this node's relative resource level among the
+// candidate capacities (the r of Eq. 4/5), clamped to (0, 1).
+func resourceLevelFor(selfCap float64, cands []core.Candidate) float64 {
+	if len(cands) == 0 {
+		return 0.5
+	}
+	below := 0
+	for _, c := range cands {
+		if c.Capacity <= selfCap {
+			below++
+		}
+	}
+	r := float64(below) / float64(len(cands)+1)
+	if r <= 0 {
+		r = 1.0 / float64(len(cands)+2)
+	}
+	return r
+}
+
+// NeighborDetail describes one overlay neighbour for /debug/overlay.
+type NeighborDetail struct {
+	Addr     string  `json:"addr"`
+	Capacity float64 `json:"capacity"`
+	// LatencyMs is the coordinate-space distance (the RTT estimate the
+	// utility model uses; live RTTs feed it under Vivaldi).
+	LatencyMs float64 `json:"latency_ms"`
+	// LastAckMs is how long ago the neighbour last answered a heartbeat.
+	LastAckMs float64 `json:"last_ack_ms"`
+	// Suspect marks a neighbour that missed a heartbeat and is being
+	// re-probed.
+	Suspect bool `json:"suspect,omitempty"`
+}
+
+// OverlayDetail is the node's neighbour table with epoch state, as served
+// by /debug/overlay.
+type OverlayDetail struct {
+	Addr     string           `json:"addr"`
+	Coord    []float64        `json:"coord,omitempty"`
+	CoordErr float64          `json:"coord_err,omitempty"`
+	Capacity float64          `json:"capacity"`
+	Quota    int              `json:"quota"`
+	Vivaldi  bool             `json:"vivaldi,omitempty"`
+	Peers    []NeighborDetail `json:"peers,omitempty"`
+}
+
+// OverlayView snapshots the neighbour table with per-peer liveness state.
+func (n *Node) OverlayView() OverlayDetail {
+	now := time.Now()
+	n.mu.Lock()
+	self := n.selfInfoLocked()
+	od := OverlayDetail{
+		Addr:     self.Addr,
+		Coord:    self.Coord,
+		CoordErr: self.CoordErr,
+		Capacity: self.Capacity,
+		Quota:    n.quota(),
+		Vivaldi:  n.vivaldi != nil,
+	}
+	for _, nb := range n.neighbors {
+		od.Peers = append(od.Peers, NeighborDetail{
+			Addr:      nb.info.Addr,
+			Capacity:  nb.info.Capacity,
+			LatencyMs: n.dist(self, nb.info),
+			LastAckMs: float64(now.Sub(nb.lastAck)) / float64(time.Millisecond),
+			Suspect:   nb.suspect,
+		})
+	}
+	n.mu.Unlock()
+	sort.Slice(od.Peers, func(i, j int) bool { return od.Peers[i].Addr < od.Peers[j].Addr })
+	return od
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"groupcast/internal/reliable"
+	"groupcast/internal/trace"
 	"groupcast/internal/wire"
 )
 
@@ -86,27 +87,27 @@ func (n *Node) handleNack(msg wire.Message) {
 	}
 	self := n.selfInfoLocked()
 	srcInfo := wire.PeerInfo{Addr: msg.NackSource}
-	lookup := func(seq uint64) ([]byte, bool) { return nil, false }
+	lookup := func(seq uint64) (reliable.Item, bool) { return reliable.Item{}, false }
 	if msg.NackSource == self.Addr {
 		srcInfo = self
 		if gs.pub != nil {
-			lookup = gs.pub.Get
+			lookup = gs.pub.GetItem
 		}
 	} else if w := gs.recv[msg.NackSource]; w != nil {
 		if w.Info.Addr != "" {
 			srcInfo = w.Info
 		}
-		lookup = w.Get
+		lookup = w.GetItem
 	}
 	type resend struct {
 		seq  uint64
-		data []byte
+		item reliable.Item
 	}
 	var hits []resend
 	var misses []uint64
 	for _, seq := range msg.NackSeqs {
-		if data, ok := lookup(seq); ok {
-			hits = append(hits, resend{seq, data})
+		if item, ok := lookup(seq); ok {
+			hits = append(hits, resend{seq, item})
 		} else {
 			misses = append(misses, seq)
 		}
@@ -148,18 +149,34 @@ func (n *Node) handleNack(msg wire.Message) {
 
 	for _, r := range hits {
 		n.stats.retransmits.Add(1)
-		_ = n.send(msg.Origin.Addr, wire.Message{
+		sendAt := time.Now()
+		err := n.send(msg.Origin.Addr, wire.Message{
 			Type:    wire.TPayload,
 			From:    srcInfo,
 			GroupID: msg.GroupID,
 			Seq:     r.seq,
 			Relay:   self,
-			Data:    r.data,
+			Data:    r.item.Data,
+			// The cached item re-carries the payload's original trace
+			// identity, so the recovered hop joins the publisher's trace and
+			// the receiver still measures true publish→deliver latency.
+			TraceID:   r.item.TraceID,
+			OriginAt:  r.item.OriginAt,
+			RelayedAt: sendAt,
 		})
+		if err == nil && n.tracer != nil {
+			n.tracer.Record(trace.Event{
+				Time: sendAt, Node: self.Addr, Kind: trace.KindRetransmit,
+				Msg: wire.TPayload.String(), Group: msg.GroupID,
+				TraceID: r.item.TraceID, Seq: r.seq,
+				Source: srcInfo.Addr, Peer: msg.Origin.Addr,
+			})
+		}
 	}
 	if upstream != "" {
 		n.stats.nacksFwd.Add(1)
-		_ = n.send(upstream, wire.Message{
+		sendAt := time.Now()
+		err := n.send(upstream, wire.Message{
 			Type:       wire.TNack,
 			From:       self,
 			GroupID:    msg.GroupID,
@@ -167,7 +184,19 @@ func (n *Node) handleNack(msg wire.Message) {
 			NackSeqs:   misses,
 			Origin:     msg.Origin,
 			TTL:        msg.TTL - 1,
+			TraceID:    msg.TraceID,
+			Hops:       msg.Hops + 1,
+			OriginAt:   msg.OriginAt,
+			RelayedAt:  sendAt,
 		})
+		if err == nil && n.tracer != nil {
+			n.tracer.Record(trace.Event{
+				Time: sendAt, Node: self.Addr, Kind: trace.KindNackFwd,
+				Msg: wire.TNack.String(), Group: msg.GroupID,
+				TraceID: msg.TraceID, Source: msg.NackSource, Peer: upstream,
+				Hop: msg.Hops + 1, N: len(misses),
+			})
+		}
 	}
 }
 
@@ -177,8 +206,8 @@ func (n *Node) handleNack(msg wire.Message) {
 // trailing losses and bootstraps rejoined members onto in-flight streams.
 func (n *Node) handleDigest(msg wire.Message) {
 	type release struct {
-		src  wire.PeerInfo
-		data []byte
+		src wire.PeerInfo
+		d   reliable.Delivery
 	}
 	now := time.Now()
 	n.deliverMu.Lock()
@@ -204,7 +233,7 @@ func (n *Node) handleDigest(msg wire.Message) {
 		w.NoteAdvertised(e.High, now, &res)
 		n.noteWindowLocked(&res)
 		for _, d := range res.Deliver {
-			released = append(released, release{w.Info, d.Data})
+			released = append(released, release{w.Info, d})
 		}
 	}
 	deliver := gs.member
@@ -213,7 +242,8 @@ func (n *Node) handleDigest(msg wire.Message) {
 	if deliver && h != nil {
 		for _, r := range released {
 			n.stats.delivered.Add(1)
-			h(msg.GroupID, r.src, r.data)
+			n.observeDeliver(msg.GroupID, r.src.Addr, 0, r.d)
+			h(msg.GroupID, r.src, r.d.Data)
 		}
 	}
 	n.deliverMu.Unlock()
@@ -249,9 +279,9 @@ func (n *Node) nackSweep() {
 		msg wire.Message
 	}
 	type release struct {
-		gid  string
-		src  wire.PeerInfo
-		data []byte
+		gid string
+		src wire.PeerInfo
+		d   reliable.Delivery
 	}
 	now := time.Now()
 	n.deliverMu.Lock()
@@ -270,7 +300,7 @@ func (n *Node) nackSweep() {
 			due := w.DueGaps(now, pol, &res)
 			n.noteWindowLocked(&res)
 			for _, d := range res.Deliver {
-				released = append(released, release{gid, w.Info, d.Data})
+				released = append(released, release{gid, w.Info, d})
 			}
 			if len(due) == 0 {
 				continue
@@ -284,6 +314,11 @@ func (n *Node) nackSweep() {
 				// only through digests): ask the source directly.
 				target = srcAddr
 			}
+			var traceID uint64
+			if n.tracer != nil {
+				// A NACK and its escalation chain form their own trace.
+				traceID = n.nextMsgIDLocked()
+			}
 			nacks = append(nacks, nack{target, wire.Message{
 				Type:       wire.TNack,
 				From:       self,
@@ -292,6 +327,8 @@ func (n *Node) nackSweep() {
 				NackSeqs:   due,
 				Origin:     self,
 				TTL:        n.cfg.NackTTL,
+				TraceID:    traceID,
+				OriginAt:   now,
 			}})
 		}
 	}
@@ -303,13 +340,23 @@ func (n *Node) nackSweep() {
 				continue
 			}
 			n.stats.delivered.Add(1)
-			h(r.gid, r.src, r.data)
+			n.observeDeliver(r.gid, r.src.Addr, 0, r.d)
+			h(r.gid, r.src, r.d.Data)
 		}
 	}
 	n.deliverMu.Unlock()
 	for _, nk := range nacks {
 		n.stats.nacksSent.Add(1)
-		_ = n.send(nk.to, nk.msg)
+		sendAt := time.Now()
+		nk.msg.RelayedAt = sendAt
+		if n.send(nk.to, nk.msg) == nil && n.tracer != nil {
+			n.tracer.Record(trace.Event{
+				Time: sendAt, Node: self.Addr, Kind: trace.KindNack,
+				Msg: wire.TNack.String(), Group: nk.msg.GroupID,
+				TraceID: nk.msg.TraceID, Source: nk.msg.NackSource,
+				Peer: nk.to, N: len(nk.msg.NackSeqs),
+			})
+		}
 	}
 }
 

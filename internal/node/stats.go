@@ -128,6 +128,88 @@ func (n *Node) Stats() Stats {
 	return out
 }
 
+// Merge folds other's counters into s (fleet-wide aggregation: sum each
+// node's snapshot into one). Nil maps are allocated on demand.
+func (s *Stats) Merge(other Stats) {
+	if s.Sent == nil {
+		s.Sent = make(map[string]uint64)
+	}
+	if s.Received == nil {
+		s.Received = make(map[string]uint64)
+	}
+	for k, v := range other.Sent {
+		s.Sent[k] += v
+	}
+	for k, v := range other.Received {
+		s.Received[k] += v
+	}
+	s.Delivered += other.Delivered
+	s.DuplicatesDropped += other.DuplicatesDropped
+	s.Retries += other.Retries
+	s.Suspected += other.Suspected
+	s.NeighborsDeclaredDead += other.NeighborsDeclaredDead
+	s.RepairsViaBackup += other.RepairsViaBackup
+	s.RepairsViaSearch += other.RepairsViaSearch
+	s.SendErrors += other.SendErrors
+	s.NacksSent += other.NacksSent
+	s.NacksForwarded += other.NacksForwarded
+	s.Retransmits += other.Retransmits
+	s.GapsDetected += other.GapsDetected
+	s.GapsRecovered += other.GapsRecovered
+	s.GapsAbandoned += other.GapsAbandoned
+	s.OutOfWindow += other.OutOfWindow
+	s.Transport.InboxSheds += other.Transport.InboxSheds
+	s.Transport.FabricDrops += other.Transport.FabricDrops
+	s.Transport.Duplicates += other.Transport.Duplicates
+}
+
+// Delta returns the counters gained since base (interval measurement
+// between two snapshots of the same node). Counters are monotonic, so each
+// difference saturates at 0 rather than underflowing if base is newer.
+func (s Stats) Delta(base Stats) Stats {
+	sub := func(a, b uint64) uint64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
+	out := Stats{
+		Sent:                  make(map[string]uint64),
+		Received:              make(map[string]uint64),
+		Delivered:             sub(s.Delivered, base.Delivered),
+		DuplicatesDropped:     sub(s.DuplicatesDropped, base.DuplicatesDropped),
+		Retries:               sub(s.Retries, base.Retries),
+		Suspected:             sub(s.Suspected, base.Suspected),
+		NeighborsDeclaredDead: sub(s.NeighborsDeclaredDead, base.NeighborsDeclaredDead),
+		RepairsViaBackup:      sub(s.RepairsViaBackup, base.RepairsViaBackup),
+		RepairsViaSearch:      sub(s.RepairsViaSearch, base.RepairsViaSearch),
+		SendErrors:            sub(s.SendErrors, base.SendErrors),
+		NacksSent:             sub(s.NacksSent, base.NacksSent),
+		NacksForwarded:        sub(s.NacksForwarded, base.NacksForwarded),
+		Retransmits:           sub(s.Retransmits, base.Retransmits),
+		GapsDetected:          sub(s.GapsDetected, base.GapsDetected),
+		GapsRecovered:         sub(s.GapsRecovered, base.GapsRecovered),
+		GapsAbandoned:         sub(s.GapsAbandoned, base.GapsAbandoned),
+		OutOfWindow:           sub(s.OutOfWindow, base.OutOfWindow),
+		Transport: transport.DropStats{
+			InboxSheds:  sub(s.Transport.InboxSheds, base.Transport.InboxSheds),
+			FabricDrops: sub(s.Transport.FabricDrops, base.Transport.FabricDrops),
+			Duplicates:  sub(s.Transport.Duplicates, base.Transport.Duplicates),
+		},
+	}
+	for k, v := range s.Sent {
+		if d := sub(v, base.Sent[k]); d > 0 {
+			out.Sent[k] = d
+		}
+	}
+	for k, v := range s.Received {
+		if d := sub(v, base.Received[k]); d > 0 {
+			out.Received[k] = d
+		}
+	}
+	return out
+}
+
 // send wraps the transport send with accounting. All node code paths go
 // through it.
 func (n *Node) send(addr string, msg wire.Message) error {

@@ -1,0 +1,170 @@
+package node
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"groupcast/internal/coords"
+	"groupcast/internal/trace"
+	"groupcast/internal/transport"
+	"groupcast/internal/wire"
+)
+
+func TestStatsMerge(t *testing.T) {
+	a := Stats{
+		Sent:      map[string]uint64{"payload": 3, "probe": 1},
+		Received:  map[string]uint64{"payload": 2},
+		Delivered: 5,
+		NacksSent: 1,
+		Transport: transport.DropStats{InboxSheds: 2},
+	}
+	b := Stats{
+		Sent:          map[string]uint64{"payload": 4},
+		Received:      map[string]uint64{"heartbeat": 7},
+		Delivered:     2,
+		GapsDetected:  3,
+		GapsRecovered: 3,
+		Transport:     transport.DropStats{FabricDrops: 1},
+	}
+	a.Merge(b)
+	if a.Sent["payload"] != 7 || a.Sent["probe"] != 1 {
+		t.Errorf("merged Sent = %v", a.Sent)
+	}
+	if a.Received["payload"] != 2 || a.Received["heartbeat"] != 7 {
+		t.Errorf("merged Received = %v", a.Received)
+	}
+	if a.Delivered != 7 || a.NacksSent != 1 || a.GapsDetected != 3 || a.GapsRecovered != 3 {
+		t.Errorf("merged scalars wrong: %+v", a)
+	}
+	if a.Transport.InboxSheds != 2 || a.Transport.FabricDrops != 1 {
+		t.Errorf("merged transport stats wrong: %+v", a.Transport)
+	}
+
+	// Merging into a zero value must allocate the maps.
+	var zero Stats
+	zero.Merge(b)
+	if zero.Sent["payload"] != 4 || zero.Received["heartbeat"] != 7 {
+		t.Errorf("merge into zero value: %+v", zero)
+	}
+}
+
+func TestStatsDelta(t *testing.T) {
+	base := Stats{
+		Sent:      map[string]uint64{"payload": 3, "probe": 2},
+		Received:  map[string]uint64{"payload": 1},
+		Delivered: 4,
+		Transport: transport.DropStats{InboxSheds: 1},
+	}
+	now := Stats{
+		Sent:      map[string]uint64{"payload": 10, "probe": 2},
+		Received:  map[string]uint64{"payload": 6, "nack": 2},
+		Delivered: 9,
+		Retries:   1,
+		Transport: transport.DropStats{InboxSheds: 3},
+	}
+	d := now.Delta(base)
+	if !reflect.DeepEqual(d.Sent, map[string]uint64{"payload": 7}) {
+		t.Errorf("delta Sent = %v (zero-delta entries must be omitted)", d.Sent)
+	}
+	if !reflect.DeepEqual(d.Received, map[string]uint64{"payload": 5, "nack": 2}) {
+		t.Errorf("delta Received = %v", d.Received)
+	}
+	if d.Delivered != 5 || d.Retries != 1 || d.Transport.InboxSheds != 2 {
+		t.Errorf("delta scalars wrong: %+v", d)
+	}
+	// Counters are monotonic; a stale "now" saturates at zero instead of
+	// underflowing.
+	if under := base.Delta(now); under.Delivered != 0 || len(under.Sent) != 0 {
+		t.Errorf("reversed delta did not saturate: %+v", under)
+	}
+}
+
+// TestSnapshotsRaceSafe hammers every observability snapshot surface —
+// Stats, the metrics registry, tree/overlay details and the trace ring —
+// from many goroutines while a live cluster keeps publishing. Run under
+// -race (CI does) this proves the introspection endpoint can be scraped
+// at any moment without torn reads.
+func TestSnapshotsRaceSafe(t *testing.T) {
+	net := transport.NewMemNetwork()
+	var nodes []*Node
+	for i := 0; i < 3; i++ {
+		cfg := DefaultConfig(10, coords.Point{float64(i), 0}, int64(i+1))
+		cfg.HeartbeatInterval = 50 * time.Millisecond
+		cfg.Tracer = trace.New(128, nil)
+		nd := New(net.NextEndpoint(), cfg)
+		nd.Start()
+		var contacts []string
+		for _, prev := range nodes {
+			contacts = append(contacts, prev.Addr())
+		}
+		if err := nd.Bootstrap(contacts, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+	}
+	defer func() {
+		for _, nd := range nodes {
+			_ = nd.Close()
+		}
+	}()
+	rdv := nodes[0]
+	if err := rdv.CreateGroupMode("race", wire.Reliable); err != nil {
+		t.Fatal(err)
+	}
+	if err := rdv.Advertise("race"); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range nodes[1:] {
+		var err error
+		for attempt := 0; attempt < 6; attempt++ {
+			if err = m.Join("race", time.Second); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = rdv.Publish("race", []byte(fmt.Sprintf("m%d", i)))
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var acc Stats
+			var last Stats
+			for i := 0; i < 200; i++ {
+				for _, nd := range nodes {
+					s := nd.Stats()
+					acc.Merge(s)
+					_ = s.Delta(last)
+					last = s
+					_ = nd.Metrics().Snapshot()
+					_ = nd.TreeDetails()
+					_ = nd.OverlayView()
+					_ = nd.TraceEvents(16)
+				}
+			}
+		}()
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -1,5 +1,7 @@
 package reliable
 
+import "time"
+
 // PayloadCache is a bounded, sequence-indexed retransmission buffer: a ring
 // of capacity slots where sequence s lives in slot s mod capacity. Inserting
 // a newer sequence evicts whatever older one occupied its slot, so the cache
@@ -12,9 +14,21 @@ type PayloadCache struct {
 	slots []cacheSlot
 }
 
+// Item is one cached payload with the trace identity it travelled under, so
+// a retransmission can re-carry the original trace ID and origin timestamp
+// (NACK-recovered deliveries then still measure true publish→deliver
+// latency and join the original trace).
+type Item struct {
+	Data    []byte
+	TraceID uint64
+	// OriginAt is the publisher's timestamp (zero when the publisher did not
+	// stamp one).
+	OriginAt time.Time
+}
+
 type cacheSlot struct {
 	seq  uint64
-	data []byte
+	item Item
 	full bool
 }
 
@@ -27,23 +41,34 @@ func NewPayloadCache(capacity int) *PayloadCache {
 	return &PayloadCache{slots: make([]cacheSlot, capacity)}
 }
 
-// Put retains data under seq. An older sequence never evicts a newer one
-// from its slot (late retransmit arrivals must not regress the buffer).
+// Put retains data under seq with no trace identity.
 func (c *PayloadCache) Put(seq uint64, data []byte) {
+	c.PutItem(seq, Item{Data: data})
+}
+
+// PutItem retains an item under seq. An older sequence never evicts a newer
+// one from its slot (late retransmit arrivals must not regress the buffer).
+func (c *PayloadCache) PutItem(seq uint64, item Item) {
 	s := &c.slots[int(seq%uint64(len(c.slots)))]
 	if s.full && s.seq >= seq {
 		return
 	}
-	*s = cacheSlot{seq: seq, data: data, full: true}
+	*s = cacheSlot{seq: seq, item: item, full: true}
 }
 
 // Get returns the payload retained for seq, if it is still in the buffer.
 func (c *PayloadCache) Get(seq uint64) ([]byte, bool) {
+	item, ok := c.GetItem(seq)
+	return item.Data, ok
+}
+
+// GetItem returns the item retained for seq, if it is still in the buffer.
+func (c *PayloadCache) GetItem(seq uint64) (Item, bool) {
 	s := c.slots[int(seq%uint64(len(c.slots)))]
 	if !s.full || s.seq != seq {
-		return nil, false
+		return Item{}, false
 	}
-	return s.data, true
+	return s.item, true
 }
 
 // Len counts the payloads currently held.

@@ -23,8 +23,15 @@ func NewSendBuffer(capacity int) *SendBuffer {
 
 // Next allocates the next sequence number and retains data under it.
 func (b *SendBuffer) Next(data []byte) uint64 {
+	return b.NextItem(Item{Data: data})
+}
+
+// NextItem allocates the next sequence number and retains the item —
+// payload plus trace identity — under it, so NACK answers re-carry the
+// original trace ID and origin timestamp.
+func (b *SendBuffer) NextItem(item Item) uint64 {
 	b.seq++
-	b.cache.Put(b.seq, data)
+	b.cache.PutItem(b.seq, item)
 	return b.seq
 }
 
@@ -34,13 +41,23 @@ func (b *SendBuffer) High() uint64 { return b.seq }
 // Get returns the retained payload for seq, if still buffered.
 func (b *SendBuffer) Get(seq uint64) ([]byte, bool) { return b.cache.Get(seq) }
 
+// GetItem returns the retained item for seq, if still buffered.
+func (b *SendBuffer) GetItem(seq uint64) (Item, bool) { return b.cache.GetItem(seq) }
+
 // Cached counts the payloads currently retained.
 func (b *SendBuffer) Cached() int { return b.cache.Len() }
 
-// Delivery is one payload a SourceWindow releases to the application.
+// Delivery is one payload a SourceWindow releases to the application. It
+// carries the trace identity the payload travelled under so the deliver
+// trace event can join the publisher's trace and measure true end-to-end
+// latency, even for payloads that waited in the ordered buffer or arrived
+// via retransmission.
 type Delivery struct {
-	Seq  uint64
-	Data []byte
+	Seq     uint64
+	Data    []byte
+	TraceID uint64
+	// OriginAt is the publisher's timestamp (zero when unstamped).
+	OriginAt time.Time
 }
 
 // ObserveResult accumulates what one window operation did, so the caller
@@ -57,6 +74,11 @@ type ObserveResult struct {
 	GapsOpened    int
 	GapsRecovered int
 	GapsAbandoned int
+	// RecoveredAfter holds, for each gap this operation closed after at
+	// least one NACK went out, the time from gap detection to recovery —
+	// the receiver-side NACK round-trip the metrics layer feeds its
+	// nack_rtt histogram with.
+	RecoveredAfter []time.Duration
 	// Deliver lists the payloads released to the application, in the order
 	// they must be handed over.
 	Deliver []Delivery
@@ -98,9 +120,9 @@ type SourceWindow struct {
 	pruned   uint64 // all state at or below this sequence has been dropped
 	next     uint64 // ordered mode: lowest sequence not yet released
 	received map[uint64]bool
-	pending  map[uint64][]byte // ordered mode only
-	gaps     map[uint64]*gap   // reliable modes only
-	cache    *PayloadCache     // reliable modes only
+	pending  map[uint64]Delivery // ordered mode only
+	gaps     map[uint64]*gap     // reliable modes only
+	cache    *PayloadCache       // reliable modes only
 }
 
 // NewSourceWindow builds a window of the given span. In reliable mode gaps
@@ -122,7 +144,7 @@ func NewSourceWindow(span, cacheCap int, ordered, reliableMode bool) *SourceWind
 		w.cache = NewPayloadCache(cacheCap)
 	}
 	if ordered {
-		w.pending = make(map[uint64][]byte)
+		w.pending = make(map[uint64]Delivery)
 	}
 	return w
 }
@@ -147,12 +169,20 @@ func (w *SourceWindow) low() uint64 {
 // arrival itself in unordered modes; in ordered mode, every consecutive
 // pending payload the arrival unlocked).
 func (w *SourceWindow) Observe(seq uint64, data []byte, now time.Time, res *ObserveResult) {
+	w.ObserveItem(seq, Item{Data: data}, now, res)
+}
+
+// ObserveItem is Observe with trace identity: the item's trace ID and
+// origin timestamp flow into the retransmission cache and the resulting
+// deliveries, so downstream NACK answers and deliver events keep the
+// original trace.
+func (w *SourceWindow) ObserveItem(seq uint64, item Item, now time.Time, res *ObserveResult) {
 	w.LastActive = now
 	if seq == 0 {
 		// Unsequenced payload (foreign or legacy publisher): deliver as-is,
 		// dedup is the caller's problem.
 		res.Fresh = true
-		res.Deliver = append(res.Deliver, Delivery{0, data})
+		res.Deliver = append(res.Deliver, Delivery{0, item.Data, item.TraceID, item.OriginAt})
 		return
 	}
 	if seq <= w.pruned || seq <= w.low() || (w.ordered && seq < w.next) {
@@ -168,18 +198,20 @@ func (w *SourceWindow) Observe(seq uint64, data []byte, now time.Time, res *Obse
 	w.advance(seq, false, now, res)
 	w.received[seq] = true
 	if g, open := w.gaps[seq]; open {
-		_ = g
 		delete(w.gaps, seq)
 		res.GapsRecovered++
+		if g.attempts > 0 {
+			res.RecoveredAfter = append(res.RecoveredAfter, now.Sub(g.since))
+		}
 	}
 	if w.cache != nil {
-		w.cache.Put(seq, data)
+		w.cache.PutItem(seq, item)
 	}
 	if w.ordered {
-		w.pending[seq] = data
+		w.pending[seq] = Delivery{seq, item.Data, item.TraceID, item.OriginAt}
 		w.release(res)
 	} else {
-		res.Deliver = append(res.Deliver, Delivery{seq, data})
+		res.Deliver = append(res.Deliver, Delivery{seq, item.Data, item.TraceID, item.OriginAt})
 	}
 }
 
@@ -244,8 +276,8 @@ func (w *SourceWindow) slide(res *ObserveResult) {
 			}
 		}
 		if w.ordered {
-			if data, ok := w.pending[s]; ok {
-				res.Deliver = append(res.Deliver, Delivery{s, data})
+			if d, ok := w.pending[s]; ok {
+				res.Deliver = append(res.Deliver, d)
 				delete(w.pending, s)
 			}
 		}
@@ -265,8 +297,8 @@ func (w *SourceWindow) release(res *ObserveResult) {
 		return
 	}
 	for w.next <= w.high {
-		if data, ok := w.pending[w.next]; ok {
-			res.Deliver = append(res.Deliver, Delivery{w.next, data})
+		if d, ok := w.pending[w.next]; ok {
+			res.Deliver = append(res.Deliver, d)
 			delete(w.pending, w.next)
 			w.next++
 			continue
@@ -326,6 +358,27 @@ func (w *SourceWindow) Get(seq uint64) ([]byte, bool) {
 		return nil, false
 	}
 	return w.cache.Get(seq)
+}
+
+// GetItem returns the cached item for seq — payload plus the trace identity
+// a retransmission should re-carry.
+func (w *SourceWindow) GetItem(seq uint64) (Item, bool) {
+	if w.cache == nil {
+		return Item{}, false
+	}
+	return w.cache.GetItem(seq)
+}
+
+// OldestGapAge returns how long the longest-outstanding gap has been open
+// (0 when no gaps are pending) — the registry's gap-age gauge.
+func (w *SourceWindow) OldestGapAge(now time.Time) time.Duration {
+	var oldest time.Duration
+	for _, g := range w.gaps {
+		if age := now.Sub(g.since); age > oldest {
+			oldest = age
+		}
+	}
+	return oldest
 }
 
 // High returns the highest sequence observed or advertised.

@@ -386,8 +386,9 @@ type ChaosEndpoint struct {
 }
 
 var (
-	_ Transport   = (*ChaosEndpoint)(nil)
-	_ DropCounter = (*ChaosEndpoint)(nil)
+	_ Transport     = (*ChaosEndpoint)(nil)
+	_ DropCounter   = (*ChaosEndpoint)(nil)
+	_ QueueReporter = (*ChaosEndpoint)(nil)
 )
 
 // Addr returns the wrapped endpoint's address.
@@ -395,6 +396,15 @@ func (e *ChaosEndpoint) Addr() string { return e.addr }
 
 // Recv returns the wrapped endpoint's inbound stream.
 func (e *ChaosEndpoint) Recv() <-chan wire.Message { return e.inner.Recv() }
+
+// QueueDepth samples the wrapped endpoint's inbox occupancy (0 when the
+// wrapped transport does not report one).
+func (e *ChaosEndpoint) QueueDepth() int {
+	if qr, ok := e.inner.(QueueReporter); ok {
+		return qr.QueueDepth()
+	}
+	return 0
+}
 
 // Close closes the wrapped endpoint.
 func (e *ChaosEndpoint) Close() error {

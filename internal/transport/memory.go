@@ -133,8 +133,9 @@ type MemEndpoint struct {
 }
 
 var (
-	_ Transport   = (*MemEndpoint)(nil)
-	_ DropCounter = (*MemEndpoint)(nil)
+	_ Transport     = (*MemEndpoint)(nil)
+	_ DropCounter   = (*MemEndpoint)(nil)
+	_ QueueReporter = (*MemEndpoint)(nil)
 )
 
 // Addr returns the endpoint's fabric name.
@@ -153,6 +154,9 @@ func (e *MemEndpoint) Send(addr string, msg wire.Message) error {
 
 // Recv returns the inbound stream.
 func (e *MemEndpoint) Recv() <-chan wire.Message { return e.inbox }
+
+// QueueDepth samples the inbox occupancy.
+func (e *MemEndpoint) QueueDepth() int { return len(e.inbox) }
 
 // push enqueues an inbound message, dropping when the endpoint is closed or
 // the inbox is full (backpressure becomes loss, like UDP).

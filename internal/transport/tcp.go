@@ -54,8 +54,9 @@ type tcpConn struct {
 }
 
 var (
-	_ Transport   = (*TCPTransport)(nil)
-	_ DropCounter = (*TCPTransport)(nil)
+	_ Transport     = (*TCPTransport)(nil)
+	_ DropCounter   = (*TCPTransport)(nil)
+	_ QueueReporter = (*TCPTransport)(nil)
 )
 
 // ListenTCP starts an endpoint on addr ("host:port"; ":0" picks a free
@@ -95,6 +96,9 @@ func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
 
 // Recv returns the inbound stream.
 func (t *TCPTransport) Recv() <-chan wire.Message { return t.inbox }
+
+// QueueDepth samples the inbox occupancy.
+func (t *TCPTransport) QueueDepth() int { return len(t.inbox) }
 
 // DropStats reports inbound messages shed on a full inbox and outbound
 // messages lost to dial/write failures after the retry.

@@ -58,3 +58,12 @@ func (d DropStats) Total() uint64 { return d.InboxSheds + d.FabricDrops }
 type DropCounter interface {
 	DropStats() DropStats
 }
+
+// QueueReporter is implemented by transports whose inbound queue occupancy
+// can be sampled. The node's metrics registry gauges and histograms feed on
+// it (send-queue depth is a leading indicator of shed-induced loss).
+type QueueReporter interface {
+	// QueueDepth returns the number of inbound messages buffered and not yet
+	// drained by the receiver.
+	QueueDepth() int
+}

@@ -1,0 +1,60 @@
+package viz
+
+import (
+	"bytes"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"groupcast/internal/protocol"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden DOT files")
+
+// TestGoldenDOT locks the DOT renderings down byte for byte: a fixed seed
+// must reproduce the committed testdata files exactly, so any change to the
+// rendering (or to the deterministic overlay/tree construction it draws) is
+// an explicit diff. Regenerate with: go test ./internal/viz -run Golden -update
+func TestGoldenDOT(t *testing.T) {
+	g, levels := testOverlay(t)
+	rng := rand.New(rand.NewSource(2))
+	tree, _, _, err := protocol.BuildGroup(g, 0, rng.Perm(60)[:15], levels,
+		protocol.DefaultAdvertiseConfig(), protocol.DefaultSubscribeConfig(), rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		file   string
+		render func(*bytes.Buffer) error
+	}{
+		{"overlay.dot", func(buf *bytes.Buffer) error { return OverlayDOT(buf, g, "golden-overlay") }},
+		{"tree.dot", func(buf *bytes.Buffer) error { return TreeDOT(buf, tree, "golden-tree") }},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		if err := tc.render(&buf); err != nil {
+			t.Fatalf("%s: %v", tc.file, err)
+		}
+		path := filepath.Join("testdata", tc.file)
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to regenerate)", path, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s: rendering drifted from golden file (run with -update after verifying the diff)\n got %d bytes, want %d bytes",
+				tc.file, buf.Len(), len(want))
+		}
+	}
+}

@@ -193,6 +193,26 @@ type Message struct {
 	// SentAt timestamps heartbeats for RTT measurement.
 	SentAt time.Time
 
+	// TraceID correlates the hops of one protocol action for the tracing
+	// layer (internal/trace): stamped by the originator on payloads,
+	// advertisements, joins (echoed on acks), searches, NACKs, and carried
+	// through relays and retransmissions. 0 means the originator did not
+	// trace.
+	TraceID uint64
+	// Hops counts overlay links the message travelled from its originator
+	// (0 on the first wire hop; each relay increments before forwarding).
+	Hops int
+	// OriginAt is the publisher's timestamp on payloads — the zero point of
+	// end-to-end latency measurement. Retransmission buffers preserve it so
+	// NACK-recovered payloads still measure true publish→deliver latency.
+	OriginAt time.Time
+	// RelayedAt is when the previous hop handed the message to its
+	// transport, letting the receiver measure per-hop queue+wire delay
+	// without a shared clock beyond the host's (in-process fabrics and
+	// single-host deployments; cross-host skew only distorts, never breaks,
+	// the trace).
+	RelayedAt time.Time
+
 	// Path carries a tree root path (addresses from a node up to the
 	// rendezvous) on join acks and search hits, letting re-joining members
 	// avoid attaching inside their own subtree.
