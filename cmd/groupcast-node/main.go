@@ -58,6 +58,7 @@ func run() error {
 		quiet     = flag.Bool("quiet", false, "suppress status lines")
 		vivaldi   = flag.Bool("vivaldi", false, "measure live Vivaldi network coordinates from heartbeat RTTs")
 		mode      = flag.String("mode", "best-effort", "delivery mode for -create'd groups: best-effort, reliable, reliable-ordered")
+		deputies  = flag.Int("deputies", 3, "succession roster size: the rendezvous replicates its group charter to this many highest-utility children (0 disables succession)")
 		debugAddr = flag.String("debug-addr", "", "serve the introspection endpoint on this address (enables tracing)")
 		traceFile = flag.String("trace-file", "", "append trace events as NDJSON to this file (enables tracing)")
 	)
@@ -83,6 +84,10 @@ func run() error {
 	}
 	cfg := node.DefaultConfig(*capacity, coords.Point{0, 0, 0}, effectiveSeed)
 	cfg.EnableVivaldi = *vivaldi
+	cfg.Deputies = *deputies
+	if *deputies <= 0 {
+		cfg.Deputies = -1 // the config treats 0 as "use the default"
+	}
 
 	status := func(format string, args ...any) {
 		if !*quiet {

@@ -8,6 +8,7 @@ import (
 
 	"groupcast/internal/core"
 	"groupcast/internal/peer"
+	"groupcast/internal/protocol"
 	"groupcast/internal/reliable"
 	"groupcast/internal/trace"
 	"groupcast/internal/wire"
@@ -46,8 +47,9 @@ func (n *Node) CreateGroupMode(groupID string, mode wire.DeliveryMode) error {
 	gs.member = true
 	gs.rdvInfo = self
 	gs.rootPath = []string{}
+	gs.epoch = 1 // succession epoch: the creating root's lineage starts at 1
 	n.groups[groupID] = gs
-	n.adSeen[groupID] = adState{upstream: "", rendezvous: self, mode: mode}
+	n.adSeen[groupID] = adState{upstream: "", rendezvous: self, mode: mode, epoch: 1}
 	return nil
 }
 
@@ -63,6 +65,7 @@ func (n *Node) Advertise(groupID string) error {
 		return fmt.Errorf("%w: %q (only the rendezvous advertises)", ErrNoGroup, groupID)
 	}
 	mode := gs.mode
+	epoch := gs.epoch
 	n.mu.Unlock()
 	msgID := n.nextMsgID()
 	n.mu.Lock()
@@ -77,6 +80,7 @@ func (n *Node) Advertise(groupID string) error {
 		TTL:        n.cfg.AdvertiseTTL,
 		MsgID:      msgID,
 		Mode:       mode,
+		Epoch:      epoch,
 		// The flood's MsgID doubles as its trace ID: every relayed copy
 		// carries it, so one announcement is one trace.
 		TraceID:  msgID,
@@ -94,10 +98,37 @@ func (n *Node) handleAdvertise(msg wire.Message) {
 		n.mu.Unlock()
 		return
 	}
-	if _, known := n.adSeen[msg.GroupID]; !known {
-		n.adSeen[msg.GroupID] = adState{upstream: msg.From.Addr, rendezvous: msg.Rendezvous, mode: msg.Mode}
+	// Partition-heal reconciliation: if we are this group's rendezvous and a
+	// strictly higher-priority root (higher succession epoch; lower address
+	// on a tie) is advertising, we lost the lineage race — demote and re-join
+	// under the winner. Digest anti-entropy then reconciles what each side
+	// published during the split.
+	demoted := false
+	if gs := n.groups[msg.GroupID]; gs != nil && gs.rendezvous &&
+		msg.Rendezvous.Addr != "" && msg.Rendezvous.Addr != n.self.Addr &&
+		protocol.CompareRoots(msg.Epoch, msg.Rendezvous.Addr, gs.epoch, n.self.Addr) > 0 {
+		demoted = true
+		gs.rendezvous = false
+		gs.promoted = false
+		gs.epoch = msg.Epoch
+		gs.rdvInfo = msg.Rendezvous
+		gs.charter = wire.Charter{}
+		gs.deputies = nil
+		gs.lastRoot = time.Time{}
+		gs.lastBeacon = time.Now() // grace until the winner's first beacon
+		n.stats.demotions.Add(1)
+	}
+	ad, known := n.adSeen[msg.GroupID]
+	if !known || msg.Epoch > ad.epoch || demoted {
+		n.adSeen[msg.GroupID] = adState{
+			upstream: msg.From.Addr, rendezvous: msg.Rendezvous,
+			mode: msg.Mode, epoch: msg.Epoch,
+		}
 	}
 	n.mu.Unlock()
+	if demoted {
+		n.rejoinAsync([]string{msg.GroupID})
+	}
 	if msg.TTL <= 1 {
 		return
 	}
@@ -286,9 +317,23 @@ func (n *Node) handleBeacon(msg wire.Message) {
 	}
 	gs.rootPath = append([]string(nil), msg.Path...)
 	gs.lastBeacon = time.Now()
+	gs.lastRoot = time.Now() // the succession clock: a beacon proves the root
 	gs.parentInfo = msg.From
 	gs.mode = msg.Mode // rendezvous-authoritative, carried down the tree
 	gs.backups = append([]wire.PeerInfo(nil), msg.Backups...)
+	if msg.Epoch > 0 {
+		gs.epoch = msg.Epoch
+	}
+	gs.deputies = append([]wire.PeerInfo(nil), msg.Deputies...)
+	if msg.Charter.Epoch > 0 {
+		// The root replicated its charter to us: we are a deputy, armed to
+		// promote if beacons stop.
+		gs.charter = msg.Charter
+	} else if gs.charter.Epoch > 0 && protocol.DeputyIndex(addrsOf(msg.Deputies), n.self.Addr) < 0 {
+		// We fell off the roster (utility churn); disarm the stale charter so
+		// an ex-deputy doesn't fire a rogue promotion later.
+		gs.charter = wire.Charter{}
+	}
 	downPath := append(append([]string(nil), msg.Path...), n.self.Addr)
 	type beacon struct {
 		to  string
@@ -305,6 +350,11 @@ func (n *Node) handleBeacon(msg wire.Message) {
 				Path:    downPath,
 				Mode:    gs.mode,
 				Backups: n.backupsForChildLocked(gs, info),
+				// Epoch and roster ride the whole tree so every member can
+				// tell which lineage it follows and who inherits; the charter
+				// itself stays on the root→deputy hop.
+				Epoch:    gs.epoch,
+				Deputies: gs.deputies,
 			},
 		})
 	}
@@ -443,6 +493,11 @@ func (n *Node) handleJoin(msg wire.Message) {
 		gs = newGroupState(msg.Mode)
 		gs.rdvInfo = msg.Rendezvous
 		n.groups[msg.GroupID] = gs
+	}
+	if _, had := gs.children[msg.From.Addr]; !had && gs.rendezvous && gs.promoted {
+		// A subtree orphaned by the old root's death found us: the heal is
+		// converging.
+		n.stats.orphansAbsorbed.Add(1)
 	}
 	gs.children[msg.From.Addr] = msg.From
 	onTree := gs.rendezvous || gs.parent != ""
@@ -772,9 +827,30 @@ func (n *Node) Leave(groupID string) error {
 	for addr := range gs.children {
 		children = append(children, addr)
 	}
+	// A departing rendezvous must not orphan the group: hand the charter to
+	// the first deputy explicitly so it promotes immediately, with no suspect
+	// delay and no lost publishes.
+	var handoffTo string
+	var handoff wire.Message
+	if gs.rendezvous && n.cfg.Deputies > 0 && len(gs.children) > 0 {
+		charter := n.charterForLocked(groupID, gs)
+		if len(charter.Deputies) > 0 {
+			handoffTo = charter.Deputies[0].Addr
+			handoff = wire.Message{
+				Type:    wire.THandoff,
+				From:    n.selfInfoLocked(),
+				GroupID: groupID,
+				Epoch:   gs.epoch,
+				Charter: charter,
+			}
+		}
+	}
 	delete(n.groups, groupID)
 	n.mu.Unlock()
 
+	if handoffTo != "" {
+		_ = n.send(handoffTo, handoff)
+	}
 	notice := wire.Message{Type: wire.TLeave, From: n.selfInfo(), GroupID: groupID}
 	if parent != "" {
 		_ = n.send(parent, notice)
@@ -798,6 +874,10 @@ type TreeView struct {
 	Children []string
 	// Backups are the addresses of the precomputed backup access points.
 	Backups []string
+	// Epoch is the group's succession epoch as this node knows it.
+	Epoch uint64
+	// Deputies is the succession roster last replicated by the root.
+	Deputies []string
 }
 
 // Tree snapshots the node's attachment state for a group.
@@ -814,6 +894,8 @@ func (n *Node) Tree(groupID string) TreeView {
 		Rendezvous: gs.rendezvous,
 		Attached:   gs.rendezvous || gs.parent != "",
 		Parent:     gs.parent,
+		Epoch:      gs.epoch,
+		Deputies:   addrsOf(gs.deputies),
 	}
 	for addr := range gs.children {
 		tv.Children = append(tv.Children, addr)

@@ -105,6 +105,8 @@ func (n *Node) dispatch(msg wire.Message) {
 		n.handleDigest(msg)
 	case wire.TLeave:
 		n.handleLeave(msg)
+	case wire.THandoff:
+		n.handleHandoff(msg)
 	}
 }
 
@@ -195,6 +197,7 @@ func (n *Node) handleLeave(msg wire.Message) {
 					orphaned = append(orphaned, msg.GroupID)
 				}
 			}
+			clearLastHopLocked(gs, msg.From.Addr)
 		}
 		n.mu.Unlock()
 		n.rejoinAsync(orphaned)
@@ -315,6 +318,12 @@ func (n *Node) epoch(stalled bool) {
 			}
 		})
 	}
+	// Succession duty: promote out of any charter whose root has been
+	// beacon-silent past this deputy's staggered delay. Runs before the
+	// stale-beacon sweep below so a first deputy takes over cleanly rather
+	// than racing every member's detach-and-search.
+	n.successionSweep()
+
 	// Rendezvous duty: beacon every group we root, down the tree.
 	n.beaconGroups()
 
@@ -333,6 +342,7 @@ func (n *Node) epoch(stalled bool) {
 		}
 		if gs.parent != "" && bGrace > 0 && time.Since(gs.lastBeacon) > bGrace {
 			staleParents = append(staleParents, gs.parent)
+			clearLastHopLocked(gs, gs.parent)
 			gs.parent = ""
 		}
 		if gs.parent != "" {
@@ -364,25 +374,46 @@ func (n *Node) beaconGroups() {
 		msg wire.Message
 	}
 	var beacons []beacon
+	var charters int
 	for gid, gs := range n.groups {
 		if !gs.rendezvous || len(gs.children) == 0 {
 			continue
 		}
+		// Succession plane: recompute the charter each beacon epoch (roster
+		// and high-water marks drift with churn and traffic) and attach it to
+		// the deputies' beacons only; everyone else still learns the epoch
+		// and the roster so any member can tell who inherits.
+		var charter wire.Charter
+		roster := map[string]bool{}
+		if n.cfg.Deputies > 0 {
+			charter = n.charterForLocked(gid, gs)
+			gs.deputies = charter.Deputies
+			for _, d := range charter.Deputies {
+				roster[d.Addr] = true
+			}
+		}
 		for addr, info := range gs.children {
-			beacons = append(beacons, beacon{
-				to: addr,
-				msg: wire.Message{
-					Type:    wire.TBeacon,
-					From:    n.selfInfoLocked(),
-					GroupID: gid,
-					Path:    []string{n.self.Addr},
-					Mode:    gs.mode,
-					Backups: n.backupsForChildLocked(gs, info),
-				},
-			})
+			msg := wire.Message{
+				Type:     wire.TBeacon,
+				From:     n.selfInfoLocked(),
+				GroupID:  gid,
+				Path:     []string{n.self.Addr},
+				Mode:     gs.mode,
+				Backups:  n.backupsForChildLocked(gs, info),
+				Epoch:    gs.epoch,
+				Deputies: charter.Deputies,
+			}
+			if roster[addr] {
+				msg.Charter = charter
+				charters++
+			}
+			beacons = append(beacons, beacon{to: addr, msg: msg})
 		}
 	}
 	n.mu.Unlock()
+	if charters > 0 {
+		n.stats.charterRepl.Add(uint64(charters))
+	}
 	for _, b := range beacons {
 		_ = n.send(b.to, b.msg)
 	}

@@ -78,6 +78,16 @@ type Config struct {
 	// BackupFanout is how many backup access points a tree node hands each
 	// child on beacons and join acks (0 uses the default of 3).
 	BackupFanout int
+	// Deputies is how many highest-utility children a rendezvous replicates
+	// its group charter to — the succession roster size. When the root dies,
+	// deputy #i promotes itself after SuspectEpochs+i silent beacon epochs.
+	// 0 uses the default of 3; negative disables succession entirely (a dead
+	// rendezvous then kills its groups, the pre-succession behaviour).
+	Deputies int
+	// SuspectEpochs is the shared suspicion threshold of the succession
+	// stagger: deputy #i waits SuspectEpochs+i beacon-silent epochs before
+	// promoting (0 uses the default of 3).
+	SuspectEpochs int
 	// DisableBackupFailover forces search-only tree repair: a member whose
 	// parent died goes straight to the ripple search instead of trying its
 	// precomputed backup access points first.
@@ -133,6 +143,10 @@ func DefaultConfig(capacity float64, coord coords.Point, seed int64) Config {
 		AdvertiseFraction:      0.4,
 		SearchTTL:              2,
 		Seed:                   seed,
+		// Periodic refresh keeps reverse paths fresh for late joiners and is
+		// what lets conflicting roots discover each other after a partition
+		// heals (the epoch on the flood demotes the losing root).
+		AdvertiseRefreshEpochs: 15,
 	}
 }
 
@@ -178,12 +192,33 @@ type groupState struct {
 	// and join acks. When the parent dies, failover tries them nearest
 	// first before falling back to the ripple search.
 	backups []wire.PeerInfo
+	// epoch is the group root's succession epoch (1 at creation, +1 per
+	// promotion); members learn it from beacons and advertisements, and
+	// conflicting roots after a partition heal are resolved by comparing it.
+	epoch uint64
+	// deputies is the group's ordered succession roster as last replicated
+	// by the root (beacons carry it down the whole tree).
+	deputies []wire.PeerInfo
+	// charter is the replicated group charter this node holds as a deputy
+	// (zero Epoch = not a deputy). Holding a charter arms the succession
+	// timer: when beacons stop, the deputy promotes from it.
+	charter wire.Charter
+	// lastRoot is when a rendezvous beacon last proved the root alive. It is
+	// the succession clock — unlike lastBeacon it is never advanced by join
+	// acks, so a deputy's suspicion is measured in genuine beacon silence.
+	lastRoot time.Time
+	// promoted marks a rendezvous that took the group over through
+	// succession (joins it accepts afterwards are orphan re-absorptions).
+	promoted bool
 }
 
 type adState struct {
 	upstream   string
 	rendezvous wire.PeerInfo
 	mode       wire.DeliveryMode
+	// epoch is the advertised root's succession epoch: a fresher-epoch flood
+	// replaces the record, so reverse paths always lead to the live lineage.
+	epoch uint64
 }
 
 // Node is one live GroupCast peer.
@@ -274,6 +309,12 @@ func New(tr transport.Transport, cfg Config) *Node {
 	}
 	if cfg.BackupFanout < 1 {
 		cfg.BackupFanout = 3
+	}
+	if cfg.Deputies == 0 {
+		cfg.Deputies = 3
+	}
+	if cfg.SuspectEpochs < 1 {
+		cfg.SuspectEpochs = 3
 	}
 	if cfg.NackInterval <= 0 {
 		cfg.NackInterval = 40 * time.Millisecond
@@ -651,6 +692,8 @@ func (n *Node) removeNeighborAndOrphans(addr string) (orphaned []string) {
 			}
 		}
 		delete(gs.children, addr)
+		// NACK recovery must not keep aiming at the dead peer.
+		clearLastHopLocked(gs, addr)
 	}
 	// Reverse advertisement paths through the departed peer are dead.
 	for gid, ad := range n.adSeen {

@@ -25,6 +25,7 @@ const (
 	MetricNackRTT               = "nack_rtt_ms"
 	MetricHeartbeatRTT          = "heartbeat_rtt_ms"
 	MetricRecvQueueDepth        = "recv_queue_depth"
+	MetricSuccessionTTR         = "succession_ttr_ms"
 )
 
 // nodeMetrics holds the node's registered instruments. The histogram
@@ -38,6 +39,7 @@ type nodeMetrics struct {
 	nackRTT        *metrics.FixedHistogram
 	heartbeatRTT   *metrics.FixedHistogram
 	queueDepth     *metrics.FixedHistogram
+	successionTTR  *metrics.FixedHistogram
 }
 
 // initObservability wires the metrics registry (always on) and registers
@@ -51,6 +53,7 @@ func (n *Node) initObservability() {
 		nackRTT:        reg.Histogram(MetricNackRTT, metrics.DefaultLatencyBuckets()),
 		heartbeatRTT:   reg.Histogram(MetricHeartbeatRTT, metrics.DefaultLatencyBuckets()),
 		queueDepth:     reg.Histogram(MetricRecvQueueDepth, metrics.DefaultDepthBuckets()),
+		successionTTR:  reg.Histogram(MetricSuccessionTTR, metrics.DefaultLatencyBuckets()),
 	}
 	reg.Gauge("neighbors", func() float64 {
 		return float64(n.NumNeighbors())
@@ -202,6 +205,17 @@ type TreeDetail struct {
 	Links      []LinkDetail `json:"links,omitempty"`
 	Backups    []string     `json:"backups,omitempty"`
 	RootPath   []string     `json:"root_path,omitempty"`
+	// Epoch is the group's succession epoch as this node knows it (1 at
+	// creation, +1 per root takeover).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Promoted marks a rendezvous that won the role through succession
+	// rather than creating the group.
+	Promoted bool `json:"promoted,omitempty"`
+	// Deputies is the succession roster last replicated by the root.
+	Deputies []string `json:"deputies,omitempty"`
+	// CharterEpoch is non-zero when this node holds a replicated charter —
+	// it is armed to promote if the root goes silent.
+	CharterEpoch uint64 `json:"charter_epoch,omitempty"`
 }
 
 // TreeDetails snapshots every group's tree attachment with per-link utility
@@ -216,12 +230,16 @@ func (n *Node) TreeDetails() []TreeDetail {
 	out := make([]TreeDetail, 0, len(n.groups))
 	for gid, gs := range n.groups {
 		td := TreeDetail{
-			Group:      gid,
-			Mode:       gs.mode.String(),
-			Member:     gs.member,
-			Rendezvous: gs.rendezvous,
-			Attached:   gs.rendezvous || gs.parent != "",
-			RootPath:   append([]string(nil), gs.rootPath...),
+			Group:        gid,
+			Mode:         gs.mode.String(),
+			Member:       gs.member,
+			Rendezvous:   gs.rendezvous,
+			Attached:     gs.rendezvous || gs.parent != "",
+			RootPath:     append([]string(nil), gs.rootPath...),
+			Epoch:        gs.epoch,
+			Promoted:     gs.promoted,
+			Deputies:     addrsOf(gs.deputies),
+			CharterEpoch: gs.charter.Epoch,
 		}
 		for _, b := range gs.backups {
 			td.Backups = append(td.Backups, b.Addr)

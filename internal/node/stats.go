@@ -54,6 +54,18 @@ type Stats struct {
 	// OutOfWindow counts payloads discarded for falling below the receive
 	// window (too old to track).
 	OutOfWindow uint64
+	// Promotions counts groups this node took over as rendezvous through
+	// succession (staggered deputy timeout or explicit handoff); Demotions
+	// counts rendezvous roles this node surrendered to a higher-priority
+	// root after a partition heal.
+	Promotions uint64
+	Demotions  uint64
+	// CharterReplications counts charters this rendezvous attached to deputy
+	// beacons (the succession plane's overhead).
+	CharterReplications uint64
+	// OrphansReabsorbed counts subtree roots that re-attached under this node
+	// after it promoted — the heal converging.
+	OrphansReabsorbed uint64
 	// Transport reports the transport layer's drop accounting (inbox
 	// sheds, send failures, chaos-injected faults) when the node's
 	// transport exposes it; zero otherwise.
@@ -79,6 +91,11 @@ type statCounters struct {
 	gapsRecovered atomic.Uint64
 	gapsAbandoned atomic.Uint64
 	outOfWindow   atomic.Uint64
+
+	promotions      atomic.Uint64
+	demotions       atomic.Uint64
+	charterRepl     atomic.Uint64
+	orphansAbsorbed atomic.Uint64
 }
 
 func (s *statCounters) onSend(t wire.Type) {
@@ -113,6 +130,10 @@ func (n *Node) Stats() Stats {
 		GapsRecovered:         n.stats.gapsRecovered.Load(),
 		GapsAbandoned:         n.stats.gapsAbandoned.Load(),
 		OutOfWindow:           n.stats.outOfWindow.Load(),
+		Promotions:            n.stats.promotions.Load(),
+		Demotions:             n.stats.demotions.Load(),
+		CharterReplications:   n.stats.charterRepl.Load(),
+		OrphansReabsorbed:     n.stats.orphansAbsorbed.Load(),
 	}
 	if dc, ok := n.tr.(transport.DropCounter); ok {
 		out.Transport = dc.DropStats()
@@ -158,6 +179,10 @@ func (s *Stats) Merge(other Stats) {
 	s.GapsRecovered += other.GapsRecovered
 	s.GapsAbandoned += other.GapsAbandoned
 	s.OutOfWindow += other.OutOfWindow
+	s.Promotions += other.Promotions
+	s.Demotions += other.Demotions
+	s.CharterReplications += other.CharterReplications
+	s.OrphansReabsorbed += other.OrphansReabsorbed
 	s.Transport.InboxSheds += other.Transport.InboxSheds
 	s.Transport.FabricDrops += other.Transport.FabricDrops
 	s.Transport.Duplicates += other.Transport.Duplicates
@@ -191,6 +216,10 @@ func (s Stats) Delta(base Stats) Stats {
 		GapsRecovered:         sub(s.GapsRecovered, base.GapsRecovered),
 		GapsAbandoned:         sub(s.GapsAbandoned, base.GapsAbandoned),
 		OutOfWindow:           sub(s.OutOfWindow, base.OutOfWindow),
+		Promotions:            sub(s.Promotions, base.Promotions),
+		Demotions:             sub(s.Demotions, base.Demotions),
+		CharterReplications:   sub(s.CharterReplications, base.CharterReplications),
+		OrphansReabsorbed:     sub(s.OrphansReabsorbed, base.OrphansReabsorbed),
 		Transport: transport.DropStats{
 			InboxSheds:  sub(s.Transport.InboxSheds, base.Transport.InboxSheds),
 			FabricDrops: sub(s.Transport.FabricDrops, base.Transport.FabricDrops),

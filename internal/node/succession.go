@@ -1,0 +1,231 @@
+package node
+
+import (
+	"sort"
+	"time"
+
+	"groupcast/internal/core"
+	"groupcast/internal/protocol"
+	"groupcast/internal/reliable"
+	"groupcast/internal/wire"
+)
+
+// This file is the live half of rendezvous succession (internal/protocol
+// holds the pure rules): the rendezvous replicates its group charter — mode,
+// succession epoch, ordered deputy roster, per-source high-water marks — to
+// its k highest-utility children on beacons. When beacons stop, deputy #i
+// waits SuspectEpochs+i silent epochs (protocol.SuccessionDelayEpochs) and
+// then promotes itself: it adopts epoch+1, seeds its receive windows from
+// the replicated high-water marks (so digest anti-entropy pulls publishes in
+// flight at the crash), re-advertises the group, and absorbs orphaned
+// subtrees through the ordinary rejoin/backup machinery. Conflicting roots
+// after a partition heal are resolved by protocol.CompareRoots on the epoch
+// carried by advertisements: the losing root demotes and re-joins.
+
+// addrsOf projects a peer list to its addresses (the roster key space of the
+// pure succession rules).
+func addrsOf(peers []wire.PeerInfo) []string {
+	out := make([]string, len(peers))
+	for i, p := range peers {
+		out[i] = p.Addr
+	}
+	return out
+}
+
+// charterForLocked assembles the group's current charter at its rendezvous:
+// the deputy roster is the k highest-utility children (Eq. 6 preference,
+// ties broken by address so every recomputation agrees), and the high-water
+// marks snapshot every known source's sequence frontier. Callers hold n.mu.
+func (n *Node) charterForLocked(gid string, gs *groupState) wire.Charter {
+	ch := wire.Charter{GroupID: gid, Mode: gs.mode, Epoch: gs.epoch}
+	if n.cfg.Deputies > 0 && len(gs.children) > 0 {
+		self := n.selfInfoLocked()
+		kids := make([]wire.PeerInfo, 0, len(gs.children))
+		for _, info := range gs.children {
+			kids = append(kids, info)
+		}
+		sort.Slice(kids, func(i, j int) bool { return kids[i].Addr < kids[j].Addr })
+		cands := make([]core.Candidate, len(kids))
+		for i, k := range kids {
+			cands[i] = core.Candidate{Capacity: k.Capacity, Distance: n.dist(self, k)}
+		}
+		prefs, err := core.SelectionPreferencesFor(resourceLevelFor(n.cfg.Capacity, cands), cands)
+		dcs := make([]protocol.DeputyCandidate, len(kids))
+		for i, k := range kids {
+			u := 0.0
+			if err == nil && i < len(prefs) {
+				u = prefs[i]
+			}
+			dcs[i] = protocol.DeputyCandidate{ID: k.Addr, Utility: u}
+		}
+		for _, d := range protocol.RankDeputies(dcs, n.cfg.Deputies) {
+			ch.Deputies = append(ch.Deputies, gs.children[d.ID])
+		}
+	}
+	if gs.mode != wire.BestEffort {
+		if gs.pub != nil && gs.pub.High() > 0 {
+			ch.HighWater = append(ch.HighWater, wire.DigestEntry{Source: n.self.Addr, High: gs.pub.High()})
+		}
+		for srcAddr, w := range gs.recv {
+			if w.High() > 0 {
+				ch.HighWater = append(ch.HighWater, wire.DigestEntry{Source: srcAddr, High: w.High()})
+			}
+		}
+		sort.Slice(ch.HighWater, func(i, j int) bool { return ch.HighWater[i].Source < ch.HighWater[j].Source })
+	}
+	return ch
+}
+
+// successionSweep runs once per maintenance epoch: any group this node holds
+// a charter for whose root has been silent past this deputy's staggered
+// delay promotes. The deputy-index stagger makes the first live deputy win
+// deterministically without an election round trip.
+func (n *Node) successionSweep() {
+	if n.cfg.Deputies <= 0 || n.cfg.HeartbeatInterval <= 0 {
+		return
+	}
+	now := time.Now()
+	type due struct {
+		gid    string
+		silent time.Duration
+	}
+	n.mu.Lock()
+	var promote []due
+	for gid, gs := range n.groups {
+		if gs.rendezvous || gs.charter.Epoch == 0 || gs.lastRoot.IsZero() {
+			continue
+		}
+		idx := protocol.DeputyIndex(addrsOf(gs.charter.Deputies), n.self.Addr)
+		delay := protocol.SuccessionDelayEpochs(n.cfg.SuspectEpochs, idx)
+		if delay < 0 {
+			continue
+		}
+		if silent := now.Sub(gs.lastRoot); silent > time.Duration(delay)*n.cfg.HeartbeatInterval {
+			promote = append(promote, due{gid, silent})
+		}
+	}
+	n.mu.Unlock()
+	for _, d := range promote {
+		n.promoteSelf(d.gid, d.silent)
+	}
+}
+
+// promoteSelf makes this node the group's rendezvous from the charter it
+// holds: epoch+1, receive windows seeded from the replicated high-water
+// marks, and an immediate re-advertisement so orphans find the new root.
+// silentFor is the observed root outage (zero on a graceful handoff); it
+// feeds the succession time-to-recover histogram.
+func (n *Node) promoteSelf(gid string, silentFor time.Duration) {
+	type release struct {
+		src wire.PeerInfo
+		d   reliable.Delivery
+	}
+	now := time.Now()
+	n.deliverMu.Lock()
+	n.mu.Lock()
+	gs := n.groups[gid]
+	if gs == nil || gs.rendezvous || gs.charter.Epoch == 0 {
+		n.mu.Unlock()
+		n.deliverMu.Unlock()
+		return
+	}
+	newEpoch := protocol.NextRootEpoch(gs.charter.Epoch)
+	// Last-moment veto: a strictly better root claim already advertised
+	// itself (another deputy won across a partition, or the old root is
+	// back with a fresher lineage). Stand down and re-arm the clock.
+	if ad, ok := n.adSeen[gid]; ok && ad.rendezvous.Addr != "" && ad.rendezvous.Addr != n.self.Addr &&
+		protocol.CompareRoots(ad.epoch, ad.rendezvous.Addr, newEpoch, n.self.Addr) > 0 {
+		gs.lastRoot = now
+		gs.rdvInfo = ad.rendezvous
+		n.mu.Unlock()
+		n.deliverMu.Unlock()
+		return
+	}
+	oldParent := gs.parent
+	charter := gs.charter
+	self := n.selfInfoLocked()
+	gs.rendezvous = true
+	gs.member = true
+	gs.promoted = true
+	gs.parent = ""
+	gs.parentInfo = wire.PeerInfo{}
+	gs.epoch = newEpoch
+	gs.rdvInfo = self
+	gs.rootPath = []string{}
+	gs.charter = wire.Charter{}
+	gs.deputies = nil
+	gs.lastRoot = time.Time{}
+	// Seed receive windows from the replicated frontier: any sequence the
+	// dead root had seen that we have not becomes a gap, and the normal
+	// NACK/digest path recovers it from surviving caches or the source.
+	var released []release
+	for _, e := range charter.HighWater {
+		if e.Source == "" || e.Source == n.self.Addr || e.High == 0 {
+			continue
+		}
+		w := n.windowForLocked(gs, wire.PeerInfo{Addr: e.Source})
+		var res reliable.ObserveResult
+		w.NoteAdvertised(e.High, now, &res)
+		n.noteWindowLocked(&res)
+		for _, d := range res.Deliver {
+			released = append(released, release{w.Info, d})
+		}
+	}
+	n.adSeen[gid] = adState{rendezvous: self, mode: gs.mode, epoch: newEpoch}
+	deliver := gs.member
+	h := n.handler
+	n.mu.Unlock()
+	if deliver && h != nil {
+		for _, r := range released {
+			n.stats.delivered.Add(1)
+			n.observeDeliver(gid, r.src.Addr, 0, r.d)
+			h(gid, r.src, r.d.Data)
+		}
+	}
+	n.deliverMu.Unlock()
+
+	n.stats.promotions.Add(1)
+	n.metrics.successionTTR.ObserveDurationMs(float64(silentFor) / float64(time.Millisecond))
+	if oldParent != "" {
+		// Prune our child edge at whoever we hung under (the dead root, or a
+		// sibling a panicked repair reattached us to).
+		_ = n.send(oldParent, wire.Message{Type: wire.TLeave, From: self, GroupID: gid})
+	}
+	// Re-advertise from the new root: orphaned subtrees learn the fresh
+	// reverse paths, and the epoch on the flood demotes any lower-priority
+	// root after a partition heal.
+	_ = n.Advertise(gid)
+}
+
+// handleHandoff promotes this node immediately on the departing root's
+// explicit charter hand-over — the graceful-leave path, no suspect delay.
+func (n *Node) handleHandoff(msg wire.Message) {
+	if msg.GroupID == "" || msg.Charter.Epoch == 0 {
+		return
+	}
+	n.mu.Lock()
+	gs := n.groups[msg.GroupID]
+	if gs == nil || gs.rendezvous {
+		n.mu.Unlock()
+		return
+	}
+	gs.charter = msg.Charter
+	if gs.parent == msg.From.Addr {
+		// The root is leaving; don't wait for its TLeave to clear the edge.
+		gs.parent = ""
+		gs.parentInfo = wire.PeerInfo{}
+	}
+	n.mu.Unlock()
+	n.promoteSelf(msg.GroupID, 0)
+}
+
+// clearLastHopLocked forgets NACK aim hints through a departed peer so gap
+// recovery re-aims at the tree parent or the source instead of a dead relay.
+// Callers hold n.mu.
+func clearLastHopLocked(gs *groupState, addr string) {
+	for _, w := range gs.recv {
+		if w.LastHop == addr {
+			w.LastHop = ""
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRankDeputiesOrdersByUtilityThenID(t *testing.T) {
+	cands := []DeputyCandidate{
+		{ID: "c", Utility: 0.2},
+		{ID: "b", Utility: 0.5},
+		{ID: "a", Utility: 0.2},
+		{ID: "d", Utility: 0.5},
+	}
+	got := RankDeputies(cands, 3)
+	want := []string{"b", "d", "a"}
+	if len(got) != len(want) {
+		t.Fatalf("roster size = %d, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].ID != w {
+			t.Fatalf("roster[%d] = %s, want %s (got %v)", i, got[i].ID, w, got)
+		}
+	}
+	if r := RankDeputies(cands, 0); r != nil {
+		t.Fatalf("k=0 should disable the roster, got %v", r)
+	}
+	// The input must not be reordered.
+	if cands[0].ID != "c" {
+		t.Fatalf("RankDeputies mutated its input: %v", cands)
+	}
+}
+
+func TestDeputyIndexAndDelay(t *testing.T) {
+	roster := []string{"x", "y", "z"}
+	if i := DeputyIndex(roster, "y"); i != 1 {
+		t.Fatalf("DeputyIndex(y) = %d, want 1", i)
+	}
+	if i := DeputyIndex(roster, "w"); i != -1 {
+		t.Fatalf("DeputyIndex(w) = %d, want -1", i)
+	}
+	if d := SuccessionDelayEpochs(3, 0); d != 3 {
+		t.Fatalf("delay(3,0) = %d, want 3", d)
+	}
+	if d := SuccessionDelayEpochs(3, 2); d != 5 {
+		t.Fatalf("delay(3,2) = %d, want 5", d)
+	}
+	if d := SuccessionDelayEpochs(3, -1); d != -1 {
+		t.Fatalf("delay(3,-1) = %d, want -1 (never)", d)
+	}
+	if d := SuccessionDelayEpochs(0, 1); d != 2 {
+		t.Fatalf("delay(0,1) = %d, want 2 (suspectEpochs floors at 1)", d)
+	}
+}
+
+func TestCompareRootsTotalOrder(t *testing.T) {
+	cases := []struct {
+		ea   uint64
+		ia   string
+		eb   uint64
+		ib   string
+		want int
+	}{
+		{2, "z", 1, "a", 1},  // higher epoch wins regardless of ID
+		{1, "a", 2, "z", -1}, //
+		{3, "a", 3, "b", 1},  // tie: lower ID wins
+		{3, "b", 3, "a", -1},
+		{3, "a", 3, "a", 0},
+	}
+	for _, c := range cases {
+		if got := CompareRoots(c.ea, c.ia, c.eb, c.ib); got != c.want {
+			t.Fatalf("CompareRoots(%d,%s vs %d,%s) = %d, want %d",
+				c.ea, c.ia, c.eb, c.ib, got, c.want)
+		}
+	}
+	// Antisymmetry over random claims.
+	rng := rand.New(rand.NewSource(7))
+	ids := []string{"a", "b", "c"}
+	for i := 0; i < 200; i++ {
+		ea, eb := uint64(rng.Intn(3)), uint64(rng.Intn(3))
+		ia, ib := ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]
+		if CompareRoots(ea, ia, eb, ib) != -CompareRoots(eb, ib, ea, ia) {
+			t.Fatalf("CompareRoots not antisymmetric for (%d,%s) vs (%d,%s)", ea, ia, eb, ib)
+		}
+	}
+}
+
+func TestNextRootEpoch(t *testing.T) {
+	if e := NextRootEpoch(1); e != 2 {
+		t.Fatalf("NextRootEpoch(1) = %d, want 2", e)
+	}
+	if e := NextRootEpoch(0); e != 1 {
+		t.Fatalf("NextRootEpoch(0) = %d, want 1", e)
+	}
+}
+
+func TestPromoteDeputyRerootsTree(t *testing.T) {
+	// root(0) -> {1, 2}; 1 -> {3}; 2 -> {4}
+	tr := NewTree(0)
+	mustAttach := func(c, p int) {
+		t.Helper()
+		if err := tr.attach(c, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAttach(1, 0)
+	mustAttach(2, 0)
+	mustAttach(3, 1)
+	mustAttach(4, 2)
+	for _, m := range []int{1, 2, 3, 4} {
+		tr.Members[m] = true
+	}
+
+	out, ok := PromoteDeputy(tr, 1)
+	if !ok {
+		t.Fatal("PromoteDeputy refused a direct child")
+	}
+	if tr.Rendezvous != 1 {
+		t.Fatalf("rendezvous = %d, want 1", tr.Rendezvous)
+	}
+	if tr.Contains(0) {
+		t.Fatal("dead root still on the tree")
+	}
+	if tr.Parent[2] != 1 {
+		t.Fatalf("orphan subtree root 2 re-attached under %d, want 1", tr.Parent[2])
+	}
+	if tr.Parent[3] != 1 || tr.Parent[4] != 2 {
+		t.Fatal("subtrees did not stay intact across the re-rooting")
+	}
+	if out.OrphanSubtrees != 1 || out.JoinMessages != 1 {
+		t.Fatalf("outcome = %+v, want 1 orphan subtree / 1 join", out)
+	}
+	if out.MembersRetained != 4 {
+		t.Fatalf("MembersRetained = %d, want 4 (only the dead root lost)", out.MembersRetained)
+	}
+
+	// A non-child deputy must be refused (4 hangs under 2, not the root).
+	if _, ok := PromoteDeputy(tr, 4); ok {
+		t.Fatal("PromoteDeputy accepted a non-child of the rendezvous")
+	}
+}

@@ -1,7 +1,6 @@
 package transport
 
 import (
-	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
@@ -27,7 +26,9 @@ func DefaultTCPConfig() TCPConfig {
 	return TCPConfig{DialTimeout: 5 * time.Second, WriteTimeout: 5 * time.Second}
 }
 
-// TCPTransport is a gob-framed TCP implementation of Transport. Each
+// TCPTransport is a frame-coded TCP implementation of Transport (see
+// wire.FrameWriter: length-prefixed gob with a hard size cap, so a hostile
+// or corrupted stream fails fast instead of driving huge allocations). Each
 // endpoint listens on its address; outbound connections are cached per
 // destination and redialled once on write failure. Dials and writes carry
 // deadlines so a dead peer fails the Send instead of hanging it.
@@ -49,7 +50,7 @@ type TCPTransport struct {
 type tcpConn struct {
 	mu       sync.Mutex
 	conn     net.Conn
-	enc      *gob.Encoder
+	enc      *wire.FrameWriter
 	writeTmo time.Duration
 }
 
@@ -137,10 +138,12 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		delete(t.inbound, conn)
 		t.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+	dec := wire.NewFrameReader(conn)
 	for {
 		var msg wire.Message
-		if err := dec.Decode(&msg); err != nil {
+		if err := dec.ReadMessage(&msg); err != nil {
+			// Any framing or decode error poisons the stream (by far most
+			// commonly a clean peer close); drop the connection.
 			return
 		}
 		t.mu.Lock()
@@ -195,7 +198,7 @@ func (t *TCPTransport) dial(addr string) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	c := &tcpConn{conn: conn, enc: gob.NewEncoder(conn), writeTmo: t.cfg.WriteTimeout}
+	c := &tcpConn{conn: conn, enc: wire.NewFrameWriter(conn), writeTmo: t.cfg.WriteTimeout}
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -230,7 +233,7 @@ func (c *tcpConn) encode(msg wire.Message) error {
 			return err
 		}
 	}
-	return c.enc.Encode(&msg)
+	return c.enc.WriteMessage(&msg)
 }
 
 // Close shuts the listener and all cached connections and closes the inbox.

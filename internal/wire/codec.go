@@ -1,0 +1,192 @@
+// Frame codec for wire messages: a 4-byte big-endian length prefix followed
+// by the gob encoding of one Message. The explicit prefix exists for
+// robustness, not speed — gob's own internal length markers would accept
+// anything up to its 1 GiB ceiling, so a malformed or hostile peer could
+// make a naive decoder allocate wildly before failing. Here the frame length
+// is validated against MaxFrameSize BEFORE any allocation, and the payload
+// is fully read before gob ever sees it, so a truncated or oversized frame
+// errors out cheaply and deterministically (FuzzDecodeMessage holds the
+// codec to that).
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// MaxFrameSize bounds one encoded message (4 MiB). Payloads are
+// application-bounded well below this; anything larger is a protocol error,
+// not a bigger buffer.
+const MaxFrameSize = 4 << 20
+
+// frameHeaderLen is the length prefix size in bytes.
+const frameHeaderLen = 4
+
+// Framing errors.
+var (
+	// ErrFrameTooLarge reports a length prefix above MaxFrameSize. The
+	// stream is poisoned (the peer is not speaking this protocol); callers
+	// should drop the connection.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	// ErrFrameEmpty reports a zero-length frame, which no Message encodes to.
+	ErrFrameEmpty = errors.New("wire: empty frame")
+)
+
+// FrameWriter encodes messages onto a byte stream. It keeps one persistent
+// gob encoder (type descriptors are transmitted once per stream, not once
+// per message) but stages each message through a buffer so the length prefix
+// can precede the bytes on the wire. Not safe for concurrent use.
+type FrameWriter struct {
+	w   io.Writer
+	buf bytes.Buffer
+	enc *gob.Encoder
+	hdr [frameHeaderLen]byte
+}
+
+// NewFrameWriter returns a writer framing messages onto w.
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	fw := &FrameWriter{w: w}
+	fw.enc = gob.NewEncoder(&fw.buf)
+	return fw
+}
+
+// WriteMessage frames and writes one message.
+func (fw *FrameWriter) WriteMessage(msg *Message) error {
+	fw.buf.Reset()
+	if err := fw.enc.Encode(msg); err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	if fw.buf.Len() > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(fw.hdr[:], uint32(fw.buf.Len()))
+	if _, err := fw.w.Write(fw.hdr[:]); err != nil {
+		return err
+	}
+	_, err := fw.w.Write(fw.buf.Bytes())
+	return err
+}
+
+// FrameReader decodes length-prefixed messages from a byte stream, feeding
+// the validated frames to one persistent gob decoder. Not safe for
+// concurrent use.
+type FrameReader struct {
+	r   io.Reader
+	buf frameBuffer
+	dec *gob.Decoder
+	hdr [frameHeaderLen]byte
+}
+
+// frameBuffer hands one validated frame at a time to the gob decoder. gob
+// may retain read state between Decode calls only within a frame; Read past
+// the frame end returns EOF-like behaviour via io.ErrUnexpectedEOF guards in
+// ReadMessage.
+type frameBuffer struct {
+	data []byte
+	off  int
+}
+
+func (b *frameBuffer) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	return n, nil
+}
+
+func (b *frameBuffer) set(data []byte) {
+	b.data = data
+	b.off = 0
+}
+
+// NewFrameReader returns a reader decoding frames from r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	fr := &FrameReader{r: r}
+	fr.dec = gob.NewDecoder(&fr.buf)
+	return fr
+}
+
+// ReadMessage reads and decodes the next frame. It returns io.EOF at a clean
+// stream end, io.ErrUnexpectedEOF on a truncated frame, ErrFrameTooLarge on
+// a hostile length prefix, and a decode error when the frame bytes are not a
+// valid Message. After any non-EOF error the stream position is undefined;
+// drop the connection.
+func (fr *FrameReader) ReadMessage(msg *Message) error {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		return io.ErrUnexpectedEOF
+	}
+	size := binary.BigEndian.Uint32(fr.hdr[:])
+	if size == 0 {
+		return ErrFrameEmpty
+	}
+	if size > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	// The cap above bounds this allocation; reuse the previous frame's
+	// backing array when it fits.
+	if cap(fr.buf.data) < int(size) {
+		fr.buf.data = make([]byte, size)
+	}
+	frame := fr.buf.data[:size]
+	if _, err := io.ReadFull(fr.r, frame); err != nil {
+		return io.ErrUnexpectedEOF
+	}
+	fr.buf.set(frame)
+	if err := fr.dec.Decode(msg); err != nil {
+		return fmt.Errorf("wire: decode: %w", err)
+	}
+	return nil
+}
+
+// encodePool amortizes the per-call encoder setup of EncodeMessage (each
+// standalone encoding must re-emit type descriptors, unlike a FrameWriter
+// stream).
+var encodePool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// EncodeMessage renders one message as a standalone frame (length prefix
+// included) — the unit FuzzDecodeMessage round-trips and tests build
+// corpora from.
+func EncodeMessage(msg *Message) ([]byte, error) {
+	buf := encodePool.Get().(*bytes.Buffer)
+	defer encodePool.Put(buf)
+	buf.Reset()
+	buf.Write(make([]byte, frameHeaderLen))
+	if err := gob.NewEncoder(buf).Encode(msg); err != nil {
+		return nil, fmt.Errorf("wire: encode: %w", err)
+	}
+	out := append([]byte(nil), buf.Bytes()...)
+	body := len(out) - frameHeaderLen
+	if body > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(out[:frameHeaderLen], uint32(body))
+	return out, nil
+}
+
+// DecodeMessage parses one standalone frame produced by EncodeMessage. Any
+// malformed, truncated, or oversized input returns an error — never a panic,
+// and never an allocation beyond MaxFrameSize (the fuzz target's contract).
+// Trailing bytes after the frame are a protocol error.
+func DecodeMessage(data []byte) (Message, error) {
+	var msg Message
+	fr := NewFrameReader(bytes.NewReader(data))
+	if err := fr.ReadMessage(&msg); err != nil {
+		return Message{}, err
+	}
+	if fr.buf.off != len(fr.buf.data) {
+		return Message{}, fmt.Errorf("wire: %d undecoded bytes inside frame", len(fr.buf.data)-fr.buf.off)
+	}
+	if rest, err := io.ReadAll(io.LimitReader(fr.r, 1)); err == nil && len(rest) > 0 {
+		return Message{}, errors.New("wire: trailing bytes after frame")
+	}
+	return msg, nil
+}

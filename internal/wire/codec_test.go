@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func TestFrameRoundTripStream(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	msgs := []Message{
+		{Type: TProbe, From: PeerInfo{Addr: "a:1", Capacity: 3}, ReqID: 1},
+		{Type: TPayload, GroupID: "g", Seq: 9, Data: []byte("hello"),
+			From: PeerInfo{Addr: "b:2", Coord: []float64{1, 2}}},
+		{Type: TBeacon, GroupID: "g", Epoch: 4,
+			Deputies: []PeerInfo{{Addr: "c:3"}},
+			Charter: Charter{GroupID: "g", Epoch: 4,
+				HighWater: []DigestEntry{{Source: "s", High: 7}}}},
+	}
+	for i := range msgs {
+		if err := fw.WriteMessage(&msgs[i]); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	fr := NewFrameReader(&buf)
+	for i := range msgs {
+		var got Message
+		if err := fr.ReadMessage(&got); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, msgs[i]) {
+			t.Fatalf("message %d mismatch:\n got %+v\nwant %+v", i, got, msgs[i])
+		}
+	}
+	var extra Message
+	if err := fr.ReadMessage(&extra); err != io.EOF {
+		t.Fatalf("stream end: got %v, want io.EOF", err)
+	}
+}
+
+func TestFrameReaderRejectsOversizedPrefix(t *testing.T) {
+	hdr := make([]byte, 4)
+	binary.BigEndian.PutUint32(hdr, MaxFrameSize+1)
+	fr := NewFrameReader(bytes.NewReader(append(hdr, 0)))
+	var msg Message
+	if err := fr.ReadMessage(&msg); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameReaderTruncatedFrame(t *testing.T) {
+	valid, err := EncodeMessage(&Message{Type: TProbe, From: PeerInfo{Addr: "x:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(valid); cut++ {
+		fr := NewFrameReader(bytes.NewReader(valid[:cut]))
+		var msg Message
+		if err := fr.ReadMessage(&msg); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+}
+
+func TestDecodeMessageRejectsTrailingBytes(t *testing.T) {
+	valid, err := EncodeMessage(&Message{Type: TProbe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeMessage(append(valid, 0xFF)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if _, err := DecodeMessage(valid); err != nil {
+		t.Fatalf("clean frame rejected: %v", err)
+	}
+}
+
+func TestWriterRejectsOversizedMessage(t *testing.T) {
+	fw := NewFrameWriter(io.Discard)
+	msg := Message{Type: TPayload, Data: make([]byte, MaxFrameSize+1)}
+	if err := fw.WriteMessage(&msg); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+	if _, err := EncodeMessage(&msg); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("EncodeMessage: got %v, want ErrFrameTooLarge", err)
+	}
+}

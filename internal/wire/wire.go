@@ -32,6 +32,7 @@ const (
 	THeartbeatAck // keepalive response
 	TNack         // retransmission request for missing payload sequences
 	TDigest       // per-source high-water digest (anti-entropy heartbeat)
+	THandoff      // graceful root departure handing the charter to a deputy
 )
 
 // String names the message type.
@@ -71,6 +72,8 @@ func (t Type) String() string {
 		return "nack"
 	case TDigest:
 		return "digest"
+	case THandoff:
+		return "handoff"
 	default:
 		return fmt.Sprintf("type(%d)", int(t))
 	}
@@ -128,6 +131,28 @@ func ParseDeliveryMode(s string) (DeliveryMode, error) {
 type DigestEntry struct {
 	Source string
 	High   uint64
+}
+
+// Charter is the compact group descriptor a rendezvous replicates to its
+// deputies so the group survives the root: identity, delivery mode, the
+// root's succession epoch, the ordered deputy roster (highest Eq. 6 utility
+// first), and the per-source sequence high-water marks at replication time.
+// A deputy that promotes itself seeds its receive windows from HighWater, so
+// publishes in flight at the crash recover through the normal NACK/digest
+// path against the new root. A zero Epoch means "no charter".
+type Charter struct {
+	GroupID string
+	Mode    DeliveryMode
+	// Epoch is the issuing root's succession epoch: 1 at group creation,
+	// incremented by every promotion. Conflicting roots after a partition
+	// heal are resolved by epoch comparison (higher wins; ties go to the
+	// lexicographically lower address).
+	Epoch uint64
+	// Deputies is the ordered succession roster. Deputy #i promotes itself
+	// after suspectEpochs+i silent beacon epochs; the first live deputy wins.
+	Deputies []PeerInfo
+	// HighWater lists per-source publish high-water marks, sorted by source.
+	HighWater []DigestEntry
 }
 
 // PeerInfo is the identifier quadruplet of Section 3.3:
@@ -189,6 +214,18 @@ type Message struct {
 	NackSeqs   []uint64
 	// Digest lists per-source high-water marks on TDigest messages.
 	Digest []DigestEntry
+
+	// Epoch is the sending root's succession epoch on advertisements,
+	// beacons, and handoffs (0 when the sender predates succession or is not
+	// speaking for a root). Receivers resolve conflicting root claims by
+	// comparing epochs.
+	Epoch uint64
+	// Deputies is the group's ordered succession roster, carried down the
+	// tree on beacons so every member knows who inherits the group.
+	Deputies []PeerInfo
+	// Charter is the replicated group descriptor on beacons addressed to
+	// deputies and on THandoff messages (zero Epoch means absent).
+	Charter Charter
 
 	// SentAt timestamps heartbeats for RTT measurement.
 	SentAt time.Time
