@@ -61,10 +61,15 @@ func run() error {
 		deputies  = flag.Int("deputies", 3, "succession roster size: the rendezvous replicates its group charter to this many highest-utility children (0 disables succession)")
 		debugAddr = flag.String("debug-addr", "", "serve the introspection endpoint on this address (enables tracing)")
 		traceFile = flag.String("trace-file", "", "append trace events as NDJSON to this file (enables tracing)")
+		wireVer   = flag.String("wire", "binary", "wire protocol version to speak: binary or gob (legacy; inbound frames of either version are always accepted, see docs/WIRE.md)")
 	)
 	flag.Parse()
 
 	deliveryMode, err := wire.ParseDeliveryMode(*mode)
+	if err != nil {
+		return err
+	}
+	version, err := wire.ParseVersion(*wireVer)
 	if err != nil {
 		return err
 	}
@@ -78,7 +83,9 @@ func run() error {
 		effectiveSeed = time.Now().UnixNano()
 	}
 
-	tr, err := transport.ListenTCP(*listen)
+	tcpCfg := transport.DefaultTCPConfig()
+	tcpCfg.WireVersion = version
+	tr, err := transport.ListenTCPConfig(*listen, tcpCfg)
 	if err != nil {
 		return err
 	}

@@ -676,19 +676,20 @@ func (n *Node) Publish(groupID string, data []byte) error {
 	sendStart := time.Now()
 	msg.RelayedAt = sendStart
 	sent := 0
-	for _, addr := range targets {
-		if n.send(addr, msg) == nil {
-			sent++
-			if n.tracer != nil {
-				n.tracer.Record(trace.Event{
-					Time: time.Now(), Node: self.Addr, Kind: trace.KindSend,
-					Msg: msg.Type.String(), Group: groupID,
-					TraceID: traceID, Seq: seq, Source: self.Addr, Peer: addr,
-					SendUS: time.Since(sendStart).Microseconds(),
-				})
-			}
+	n.sendMany(targets, msg, func(addr string, err error) {
+		if err != nil {
+			return
 		}
-	}
+		sent++
+		if n.tracer != nil {
+			n.tracer.Record(trace.Event{
+				Time: time.Now(), Node: self.Addr, Kind: trace.KindSend,
+				Msg: msg.Type.String(), Group: groupID,
+				TraceID: traceID, Seq: seq, Source: self.Addr, Peer: addr,
+				SendUS: time.Since(sendStart).Microseconds(),
+			})
+		}
+	})
 	if len(targets) > 0 && sent == 0 {
 		return fmt.Errorf("%w: %q (%d link(s), 0 reachable)",
 			ErrPublishFailed, groupID, len(targets))
@@ -759,8 +760,8 @@ func (n *Node) handlePayload(msg wire.Message) {
 	n.mu.Unlock()
 	sendStart := time.Now()
 	fwd.RelayedAt = sendStart
-	for _, addr := range targets {
-		if n.send(addr, fwd) == nil && n.tracer != nil {
+	n.sendMany(targets, fwd, func(addr string, err error) {
+		if err == nil && n.tracer != nil {
 			n.tracer.Record(trace.Event{
 				Time: time.Now(), Node: n.self.Addr, Kind: trace.KindSend,
 				Msg: fwd.Type.String(), Group: fwd.GroupID,
@@ -769,7 +770,7 @@ func (n *Node) handlePayload(msg wire.Message) {
 				SendUS: time.Since(sendStart).Microseconds(),
 			})
 		}
-	}
+	})
 }
 
 // observeDeliver records one payload hand-off to the application: the

@@ -223,9 +223,13 @@ type adState struct {
 
 // Node is one live GroupCast peer.
 type Node struct {
-	cfg  Config
-	tr   transport.Transport
-	self wire.PeerInfo
+	cfg Config
+	tr  transport.Transport
+	// multi is tr's fan-out fast path when it offers one (the TCP transport
+	// encodes a frame once and writes the same bytes to every tree link);
+	// nil means sendMany falls back to a per-link Send loop.
+	multi transport.MultiSender
+	self  wire.PeerInfo
 
 	mu        sync.Mutex
 	rng       *rand.Rand
@@ -372,6 +376,7 @@ func New(tr transport.Transport, cfg Config) *Node {
 		rejoining: make(map[string]bool),
 		stop:      make(chan struct{}),
 	}
+	n.multi, _ = tr.(transport.MultiSender)
 	if vivaldi != nil {
 		n.self.CoordErr = vivaldi.ErrorEstimate()
 	}

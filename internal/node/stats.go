@@ -249,3 +249,31 @@ func (n *Node) send(addr string, msg wire.Message) error {
 	}
 	return err
 }
+
+// sendMany fans one message out to every addr, through the transport's
+// encode-once fast path when it offers one (the TCP transport serializes the
+// binary frame a single time and writes the same bytes to every link) and a
+// per-link send loop otherwise. Accounting matches send — one sent tick per
+// link, one SendErrors tick per immediate failure — and each, when non-nil,
+// observes every link's outcome in order.
+func (n *Node) sendMany(addrs []string, msg wire.Message, each func(addr string, err error)) {
+	if len(addrs) == 0 {
+		return
+	}
+	cb := func(addr string, err error) {
+		n.stats.onSend(msg.Type)
+		if err != nil {
+			n.stats.sendErrors.Add(1)
+		}
+		if each != nil {
+			each(addr, err)
+		}
+	}
+	if n.multi != nil {
+		n.multi.SendMany(addrs, msg, cb)
+		return
+	}
+	for _, addr := range addrs {
+		cb(addr, n.tr.Send(addr, msg))
+	}
+}

@@ -1,0 +1,102 @@
+package transport
+
+import (
+	"time"
+
+	"groupcast/internal/wire"
+)
+
+// Coalescing defaults. The window is short enough to be invisible next to
+// epoch-scale control traffic (beacons and digests fire once per heartbeat
+// epoch) and long enough that the messages a node emits back-to-back in one
+// epoch tick share a single frame and a single syscall.
+const (
+	// DefaultCoalesceWindow is how long a coalescable message may wait for
+	// companions before the pending frame is flushed.
+	DefaultCoalesceWindow = 2 * time.Millisecond
+	// DefaultCoalesceLimit is the pending-bytes threshold that forces an
+	// immediate flush regardless of the timer.
+	DefaultCoalesceLimit = 16 << 10
+)
+
+// coalescable marks the message types allowed to wait in a per-link pending
+// buffer. Only the periodic, loss-tolerant control plane qualifies: beacons
+// and digests are re-sent every epoch, so delaying one by the coalesce
+// window (or losing a pending frame with a dying connection) costs nothing.
+// Payloads, NACKs, heartbeats (RTT-stamped), and connection setup flush
+// immediately — and flush any pending frame first, so per-link ordering is
+// preserved.
+func coalescable(t wire.Type) bool {
+	return t == wire.TBeacon || t == wire.TDigest
+}
+
+// coalescer accumulates encoded sub-messages for one link and flushes them
+// as a single container frame on a size threshold or a short timer. It does
+// no locking of its own: the owning connection's mutex guards every method.
+type coalescer struct {
+	buf    []byte // pending sub-frames (wire.AppendSubMessage encoding)
+	msgs   int    // messages waiting in buf
+	limit  int
+	window time.Duration
+	timer  *time.Timer
+	// kick asks the owner to lock itself and call flushLocked; set once at
+	// construction (the coalescer cannot take the lock itself).
+	kick func()
+}
+
+func newCoalescer(window time.Duration, limit int, kick func()) *coalescer {
+	if window <= 0 {
+		window = DefaultCoalesceWindow
+	}
+	if limit <= 0 {
+		limit = DefaultCoalesceLimit
+	}
+	return &coalescer{window: window, limit: limit, kick: kick}
+}
+
+// add appends msg to the pending buffer and reports whether the buffer has
+// reached the flush threshold. Caller holds the connection lock.
+func (co *coalescer) add(msg *wire.Message) (full bool, err error) {
+	buf, err := wire.AppendSubMessage(co.buf, msg)
+	if err != nil {
+		return false, err
+	}
+	co.buf = buf
+	co.msgs++
+	if len(co.buf) >= co.limit {
+		return true, nil
+	}
+	if co.timer == nil {
+		co.timer = time.AfterFunc(co.window, co.kick)
+	}
+	return false, nil
+}
+
+// take drains the pending buffer, returning the sub-frames and message
+// count, and disarms the timer. The returned slice aliases the coalescer's
+// buffer: the caller holds the connection lock and must hand the bytes to
+// the frame writer before releasing it (the next add, under the same lock,
+// reuses the array).
+func (co *coalescer) take() (subframes []byte, msgs int) {
+	if co.timer != nil {
+		co.timer.Stop()
+		co.timer = nil
+	}
+	subframes, msgs = co.buf, co.msgs
+	co.buf = co.buf[:0]
+	co.msgs = 0
+	return subframes, msgs
+}
+
+// pendingMsgs reports how many messages are waiting. Caller holds the lock.
+func (co *coalescer) pendingMsgs() int { return co.msgs }
+
+// CoalesceStats counts what the coalescing layer did: how many messages
+// were buffered into container frames, and how many container frames were
+// written. frames < msgs means real batching happened.
+type CoalesceStats struct {
+	// Msgs is the number of messages that travelled inside container frames.
+	Msgs uint64
+	// Frames is the number of container frames written.
+	Frames uint64
+}

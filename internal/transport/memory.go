@@ -136,6 +136,7 @@ var (
 	_ Transport     = (*MemEndpoint)(nil)
 	_ DropCounter   = (*MemEndpoint)(nil)
 	_ QueueReporter = (*MemEndpoint)(nil)
+	_ MultiSender   = (*MemEndpoint)(nil)
 )
 
 // Addr returns the endpoint's fabric name.
@@ -150,6 +151,18 @@ func (e *MemEndpoint) Send(addr string, msg wire.Message) error {
 		return ErrClosed
 	}
 	return e.net.deliver(e.addr, addr, msg)
+}
+
+// SendMany implements MultiSender. The fabric moves message values, not
+// bytes, so there is no encoding to share — this is the plain loop, kept so
+// mem-backed tests exercise the same node fan-out path as TCP.
+func (e *MemEndpoint) SendMany(addrs []string, msg wire.Message, each func(addr string, err error)) {
+	for _, addr := range addrs {
+		err := e.Send(addr, msg)
+		if each != nil {
+			each(addr, err)
+		}
+	}
 }
 
 // Recv returns the inbound stream.

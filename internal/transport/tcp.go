@@ -10,35 +10,63 @@ import (
 	"groupcast/internal/wire"
 )
 
-// TCPConfig bounds the TCP transport's blocking operations. A dead or
-// wedged peer must never stall Send (and the heartbeat loop behind it)
-// indefinitely.
+// TCPConfig bounds the TCP transport's blocking operations and selects its
+// wire behaviour. A dead or wedged peer must never stall Send (and the
+// heartbeat loop behind it) indefinitely.
 type TCPConfig struct {
 	// DialTimeout bounds connection establishment. Zero uses the default.
 	DialTimeout time.Duration
 	// WriteTimeout bounds each message write (applied as a per-write
 	// deadline on the connection). Zero uses the default.
 	WriteTimeout time.Duration
+	// WireVersion selects the frame encoding this endpoint writes:
+	// wire.VersionBinary (the default) or wire.VersionGob (legacy, kept for
+	// one release of mixed-cluster compatibility). Reads always accept both
+	// — the frame reader sniffs each frame.
+	WireVersion int
+	// CoalesceWindow is how long small control messages (beacons, digests)
+	// may wait per link to share one container frame. Zero uses
+	// DefaultCoalesceWindow; negative disables coalescing. Only the binary
+	// wire version coalesces.
+	CoalesceWindow time.Duration
+	// CoalesceLimit is the pending-bytes threshold that flushes a link's
+	// container frame before the window elapses. Zero uses
+	// DefaultCoalesceLimit.
+	CoalesceLimit int
 }
 
-// DefaultTCPConfig returns the timeouts used by ListenTCP.
+// DefaultTCPConfig returns the timeouts and wire settings used by ListenTCP.
 func DefaultTCPConfig() TCPConfig {
-	return TCPConfig{DialTimeout: 5 * time.Second, WriteTimeout: 5 * time.Second}
+	return TCPConfig{
+		DialTimeout:  5 * time.Second,
+		WriteTimeout: 5 * time.Second,
+		WireVersion:  wire.DefaultVersion,
+	}
 }
 
-// TCPTransport is a frame-coded TCP implementation of Transport (see
-// wire.FrameWriter: length-prefixed gob with a hard size cap, so a hostile
-// or corrupted stream fails fast instead of driving huge allocations). Each
-// endpoint listens on its address; outbound connections are cached per
-// destination and redialled once on write failure. Dials and writes carry
-// deadlines so a dead peer fails the Send instead of hanging it.
+// TCPTransport is a frame-coded TCP implementation of Transport speaking the
+// dual-version wire codec (see internal/wire: a sniffing FrameReader, so a
+// single cluster can mix binary- and gob-speaking nodes during an upgrade,
+// with a hard frame size cap either way so a hostile or corrupted stream
+// fails fast instead of driving huge allocations). Each endpoint listens on
+// its address; outbound connections are cached per destination and
+// redialled once on write failure. Dials and writes carry deadlines so a
+// dead peer fails the Send instead of hanging it.
+//
+// On the binary wire version the transport additionally coalesces per-link
+// control messages (beacons and digests share one container frame, flushed
+// on a short timer or size threshold) and implements MultiSender: a fan-out
+// message is encoded once into a pooled buffer and the same bytes are
+// written to every link — the zero-copy half of the relay hot path.
 type TCPTransport struct {
 	ln    net.Listener
 	cfg   TCPConfig
 	inbox chan wire.Message
 
-	inboxSheds  atomic.Uint64
-	fabricDrops atomic.Uint64
+	inboxSheds    atomic.Uint64
+	fabricDrops   atomic.Uint64
+	coalesceMsgs  atomic.Uint64
+	coalesceFlush atomic.Uint64
 
 	mu      sync.Mutex
 	conns   map[string]*tcpConn
@@ -48,26 +76,30 @@ type TCPTransport struct {
 }
 
 type tcpConn struct {
+	t        *TCPTransport
 	mu       sync.Mutex
 	conn     net.Conn
 	enc      *wire.FrameWriter
 	writeTmo time.Duration
+	coal     *coalescer // nil when coalescing is disabled
+	broken   bool       // a flush failed; the next Send must redial
 }
 
 var (
 	_ Transport     = (*TCPTransport)(nil)
 	_ DropCounter   = (*TCPTransport)(nil)
 	_ QueueReporter = (*TCPTransport)(nil)
+	_ MultiSender   = (*TCPTransport)(nil)
 )
 
 // ListenTCP starts an endpoint on addr ("host:port"; ":0" picks a free
-// port) with the default timeouts.
+// port) with the default configuration (binary wire version, coalescing on).
 func ListenTCP(addr string) (*TCPTransport, error) {
 	return ListenTCPConfig(addr, DefaultTCPConfig())
 }
 
-// ListenTCPConfig starts an endpoint with explicit timeouts (zero fields
-// fall back to the defaults).
+// ListenTCPConfig starts an endpoint with explicit configuration (zero
+// fields fall back to the defaults).
 func ListenTCPConfig(addr string, cfg TCPConfig) (*TCPTransport, error) {
 	def := DefaultTCPConfig()
 	if cfg.DialTimeout <= 0 {
@@ -75,6 +107,12 @@ func ListenTCPConfig(addr string, cfg TCPConfig) (*TCPTransport, error) {
 	}
 	if cfg.WriteTimeout <= 0 {
 		cfg.WriteTimeout = def.WriteTimeout
+	}
+	if cfg.WireVersion == 0 {
+		cfg.WireVersion = def.WireVersion
+	}
+	if _, err := wire.NewFrameWriterVersion(nil, cfg.WireVersion); err != nil {
+		return nil, err
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -101,6 +139,9 @@ func (t *TCPTransport) Recv() <-chan wire.Message { return t.inbox }
 // QueueDepth samples the inbox occupancy.
 func (t *TCPTransport) QueueDepth() int { return len(t.inbox) }
 
+// WireVersion reports the frame encoding this endpoint writes.
+func (t *TCPTransport) WireVersion() int { return t.cfg.WireVersion }
+
 // DropStats reports inbound messages shed on a full inbox and outbound
 // messages lost to dial/write failures after the retry.
 func (t *TCPTransport) DropStats() DropStats {
@@ -108,6 +149,19 @@ func (t *TCPTransport) DropStats() DropStats {
 		InboxSheds:  t.inboxSheds.Load(),
 		FabricDrops: t.fabricDrops.Load(),
 	}
+}
+
+// CoalesceStats reports how many control messages travelled inside
+// container frames and how many container frames carried them.
+func (t *TCPTransport) CoalesceStats() CoalesceStats {
+	return CoalesceStats{
+		Msgs:   t.coalesceMsgs.Load(),
+		Frames: t.coalesceFlush.Load(),
+	}
+}
+
+func (t *TCPTransport) coalescing() bool {
+	return t.cfg.WireVersion == wire.VersionBinary && t.cfg.CoalesceWindow >= 0
 }
 
 func (t *TCPTransport) acceptLoop() {
@@ -164,7 +218,10 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 
 // Send writes msg to addr over a cached connection, dialling on demand and
 // retrying once with a fresh connection on failure. Dials and writes are
-// deadline-bounded by the transport's TCPConfig.
+// deadline-bounded by the transport's TCPConfig. Coalescable control
+// messages may be buffered up to the coalesce window; everything else is
+// written immediately (flushing any pending container frame first, so
+// per-link ordering holds).
 func (t *TCPTransport) Send(addr string, msg wire.Message) error {
 	t.mu.Lock()
 	if t.closed {
@@ -175,7 +232,7 @@ func (t *TCPTransport) Send(addr string, msg wire.Message) error {
 	t.mu.Unlock()
 
 	if c != nil {
-		if err := c.encode(msg); err == nil {
+		if err := c.encode(&msg); err == nil {
 			return nil
 		}
 		t.dropConn(addr, c)
@@ -185,7 +242,74 @@ func (t *TCPTransport) Send(addr string, msg wire.Message) error {
 		t.fabricDrops.Add(1)
 		return err
 	}
-	if err := c.encode(msg); err != nil {
+	if err := c.encode(&msg); err != nil {
+		t.dropConn(addr, c)
+		t.fabricDrops.Add(1)
+		return fmt.Errorf("transport: send to %s: %w", addr, err)
+	}
+	return nil
+}
+
+// SendMany implements MultiSender: on the binary wire version msg is
+// encoded exactly once into a pooled buffer and the same frame bytes are
+// written to every address (each write still deadline-bounded, each failed
+// link redialled once). The gob version falls back to per-link Send — its
+// per-stream encoder state makes frames non-shareable, which is one of the
+// reasons it is being retired. each (optional) observes every link's
+// outcome.
+func (t *TCPTransport) SendMany(addrs []string, msg wire.Message, each func(addr string, err error)) {
+	if t.cfg.WireVersion != wire.VersionBinary {
+		for _, addr := range addrs {
+			err := t.Send(addr, msg)
+			if each != nil {
+				each(addr, err)
+			}
+		}
+		return
+	}
+	buf := wire.GetEncodeBuffer()
+	frame, err := wire.AppendMessage(buf, &msg)
+	if err != nil {
+		wire.PutEncodeBuffer(buf)
+		for _, addr := range addrs {
+			if each != nil {
+				each(addr, err)
+			}
+		}
+		return
+	}
+	for _, addr := range addrs {
+		err := t.sendRaw(addr, frame)
+		if each != nil {
+			each(addr, err)
+		}
+	}
+	wire.PutEncodeBuffer(frame)
+}
+
+// sendRaw delivers one pre-encoded frame to addr with the same cached
+// connection + single redial contract as Send.
+func (t *TCPTransport) sendRaw(addr string, frame []byte) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	c := t.conns[addr]
+	t.mu.Unlock()
+
+	if c != nil {
+		if err := c.writeRaw(frame); err == nil {
+			return nil
+		}
+		t.dropConn(addr, c)
+	}
+	c, err := t.dial(addr)
+	if err != nil {
+		t.fabricDrops.Add(1)
+		return err
+	}
+	if err := c.writeRaw(frame); err != nil {
 		t.dropConn(addr, c)
 		t.fabricDrops.Add(1)
 		return fmt.Errorf("transport: send to %s: %w", addr, err)
@@ -198,7 +322,15 @@ func (t *TCPTransport) dial(addr string) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	c := &tcpConn{conn: conn, enc: wire.NewFrameWriter(conn), writeTmo: t.cfg.WriteTimeout}
+	fw, err := wire.NewFrameWriterVersion(conn, t.cfg.WireVersion)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c := &tcpConn{t: t, conn: conn, enc: fw, writeTmo: t.cfg.WriteTimeout}
+	if t.coalescing() {
+		c.coal = newCoalescer(t.cfg.CoalesceWindow, t.cfg.CoalesceLimit, c.kickFlush)
+	}
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -222,18 +354,106 @@ func (t *TCPTransport) dropConn(addr string, c *tcpConn) {
 		delete(t.conns, addr)
 	}
 	t.mu.Unlock()
-	c.conn.Close()
+	c.close()
 }
 
-func (c *tcpConn) encode(msg wire.Message) error {
+// encode writes (or, for coalescable control messages, buffers) one message.
+func (c *tcpConn) encode(msg *wire.Message) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.writeTmo > 0 {
-		if err := c.conn.SetWriteDeadline(time.Now().Add(c.writeTmo)); err != nil {
+	if c.broken {
+		return fmt.Errorf("transport: connection poisoned by failed flush")
+	}
+	if c.coal != nil && coalescable(msg.Type) {
+		full, err := c.coal.add(msg)
+		if err != nil {
 			return err
 		}
+		if full {
+			return c.flushLocked()
+		}
+		return nil
 	}
-	return c.enc.WriteMessage(&msg)
+	if err := c.flushLocked(); err != nil {
+		return err
+	}
+	if err := c.deadline(); err != nil {
+		return err
+	}
+	return c.enc.WriteMessage(msg)
+}
+
+// writeRaw flushes any pending container frame and writes pre-encoded frame
+// bytes directly — the fan-out path, which bypasses per-message encoding.
+func (c *tcpConn) writeRaw(frame []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken {
+		return fmt.Errorf("transport: connection poisoned by failed flush")
+	}
+	if err := c.flushLocked(); err != nil {
+		return err
+	}
+	if err := c.deadline(); err != nil {
+		return err
+	}
+	_, err := c.conn.Write(frame)
+	return err
+}
+
+// flushLocked writes the pending container frame, if any. Coalesced types
+// are loss-tolerant (re-sent every epoch), so a failed flush just poisons
+// the connection for the caller to redial.
+func (c *tcpConn) flushLocked() error {
+	if c.coal == nil || c.coal.pendingMsgs() == 0 {
+		return nil
+	}
+	sub, msgs := c.coal.take()
+	if err := c.deadline(); err != nil {
+		c.broken = true
+		return err
+	}
+	// A lone message still ships in a (one-element) container: the framing
+	// overhead is two bytes and the write path stays single-shape.
+	if err := c.enc.WriteCoalesced(sub); err != nil {
+		c.broken = true
+		return err
+	}
+	c.t.coalesceMsgs.Add(uint64(msgs))
+	c.t.coalesceFlush.Add(1)
+	return nil
+}
+
+// kickFlush is the coalesce timer callback: flush whatever is pending.
+func (c *tcpConn) kickFlush() {
+	c.mu.Lock()
+	err := c.flushLocked()
+	c.mu.Unlock()
+	if err != nil {
+		// The connection is broken; Send's redial path replaces it. The
+		// pending beacons/digests are lost, exactly like any other message a
+		// dying TCP connection takes with it — the next epoch re-sends them.
+		c.t.fabricDrops.Add(1)
+	}
+}
+
+func (c *tcpConn) deadline() error {
+	if c.writeTmo > 0 {
+		return c.conn.SetWriteDeadline(time.Now().Add(c.writeTmo))
+	}
+	return nil
+}
+
+// close flushes pending control messages best-effort and closes the socket.
+func (c *tcpConn) close() {
+	c.mu.Lock()
+	_ = c.flushLocked()
+	if c.coal != nil && c.coal.timer != nil {
+		c.coal.timer.Stop()
+		c.coal.timer = nil
+	}
+	c.mu.Unlock()
+	c.conn.Close()
 }
 
 // Close shuts the listener and all cached connections and closes the inbox.
@@ -254,7 +474,7 @@ func (t *TCPTransport) Close() error {
 
 	err := t.ln.Close()
 	for _, c := range conns {
-		c.conn.Close()
+		c.close()
 	}
 	for _, c := range inbound {
 		c.Close()

@@ -1,6 +1,9 @@
 // Package transport provides the message transports of the live GroupCast
 // runtime: a latency-modelled in-memory network for tests and simulations on
-// one machine, and a TCP transport (gob-framed) for real deployments.
+// one machine, and a TCP transport for real deployments, framed with the
+// dual-version wire codec (hand-rolled binary by default, legacy gob for
+// mixed-cluster upgrades) with per-link control-message coalescing and
+// encode-once fan-out on the binary path.
 package transport
 
 import (
@@ -34,6 +37,16 @@ var (
 	// stays silent (lost on the wire, as on UDP).
 	ErrUnreachable = errors.New("transport: destination unreachable")
 )
+
+// MultiSender is implemented by transports that can deliver one message to
+// many destinations more cheaply than repeated Sends — the TCP transport
+// encodes the frame once and writes the same bytes to every link. The node
+// layer uses it for tree fan-out (publish and relay); callers fall back to
+// a Send loop when the transport does not implement it. each, when non-nil,
+// is called synchronously with every link's outcome, in order.
+type MultiSender interface {
+	SendMany(addrs []string, msg wire.Message, each func(addr string, err error))
+}
 
 // DropStats counts the messages an endpoint lost, split by cause. All
 // counts are cumulative and monotonically increasing.

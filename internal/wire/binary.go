@@ -1,0 +1,796 @@
+// Binary wire codec (wire version 2): the hand-rolled hot-path encoding that
+// replaced gob for payload relay, beacons, NACKs, and digests. Every frame
+// starts with an 8-byte header —
+//
+//	offset 0: magic 'G' (0x47)
+//	offset 1: magic 'C' (0x43)
+//	offset 2: wire version (0x02)
+//	offset 3: message type (0x00-0xFE; 0xFF marks a coalesced container)
+//	offset 4: body length, uint32 little-endian (≤ MaxFrameSize)
+//
+// — followed by the body: a presence bitmap (uvarint; one bit per Message
+// field, zero-valued fields omitted entirely) and the present fields in bit
+// order, each with an explicit little-endian layout. Integers that vary in
+// magnitude (sequence numbers, digest high-water marks, epochs, lengths) are
+// varint-packed; floats and timestamps are fixed 8-byte little-endian.
+// docs/WIRE.md is the authoritative byte-level specification; the golden
+// vector tests in golden_test.go pin the layout of every message type.
+//
+// The codec is allocation-frugal by construction: encoding appends into a
+// caller-supplied (or pooled) byte slice and decoding reads fields straight
+// out of the frame, interning repeated strings (addresses, group IDs) per
+// reader so a steady-state relay hop allocates only the payload slice and
+// coordinate vectors. Unlike gob, frames are stateless — any frame decodes
+// in isolation — which is what lets the TCP transport encode a fan-out
+// message once and write the same bytes to every link (MultiSender), and
+// lets small per-link control messages share one coalesced container frame.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Wire versions. A FrameReader accepts both on one stream by sniffing each
+// frame's leading bytes; writers speak exactly one.
+const (
+	// VersionGob is the PR 5 codec: a 4-byte big-endian length prefix
+	// followed by one gob-encoded Message. Kept for one release so mixed
+	// clusters can upgrade node by node.
+	VersionGob = 1
+	// VersionBinary is the hand-rolled binary codec described above.
+	VersionBinary = 2
+	// DefaultVersion is what new writers speak.
+	DefaultVersion = VersionBinary
+)
+
+// Binary frame constants.
+const (
+	magic0 = 'G'
+	magic1 = 'C'
+	// binHeaderLen is the fixed binary frame header size.
+	binHeaderLen = 8
+	// coalescedType is the header type byte of a coalesced container frame:
+	// a sequence of [type u8][body-length uvarint][body] sub-messages.
+	coalescedType = 0xFF
+	// maxCoordDims bounds a PeerInfo coordinate vector (stored as one byte).
+	maxCoordDims = 255
+)
+
+// Binary codec errors.
+var (
+	// ErrBadVersion reports a binary frame whose version byte is not one this
+	// decoder speaks. The stream is poisoned; drop the connection.
+	ErrBadVersion = errors.New("wire: unsupported wire version")
+	// ErrBadMessage reports a binary body that does not parse: truncated
+	// fields, unknown presence bits, counts exceeding the frame, or trailing
+	// bytes inside the body.
+	ErrBadMessage = errors.New("wire: malformed binary message")
+	// ErrUnencodable reports a Message the binary layout cannot carry (a
+	// type outside 0-254 or a coordinate vector longer than 255 dims).
+	ErrUnencodable = errors.New("wire: message not encodable in binary layout")
+)
+
+// ParseVersion maps a wire version name (flag value) to its number.
+func ParseVersion(s string) (int, error) {
+	switch s {
+	case "", "binary", "2":
+		return VersionBinary, nil
+	case "gob", "1":
+		return VersionGob, nil
+	}
+	return 0, fmt.Errorf("wire: unknown wire version %q (want \"binary\" or \"gob\")", s)
+}
+
+// Presence bitmap bits, in field order. A set bit means the field follows in
+// the body; a clear bit decodes as the zero value. Bits at or above
+// fieldCount are a decode error (layout changes bump the version byte).
+const (
+	bitFrom = iota
+	bitReqID
+	bitNeighbors
+	bitGroupID
+	bitRendezvous
+	bitTTL
+	bitOrigin
+	bitSubscriber
+	bitMsgID
+	bitData
+	bitSeq
+	bitRelay
+	bitMode
+	bitNackSource
+	bitNackSeqs
+	bitDigest
+	bitEpoch
+	bitDeputies
+	bitCharter
+	bitSentAt
+	bitTraceID
+	bitHops
+	bitOriginAt
+	bitRelayedAt
+	bitPath
+	bitBackups
+	fieldCount
+)
+
+// encBufPool recycles encode scratch buffers across standalone encodes and
+// transport fan-outs. Buffers grow to fit and return to the pool at whatever
+// capacity they reached (bounded by MaxFrameSize).
+var encBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// GetEncodeBuffer borrows a zero-length scratch buffer from the codec's
+// pool. Pass the (possibly re-allocated) slice back with PutEncodeBuffer
+// when the encoded bytes have been flushed to the wire.
+func GetEncodeBuffer() []byte { return (*encBufPool.Get().(*[]byte))[:0] }
+
+// PutEncodeBuffer returns a buffer borrowed from GetEncodeBuffer.
+func PutEncodeBuffer(b []byte) {
+	if cap(b) == 0 || cap(b) > MaxFrameSize {
+		return
+	}
+	b = b[:0]
+	encBufPool.Put(&b)
+}
+
+// --- primitive append helpers -------------------------------------------
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// appendSvarint zigzag-encodes a signed integer (TTL, hop counts).
+func appendSvarint(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendByteSlice(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func appendF64(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+// appendTime encodes a non-zero time as its Unix nanosecond count, fixed
+// 8-byte little-endian. Times outside the Unix-nano range (years ≲1678 or
+// ≳2262) are not representable; the protocol only carries recent wall-clock
+// stamps.
+func appendTime(dst []byte, t time.Time) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(t.UnixNano()))
+}
+
+func appendPeer(dst []byte, p *PeerInfo) ([]byte, error) {
+	if len(p.Coord) > maxCoordDims {
+		return dst, fmt.Errorf("%w: %d coordinate dims", ErrUnencodable, len(p.Coord))
+	}
+	dst = appendString(dst, p.Addr)
+	dst = append(dst, byte(len(p.Coord)))
+	for _, c := range p.Coord {
+		dst = appendF64(dst, c)
+	}
+	dst = appendF64(dst, p.Capacity)
+	dst = appendF64(dst, p.CoordErr)
+	return dst, nil
+}
+
+func appendPeers(dst []byte, ps []PeerInfo) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(len(ps)))
+	var err error
+	for i := range ps {
+		if dst, err = appendPeer(dst, &ps[i]); err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+// appendDigestEntries varint-packs a high-water map: count, then per entry
+// the source address and its high-water mark.
+func appendDigestEntries(dst []byte, es []DigestEntry) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(es)))
+	for i := range es {
+		dst = appendString(dst, es[i].Source)
+		dst = binary.AppendUvarint(dst, es[i].High)
+	}
+	return dst
+}
+
+func appendCharter(dst []byte, c *Charter) ([]byte, error) {
+	dst = appendString(dst, c.GroupID)
+	dst = append(dst, byte(c.Mode))
+	dst = binary.AppendUvarint(dst, c.Epoch)
+	var err error
+	if dst, err = appendPeers(dst, c.Deputies); err != nil {
+		return dst, err
+	}
+	return appendDigestEntries(dst, c.HighWater), nil
+}
+
+// --- zero checks (presence bitmap) --------------------------------------
+
+func peerIsZero(p *PeerInfo) bool {
+	return p.Addr == "" && len(p.Coord) == 0 && p.Capacity == 0 && p.CoordErr == 0
+}
+
+func charterIsZero(c *Charter) bool {
+	return c.GroupID == "" && c.Mode == 0 && c.Epoch == 0 &&
+		len(c.Deputies) == 0 && len(c.HighWater) == 0
+}
+
+// presence computes the bitmap of non-zero fields.
+func presence(msg *Message) uint64 {
+	var bits uint64
+	set := func(bit int, present bool) {
+		if present {
+			bits |= 1 << bit
+		}
+	}
+	set(bitFrom, !peerIsZero(&msg.From))
+	set(bitReqID, msg.ReqID != 0)
+	set(bitNeighbors, len(msg.Neighbors) > 0)
+	set(bitGroupID, msg.GroupID != "")
+	set(bitRendezvous, !peerIsZero(&msg.Rendezvous))
+	set(bitTTL, msg.TTL != 0)
+	set(bitOrigin, !peerIsZero(&msg.Origin))
+	set(bitSubscriber, !peerIsZero(&msg.Subscriber))
+	set(bitMsgID, msg.MsgID != 0)
+	set(bitData, len(msg.Data) > 0)
+	set(bitSeq, msg.Seq != 0)
+	set(bitRelay, !peerIsZero(&msg.Relay))
+	set(bitMode, msg.Mode != 0)
+	set(bitNackSource, msg.NackSource != "")
+	set(bitNackSeqs, len(msg.NackSeqs) > 0)
+	set(bitDigest, len(msg.Digest) > 0)
+	set(bitEpoch, msg.Epoch != 0)
+	set(bitDeputies, len(msg.Deputies) > 0)
+	set(bitCharter, !charterIsZero(&msg.Charter))
+	set(bitSentAt, !msg.SentAt.IsZero())
+	set(bitTraceID, msg.TraceID != 0)
+	set(bitHops, msg.Hops != 0)
+	set(bitOriginAt, !msg.OriginAt.IsZero())
+	set(bitRelayedAt, !msg.RelayedAt.IsZero())
+	set(bitPath, len(msg.Path) > 0)
+	set(bitBackups, len(msg.Backups) > 0)
+	return bits
+}
+
+// appendBody encodes the presence bitmap and the present fields.
+func appendBody(dst []byte, msg *Message) ([]byte, error) {
+	bits := presence(msg)
+	dst = binary.AppendUvarint(dst, bits)
+	var err error
+	if bits&(1<<bitFrom) != 0 {
+		if dst, err = appendPeer(dst, &msg.From); err != nil {
+			return dst, err
+		}
+	}
+	if bits&(1<<bitReqID) != 0 {
+		dst = binary.AppendUvarint(dst, msg.ReqID)
+	}
+	if bits&(1<<bitNeighbors) != 0 {
+		if dst, err = appendPeers(dst, msg.Neighbors); err != nil {
+			return dst, err
+		}
+	}
+	if bits&(1<<bitGroupID) != 0 {
+		dst = appendString(dst, msg.GroupID)
+	}
+	if bits&(1<<bitRendezvous) != 0 {
+		if dst, err = appendPeer(dst, &msg.Rendezvous); err != nil {
+			return dst, err
+		}
+	}
+	if bits&(1<<bitTTL) != 0 {
+		dst = appendSvarint(dst, int64(msg.TTL))
+	}
+	if bits&(1<<bitOrigin) != 0 {
+		if dst, err = appendPeer(dst, &msg.Origin); err != nil {
+			return dst, err
+		}
+	}
+	if bits&(1<<bitSubscriber) != 0 {
+		if dst, err = appendPeer(dst, &msg.Subscriber); err != nil {
+			return dst, err
+		}
+	}
+	if bits&(1<<bitMsgID) != 0 {
+		dst = binary.AppendUvarint(dst, msg.MsgID)
+	}
+	if bits&(1<<bitData) != 0 {
+		dst = appendByteSlice(dst, msg.Data)
+	}
+	if bits&(1<<bitSeq) != 0 {
+		dst = binary.AppendUvarint(dst, msg.Seq)
+	}
+	if bits&(1<<bitRelay) != 0 {
+		if dst, err = appendPeer(dst, &msg.Relay); err != nil {
+			return dst, err
+		}
+	}
+	if bits&(1<<bitMode) != 0 {
+		dst = append(dst, byte(msg.Mode))
+	}
+	if bits&(1<<bitNackSource) != 0 {
+		dst = appendString(dst, msg.NackSource)
+	}
+	if bits&(1<<bitNackSeqs) != 0 {
+		dst = binary.AppendUvarint(dst, uint64(len(msg.NackSeqs)))
+		for _, s := range msg.NackSeqs {
+			dst = binary.AppendUvarint(dst, s)
+		}
+	}
+	if bits&(1<<bitDigest) != 0 {
+		dst = appendDigestEntries(dst, msg.Digest)
+	}
+	if bits&(1<<bitEpoch) != 0 {
+		dst = binary.AppendUvarint(dst, msg.Epoch)
+	}
+	if bits&(1<<bitDeputies) != 0 {
+		if dst, err = appendPeers(dst, msg.Deputies); err != nil {
+			return dst, err
+		}
+	}
+	if bits&(1<<bitCharter) != 0 {
+		if dst, err = appendCharter(dst, &msg.Charter); err != nil {
+			return dst, err
+		}
+	}
+	if bits&(1<<bitSentAt) != 0 {
+		dst = appendTime(dst, msg.SentAt)
+	}
+	if bits&(1<<bitTraceID) != 0 {
+		dst = binary.AppendUvarint(dst, msg.TraceID)
+	}
+	if bits&(1<<bitHops) != 0 {
+		dst = appendSvarint(dst, int64(msg.Hops))
+	}
+	if bits&(1<<bitOriginAt) != 0 {
+		dst = appendTime(dst, msg.OriginAt)
+	}
+	if bits&(1<<bitRelayedAt) != 0 {
+		dst = appendTime(dst, msg.RelayedAt)
+	}
+	if bits&(1<<bitPath) != 0 {
+		dst = binary.AppendUvarint(dst, uint64(len(msg.Path)))
+		for _, p := range msg.Path {
+			dst = appendString(dst, p)
+		}
+	}
+	if bits&(1<<bitBackups) != 0 {
+		if dst, err = appendPeers(dst, msg.Backups); err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+// AppendMessage appends one standalone binary frame (header + body) for msg
+// to dst and returns the extended slice. dst may be nil or a pooled buffer;
+// the message is not retained.
+func AppendMessage(dst []byte, msg *Message) ([]byte, error) {
+	if msg.Type < 0 || msg.Type >= coalescedType {
+		return dst, fmt.Errorf("%w: type %d", ErrUnencodable, int(msg.Type))
+	}
+	start := len(dst)
+	dst = append(dst, magic0, magic1, VersionBinary, byte(msg.Type), 0, 0, 0, 0)
+	dst, err := appendBody(dst, msg)
+	if err != nil {
+		return dst[:start], err
+	}
+	body := len(dst) - start - binHeaderLen
+	if body > MaxFrameSize {
+		return dst[:start], ErrFrameTooLarge
+	}
+	binary.LittleEndian.PutUint32(dst[start+4:start+8], uint32(body))
+	return dst, nil
+}
+
+// AppendSubMessage appends msg as a coalesced-container sub-message
+// ([type u8][body-length uvarint][body]) to dst. Sub-messages carry no
+// header of their own; the container frame's header covers them.
+func AppendSubMessage(dst []byte, msg *Message) ([]byte, error) {
+	if msg.Type < 0 || msg.Type >= coalescedType {
+		return dst, fmt.Errorf("%w: type %d", ErrUnencodable, int(msg.Type))
+	}
+	scratch := GetEncodeBuffer()
+	body, err := appendBody(scratch, msg)
+	if err != nil {
+		PutEncodeBuffer(scratch)
+		return dst, err
+	}
+	dst = append(dst, byte(msg.Type))
+	dst = binary.AppendUvarint(dst, uint64(len(body)))
+	dst = append(dst, body...)
+	PutEncodeBuffer(body)
+	return dst, nil
+}
+
+// AppendCoalesced wraps already-encoded sub-messages (a concatenation built
+// by AppendSubMessage) in one container frame and appends it to dst.
+func AppendCoalesced(dst, subframes []byte) ([]byte, error) {
+	if len(subframes) == 0 {
+		return dst, ErrFrameEmpty
+	}
+	if len(subframes) > MaxFrameSize {
+		return dst, ErrFrameTooLarge
+	}
+	dst = append(dst, magic0, magic1, VersionBinary, coalescedType, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(dst[len(dst)-4:], uint32(len(subframes)))
+	return append(dst, subframes...), nil
+}
+
+// --- decoding ------------------------------------------------------------
+
+// internTable deduplicates the short strings a connection repeats endlessly
+// (peer addresses, group IDs) so steady-state decoding stops allocating
+// them. Bounded; overflow simply falls back to fresh allocations.
+type internTable struct {
+	m map[string]string
+}
+
+const (
+	internMaxLen     = 64   // only short strings are worth interning
+	internMaxEntries = 4096 // per-reader cap on distinct strings
+)
+
+func (it *internTable) get(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if len(b) > internMaxLen {
+		return string(b)
+	}
+	if it.m == nil {
+		it.m = make(map[string]string)
+	}
+	if s, ok := it.m[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(it.m) < internMaxEntries {
+		it.m[s] = s
+	}
+	return s
+}
+
+// bcursor reads primitive values out of one frame body, tracking a sticky
+// error so call sites stay linear.
+type bcursor struct {
+	data   []byte
+	off    int
+	intern *internTable
+	err    error
+}
+
+func (c *bcursor) fail() {
+	if c.err == nil {
+		c.err = ErrBadMessage
+	}
+}
+
+func (c *bcursor) u8() byte {
+	if c.err != nil || c.off >= len(c.data) {
+		c.fail()
+		return 0
+	}
+	b := c.data[c.off]
+	c.off++
+	return b
+}
+
+func (c *bcursor) uvarint() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.data[c.off:])
+	if n <= 0 {
+		c.fail()
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *bcursor) svarint() int64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(c.data[c.off:])
+	if n <= 0 {
+		c.fail()
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+// take returns the next n bytes of the frame without copying.
+func (c *bcursor) take(n int) []byte {
+	if c.err != nil || n < 0 || c.off+n > len(c.data) || c.off+n < 0 {
+		c.fail()
+		return nil
+	}
+	b := c.data[c.off : c.off+n]
+	c.off += n
+	return b
+}
+
+func (c *bcursor) str() string {
+	n := c.uvarint()
+	if c.err != nil || n > uint64(len(c.data)-c.off) {
+		c.fail()
+		return ""
+	}
+	b := c.take(int(n))
+	if c.intern != nil {
+		return c.intern.get(b)
+	}
+	return string(b)
+}
+
+// byteSlice copies the length-prefixed bytes out of the frame: payload data
+// outlives the frame buffer (it flows into receive windows and relay
+// caches), so it must own its backing array.
+func (c *bcursor) byteSlice() []byte {
+	n := c.uvarint()
+	if c.err != nil || n > uint64(len(c.data)-c.off) {
+		c.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, c.take(int(n)))
+	return out
+}
+
+func (c *bcursor) f64() float64 {
+	b := c.take(8)
+	if c.err != nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func (c *bcursor) time() time.Time {
+	b := c.take(8)
+	if c.err != nil {
+		return time.Time{}
+	}
+	return time.Unix(0, int64(binary.LittleEndian.Uint64(b)))
+}
+
+func (c *bcursor) peer(p *PeerInfo) {
+	p.Addr = c.str()
+	n := int(c.u8())
+	if c.err != nil {
+		return
+	}
+	if n > 0 {
+		if 8*n > len(c.data)-c.off {
+			c.fail()
+			return
+		}
+		p.Coord = make([]float64, n)
+		for i := range p.Coord {
+			p.Coord[i] = c.f64()
+		}
+	} else {
+		p.Coord = nil
+	}
+	p.Capacity = c.f64()
+	p.CoordErr = c.f64()
+}
+
+func (c *bcursor) peers() []PeerInfo {
+	n := c.uvarint()
+	if c.err != nil || n == 0 {
+		return nil
+	}
+	// Each encoded peer is ≥ 18 bytes; a count claiming more than the
+	// remaining frame is hostile.
+	if n > uint64(len(c.data)-c.off)/18+1 {
+		c.fail()
+		return nil
+	}
+	ps := make([]PeerInfo, n)
+	for i := range ps {
+		c.peer(&ps[i])
+		if c.err != nil {
+			return nil
+		}
+	}
+	return ps
+}
+
+func (c *bcursor) digestEntries() []DigestEntry {
+	n := c.uvarint()
+	if c.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(len(c.data)-c.off)/2+1 {
+		c.fail()
+		return nil
+	}
+	es := make([]DigestEntry, n)
+	for i := range es {
+		es[i].Source = c.str()
+		es[i].High = c.uvarint()
+		if c.err != nil {
+			return nil
+		}
+	}
+	return es
+}
+
+func (c *bcursor) charter(ch *Charter) {
+	ch.GroupID = c.str()
+	ch.Mode = DeliveryMode(c.u8())
+	ch.Epoch = c.uvarint()
+	ch.Deputies = c.peers()
+	ch.HighWater = c.digestEntries()
+}
+
+// decodeBody parses one binary body into msg (which is fully overwritten).
+// The body must be consumed exactly; trailing bytes are an error.
+func decodeBody(body []byte, typ byte, msg *Message, intern *internTable) error {
+	*msg = Message{Type: Type(typ)}
+	c := bcursor{data: body, intern: intern}
+	bits := c.uvarint()
+	if c.err != nil {
+		return c.err
+	}
+	if bits>>fieldCount != 0 {
+		return fmt.Errorf("%w: unknown field bits %#x", ErrBadMessage, bits)
+	}
+	if bits&(1<<bitFrom) != 0 {
+		c.peer(&msg.From)
+	}
+	if bits&(1<<bitReqID) != 0 {
+		msg.ReqID = c.uvarint()
+	}
+	if bits&(1<<bitNeighbors) != 0 {
+		msg.Neighbors = c.peers()
+	}
+	if bits&(1<<bitGroupID) != 0 {
+		msg.GroupID = c.str()
+	}
+	if bits&(1<<bitRendezvous) != 0 {
+		c.peer(&msg.Rendezvous)
+	}
+	if bits&(1<<bitTTL) != 0 {
+		msg.TTL = int(c.svarint())
+	}
+	if bits&(1<<bitOrigin) != 0 {
+		c.peer(&msg.Origin)
+	}
+	if bits&(1<<bitSubscriber) != 0 {
+		c.peer(&msg.Subscriber)
+	}
+	if bits&(1<<bitMsgID) != 0 {
+		msg.MsgID = c.uvarint()
+	}
+	if bits&(1<<bitData) != 0 {
+		msg.Data = c.byteSlice()
+	}
+	if bits&(1<<bitSeq) != 0 {
+		msg.Seq = c.uvarint()
+	}
+	if bits&(1<<bitRelay) != 0 {
+		c.peer(&msg.Relay)
+	}
+	if bits&(1<<bitMode) != 0 {
+		msg.Mode = DeliveryMode(c.u8())
+	}
+	if bits&(1<<bitNackSource) != 0 {
+		msg.NackSource = c.str()
+	}
+	if bits&(1<<bitNackSeqs) != 0 {
+		n := c.uvarint()
+		if c.err == nil && n > 0 {
+			if n > uint64(len(c.data)-c.off)+1 {
+				c.fail()
+			} else {
+				msg.NackSeqs = make([]uint64, n)
+				for i := range msg.NackSeqs {
+					msg.NackSeqs[i] = c.uvarint()
+				}
+			}
+		}
+	}
+	if bits&(1<<bitDigest) != 0 {
+		msg.Digest = c.digestEntries()
+	}
+	if bits&(1<<bitEpoch) != 0 {
+		msg.Epoch = c.uvarint()
+	}
+	if bits&(1<<bitDeputies) != 0 {
+		msg.Deputies = c.peers()
+	}
+	if bits&(1<<bitCharter) != 0 {
+		c.charter(&msg.Charter)
+	}
+	if bits&(1<<bitSentAt) != 0 {
+		msg.SentAt = c.time()
+	}
+	if bits&(1<<bitTraceID) != 0 {
+		msg.TraceID = c.uvarint()
+	}
+	if bits&(1<<bitHops) != 0 {
+		msg.Hops = int(c.svarint())
+	}
+	if bits&(1<<bitOriginAt) != 0 {
+		msg.OriginAt = c.time()
+	}
+	if bits&(1<<bitRelayedAt) != 0 {
+		msg.RelayedAt = c.time()
+	}
+	if bits&(1<<bitPath) != 0 {
+		n := c.uvarint()
+		if c.err == nil && n > 0 {
+			if n > uint64(len(c.data)-c.off)+1 {
+				c.fail()
+			} else {
+				msg.Path = make([]string, n)
+				for i := range msg.Path {
+					msg.Path[i] = c.str()
+				}
+			}
+		}
+	}
+	if bits&(1<<bitBackups) != 0 {
+		msg.Backups = c.peers()
+	}
+	if c.err != nil {
+		*msg = Message{}
+		return c.err
+	}
+	if c.off != len(c.data) {
+		*msg = Message{}
+		return fmt.Errorf("%w: %d trailing bytes in body", ErrBadMessage, len(c.data)-c.off)
+	}
+	return nil
+}
+
+// decodeSubMessages parses a coalesced container body, appending each
+// sub-message to out. Memory is bounded by the (already size-capped) frame.
+func decodeSubMessages(body []byte, out []Message, intern *internTable) ([]Message, error) {
+	for off := 0; off < len(body); {
+		typ := body[off]
+		off++
+		if typ == coalescedType {
+			return nil, fmt.Errorf("%w: nested coalesced frame", ErrBadMessage)
+		}
+		n, w := binary.Uvarint(body[off:])
+		if w <= 0 || n > uint64(len(body)-off-w) {
+			return nil, fmt.Errorf("%w: bad sub-message length", ErrBadMessage)
+		}
+		off += w
+		var msg Message
+		if err := decodeBody(body[off:off+int(n)], typ, &msg, intern); err != nil {
+			return nil, err
+		}
+		off += int(n)
+		out = append(out, msg)
+	}
+	if len(out) == 0 {
+		return nil, ErrFrameEmpty
+	}
+	return out, nil
+}

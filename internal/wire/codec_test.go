@@ -89,3 +89,95 @@ func TestWriterRejectsOversizedMessage(t *testing.T) {
 		t.Fatalf("EncodeMessage: got %v, want ErrFrameTooLarge", err)
 	}
 }
+
+// TestMixedVersionStream interleaves gob and binary frames on one byte
+// stream and reads them back with a single sniffing FrameReader — the
+// decoder must keep its per-stream gob state alive across binary frames.
+// This is the rolling-upgrade wire contract from docs/WIRE.md.
+func TestMixedVersionStream(t *testing.T) {
+	var buf bytes.Buffer
+	gw, err := NewFrameWriterVersion(&buf, VersionGob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := NewFrameWriter(&buf)
+	msgs := []Message{
+		{Type: TProbe, From: PeerInfo{Addr: "a:1", Coord: []float64{1, 2}, Capacity: 3}, ReqID: 1},
+		{Type: TPayload, GroupID: "g", Seq: 9, Data: []byte("binary"), MsgID: 2},
+		{Type: TDigest, GroupID: "g", Digest: []DigestEntry{{Source: "s", High: 7}}, MsgID: 3},
+		{Type: TBeacon, GroupID: "g", Epoch: 4, MsgID: 4,
+			Charter: Charter{GroupID: "g", Epoch: 4, Deputies: []PeerInfo{{Addr: "d:1"}}}},
+		{Type: TNack, GroupID: "g", NackSource: "s", NackSeqs: []uint64{5, 6}, MsgID: 5},
+	}
+	for i := range msgs {
+		w := gw
+		if i%2 == 1 {
+			w = bw
+		}
+		if err := w.WriteMessage(&msgs[i]); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	fr := NewFrameReader(&buf)
+	for i := range msgs {
+		var got Message
+		if err := fr.ReadMessage(&got); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !msgEquivalent(&got, &msgs[i]) {
+			t.Fatalf("message %d mismatch:\n got %+v\nwant %+v", i, got, msgs[i])
+		}
+	}
+	var extra Message
+	if err := fr.ReadMessage(&extra); err != io.EOF {
+		t.Fatalf("stream end: got %v, want io.EOF", err)
+	}
+}
+
+// TestEncodeMessageVersionRoundTrips: standalone frames of both wire
+// versions decode through the same version-sniffing entry points.
+func TestEncodeMessageVersionRoundTrips(t *testing.T) {
+	msg := Message{Type: TAdvertise, From: PeerInfo{Addr: "r:1", Capacity: 5},
+		GroupID: "g", TTL: 7, MsgID: 11, Mode: ReliableOrdered, Epoch: 2}
+	for _, version := range []int{VersionGob, VersionBinary} {
+		enc, err := EncodeMessageVersion(&msg, version)
+		if err != nil {
+			t.Fatalf("v%d: %v", version, err)
+		}
+		got, err := DecodeMessage(enc)
+		if err != nil {
+			t.Fatalf("v%d: decode: %v", version, err)
+		}
+		if !msgEquivalent(&got, &msg) {
+			t.Fatalf("v%d round trip mismatch:\n got %+v\nwant %+v", version, got, msg)
+		}
+		if _, err := EncodeMessageVersion(&msg, 9); err == nil {
+			t.Fatal("unknown version accepted")
+		}
+	}
+}
+
+// TestGobFrameStillDecodes pins backward compatibility with the legacy gob
+// framing: a pre-upgrade peer's bytes must keep decoding until the gob
+// version is retired.
+func TestGobFrameStillDecodes(t *testing.T) {
+	msg := Message{Type: TPayload, From: PeerInfo{Addr: "old:1"}, GroupID: "g",
+		Seq: 3, Data: []byte("legacy")}
+	enc, err := EncodeMessageVersion(&msg, VersionGob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gob length prefixes are 4-byte big-endian under the 4MiB cap, so the
+	// first byte is always 0x00 — that is what the sniffer relies on to
+	// tell the versions apart. Guard the invariant explicitly.
+	if enc[0] != 0 {
+		t.Fatalf("gob frame no longer starts 0x00 (got %#x); version sniffing is broken", enc[0])
+	}
+	msgs, err := DecodeFrames(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || !msgEquivalent(&msgs[0], &msg) {
+		t.Fatalf("gob frame decoded to %+v", msgs)
+	}
+}

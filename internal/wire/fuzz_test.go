@@ -38,44 +38,97 @@ func fuzzSeeds(tb testing.TB) [][]byte {
 		{Type: THandoff, From: peers[0], GroupID: "g", Epoch: 5,
 			Charter: Charter{GroupID: "g", Epoch: 5, Deputies: peers}},
 	}
-	out := make([][]byte, 0, len(msgs))
+	// Both wire versions of every shape: the sniffing decoder must hold its
+	// contract against hostile mutations of either layout.
+	out := make([][]byte, 0, 2*len(msgs)+2)
 	for i := range msgs {
-		b, err := EncodeMessage(&msgs[i])
-		if err != nil {
-			tb.Fatalf("seed %d: %v", i, err)
+		for _, version := range []int{VersionBinary, VersionGob} {
+			b, err := EncodeMessageVersion(&msgs[i], version)
+			if err != nil {
+				tb.Fatalf("seed %d v%d: %v", i, version, err)
+			}
+			out = append(out, b)
 		}
-		out = append(out, b)
 	}
+	// Coalesced containers: beacon+digest (the real traffic pattern) and a
+	// single-element container (what a timer flush of one message emits).
+	var subs []byte
+	var err error
+	if subs, err = AppendSubMessage(subs, &msgs[6]); err != nil {
+		tb.Fatal(err)
+	}
+	if subs, err = AppendSubMessage(subs, &msgs[8]); err != nil {
+		tb.Fatal(err)
+	}
+	pair, err := AppendCoalesced(nil, subs)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	out = append(out, pair)
+	solo, err := AppendSubMessage(nil, &msgs[8])
+	if err != nil {
+		tb.Fatal(err)
+	}
+	solo, err = AppendCoalesced(nil, solo)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	out = append(out, solo)
 	return out
 }
 
 // FuzzDecodeMessage holds the decoder to its contract: arbitrary input must
 // either decode (and then re-encode/re-decode consistently) or return an
-// error — never panic and never allocate past the frame cap.
+// error — never panic and never allocate past the frame cap. It covers both
+// wire versions and the coalesced container layout.
 func FuzzDecodeMessage(f *testing.F) {
-	for _, seed := range fuzzSeeds(f) {
+	seeds := fuzzSeeds(f)
+	for _, seed := range seeds {
 		f.Add(seed)
 	}
-	// Hostile prefixes: huge length, zero length, truncated header/body.
+	// Hostile prefixes: huge gob length, zero length, truncated header/body.
 	huge := make([]byte, 8)
 	binary.BigEndian.PutUint32(huge, 1<<30)
 	f.Add(huge)
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{0, 0})
 	f.Add([]byte{0, 0, 0, 5, 1, 2})
+	// Hostile binary headers: bad magic, unknown version, oversized binary
+	// length, coalesced container with a lying sub-length, empty container.
+	f.Add([]byte{'G', 'X', 2, 1, 1, 0, 0, 0, 0})
+	f.Add([]byte{'G', 'C', 9, 1, 1, 0, 0, 0, 0})
+	f.Add([]byte{'G', 'C', 2, 1, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Add([]byte{'G', 'C', 2, 0xFF, 3, 0, 0, 0, 1, 200, 0})
+	f.Add([]byte{'G', 'C', 2, 0xFF, 0, 0, 0, 0})
+	// Truncations and oversized tails of a real coalesced frame.
+	coalesced := seeds[len(seeds)-2]
+	for _, cut := range []int{1, 4, 8, 9, len(coalesced) / 2, len(coalesced) - 1} {
+		if cut < len(coalesced) {
+			f.Add(coalesced[:cut])
+		}
+	}
+	f.Add(append(append([]byte{}, coalesced...), 0xEE))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		msg, err := DecodeMessage(data)
+		msgs, err := DecodeFrames(data)
 		if err != nil {
 			return
 		}
-		// A successful decode must survive a round trip.
-		enc, err := EncodeMessage(&msg)
-		if err != nil {
-			t.Fatalf("re-encode of decoded message failed: %v", err)
-		}
-		if _, err := DecodeMessage(enc); err != nil {
-			t.Fatalf("re-decode failed: %v", err)
+		// A successful decode must survive a round trip through the binary
+		// encoder, message by message.
+		for i := range msgs {
+			enc, err := EncodeMessage(&msgs[i])
+			if err != nil {
+				t.Fatalf("re-encode of decoded message %d failed: %v", i, err)
+			}
+			back, err := DecodeMessage(enc)
+			if err != nil {
+				t.Fatalf("re-decode of message %d failed: %v", i, err)
+			}
+			if !msgEquivalent(&back, &msgs[i]) {
+				t.Fatalf("round trip of message %d drifted:\n got %+v\nwant %+v",
+					i, back, msgs[i])
+			}
 		}
 	})
 }
