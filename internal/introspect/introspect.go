@@ -9,6 +9,7 @@
 //	/debug/vars     metrics registry snapshot + node stats (JSON)
 //	/debug/tree     per-group tree attachment with per-link utility/latency
 //	/debug/overlay  neighbour table with liveness and coordinates
+//	/debug/overload overload controller state + per-peer circuit breakers
 //	/debug/trace    recent trace events, newest last (?n= caps the count)
 //	/debug/pprof/   the standard Go profiler index
 //	/debug/expvars  the stdlib expvar dump (Go runtime memstats etc.)
@@ -34,9 +35,17 @@ func Handler(n *node.Node) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]any{
-			"addr":    n.Addr(),
-			"metrics": n.Metrics().Snapshot(),
-			"stats":   n.Stats(),
+			"addr":     n.Addr(),
+			"metrics":  n.Metrics().Snapshot(),
+			"stats":    n.Stats(),
+			"overload": n.OverloadSnapshot(),
+		})
+	})
+	mux.HandleFunc("/debug/overload", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"addr":     n.Addr(),
+			"overload": n.OverloadSnapshot(),
+			"breakers": n.Breakers(),
 		})
 	})
 	mux.HandleFunc("/debug/tree", func(w http.ResponseWriter, r *http.Request) {

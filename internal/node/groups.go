@@ -649,6 +649,16 @@ func (n *Node) Publish(groupID string, data []byte) error {
 		n.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotMember, groupID)
 	}
+	mode := gs.mode
+	// Admission control: while the node is degraded, refuse new best-effort
+	// publishes at the edge instead of feeding them into saturated queues.
+	// Reliable publishes are always admitted — the caller asked for delivery
+	// guarantees, and the reliable plane has its own recovery machinery.
+	if mode == wire.BestEffort && n.Overloaded() {
+		n.mu.Unlock()
+		n.stats.publishRejects.Add(1)
+		return fmt.Errorf("%w: %q", ErrBackpressure, groupID)
+	}
 	if gs.pub == nil {
 		gs.pub = reliable.NewSendBuffer(n.cfg.ReliableCache)
 	}
@@ -661,6 +671,7 @@ func (n *Node) Publish(groupID string, data []byte) error {
 		From:     self,
 		GroupID:  groupID,
 		Seq:      seq,
+		Mode:     mode,
 		Relay:    self,
 		Data:     data,
 		TraceID:  traceID,
@@ -753,11 +764,20 @@ func (n *Node) handlePayload(msg wire.Message) {
 		return
 	}
 	n.mu.Lock()
+	mode := gs.mode
 	fwd := msg
 	fwd.Relay = n.selfInfoLocked()
 	fwd.Hops = msg.Hops + 1
 	targets := forwardTargetsLocked(gs, hop)
 	n.mu.Unlock()
+	// Graceful degradation: while overloaded, shed best-effort payload relay
+	// — the loss-tolerant fan-out — but never reliable or control traffic,
+	// and never local delivery (which already happened above). Downstream
+	// best-effort subscribers lose what they were promised they might lose.
+	if mode == wire.BestEffort && len(targets) > 0 && n.Overloaded() {
+		n.stats.relaySheds.Add(1)
+		return
+	}
 	sendStart := time.Now()
 	fwd.RelayedAt = sendStart
 	n.sendMany(targets, fwd, func(addr string, err error) {

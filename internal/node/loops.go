@@ -134,11 +134,11 @@ func (n *Node) handleProbe(msg wire.Message) {
 
 func (n *Node) routePending(msg wire.Message) {
 	n.mu.Lock()
-	ch := n.pending[msg.ReqID]
+	pr := n.pending[msg.ReqID]
 	n.mu.Unlock()
-	if ch != nil {
+	if pr.ch != nil {
 		select {
-		case ch <- msg:
+		case pr.ch <- msg:
 		default:
 		}
 	}

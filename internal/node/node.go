@@ -122,6 +122,32 @@ type Config struct {
 	SeenMax int
 	SeenTTL time.Duration
 
+	// OverloadEnterPressure and OverloadExitPressure are the hysteresis
+	// thresholds of the graceful-degradation controller: the node enters the
+	// degraded state after OverloadEnterSamples consecutive pressure samples
+	// at or above the enter threshold, and leaves it after
+	// OverloadExitSamples consecutive samples at or below the exit
+	// threshold. Pressure is max(inbox occupancy fraction, open-breaker
+	// fraction). Zeros use the defaults (0.75 enter / 0.25 exit, 3 enter / 5
+	// exit samples).
+	OverloadEnterPressure float64
+	OverloadExitPressure  float64
+	OverloadEnterSamples  int
+	OverloadExitSamples   int
+	// OverloadSampleInterval paces the pressure sampler (0 uses the default
+	// of 100ms).
+	OverloadSampleInterval time.Duration
+	// DisableOverloadControl turns the degradation controller off entirely:
+	// no admission control, no relay shedding (pressure is still sampled for
+	// the gauges).
+	DisableOverloadControl bool
+	// PendingReqTTL bounds how long an entry may sit in the node's pending
+	// request-correlation map before the sweeper reclaims it. Waiters time
+	// out on their own and normally remove their entries; the TTL is the
+	// leak backstop for paths that die between allocation and cleanup.
+	// 0 uses the default of 30s.
+	PendingReqTTL time.Duration
+
 	// Tracer receives structured per-message trace events (see
 	// internal/trace). Nil disables tracing; the hot path then pays a single
 	// nil check per message. Metrics are independent of the tracer and
@@ -238,7 +264,7 @@ type Node struct {
 	groups    map[string]*groupState
 	adSeen    map[string]adState
 	seenAds   *reliable.Dedup
-	pending   map[uint64]chan wire.Message
+	pending   map[uint64]pendingReq
 	handler   PayloadHandler
 	reqSeq    uint64
 	msgSeq    uint64
@@ -252,6 +278,9 @@ type Node struct {
 	deliverMu sync.Mutex
 
 	stats statCounters
+	// overload is the graceful-degradation controller's state (see
+	// overload.go).
+	overload overloadState
 	// tracer is the opt-in message tracer (nil = disabled); metrics is the
 	// always-on instrument registry. See observe.go.
 	tracer  *trace.Tracer
@@ -274,6 +303,12 @@ var (
 	// downstream send failed immediately (partition, crashes, closed
 	// transport), so the payload cannot have left this node.
 	ErrPublishFailed = errors.New("node: publish reached no tree link")
+	// ErrBackpressure reports a best-effort publish refused by admission
+	// control: the node is in the degraded state (inbox or downstream
+	// breakers saturated) and is shedding loss-tolerant work at the source
+	// rather than amplifying the overload. Reliable-mode publishes are never
+	// refused. Callers should back off and retry.
+	ErrBackpressure = errors.New("node: overloaded, best-effort publish shed")
 )
 
 // New creates a node over the transport. Call Start before using it.
@@ -344,6 +379,24 @@ func New(tr transport.Transport, cfg Config) *Node {
 	if cfg.SeenTTL <= 0 {
 		cfg.SeenTTL = reliable.DefaultSeenTTL
 	}
+	if cfg.OverloadEnterPressure <= 0 || cfg.OverloadEnterPressure > 1 {
+		cfg.OverloadEnterPressure = DefaultOverloadEnterPressure
+	}
+	if cfg.OverloadExitPressure <= 0 || cfg.OverloadExitPressure >= cfg.OverloadEnterPressure {
+		cfg.OverloadExitPressure = DefaultOverloadExitPressure
+	}
+	if cfg.OverloadEnterSamples < 1 {
+		cfg.OverloadEnterSamples = DefaultOverloadEnterSamples
+	}
+	if cfg.OverloadExitSamples < 1 {
+		cfg.OverloadExitSamples = DefaultOverloadExitSamples
+	}
+	if cfg.OverloadSampleInterval <= 0 {
+		cfg.OverloadSampleInterval = DefaultOverloadSampleInterval
+	}
+	if cfg.PendingReqTTL <= 0 {
+		cfg.PendingReqTTL = DefaultPendingReqTTL
+	}
 	coord := cfg.Coord
 	if coord == nil {
 		coord = coords.Point{0, 0, 0}
@@ -371,7 +424,7 @@ func New(tr transport.Transport, cfg Config) *Node {
 		groups:    make(map[string]*groupState),
 		adSeen:    make(map[string]adState),
 		seenAds:   reliable.NewDedup(cfg.SeenMax, cfg.SeenTTL),
-		pending:   make(map[uint64]chan wire.Message),
+		pending:   make(map[uint64]pendingReq),
 		tracer:    cfg.Tracer,
 		rejoining: make(map[string]bool),
 		stop:      make(chan struct{}),
@@ -454,6 +507,8 @@ func (n *Node) Start() {
 	}
 	n.done.Add(1)
 	go n.reliableLoop()
+	n.done.Add(1)
+	go n.overloadLoop()
 }
 
 // Close stops the node: it notifies neighbours, stops its goroutines, and
@@ -516,13 +571,20 @@ func (n *Node) quota() int {
 	return int(q)
 }
 
+// pendingReq is one outstanding request correlation: the waiter's channel
+// plus the creation time the TTL sweeper ages it by.
+type pendingReq struct {
+	ch      chan wire.Message
+	created time.Time
+}
+
 // nextReq allocates a correlation ID with a waiting channel.
 func (n *Node) nextReq() (uint64, chan wire.Message) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.reqSeq++
 	ch := make(chan wire.Message, 16)
-	n.pending[n.reqSeq] = ch
+	n.pending[n.reqSeq] = pendingReq{ch: ch, created: time.Now()}
 	return n.reqSeq, ch
 }
 

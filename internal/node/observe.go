@@ -26,7 +26,16 @@ const (
 	MetricHeartbeatRTT          = "heartbeat_rtt_ms"
 	MetricRecvQueueDepth        = "recv_queue_depth"
 	MetricSuccessionTTR         = "succession_ttr_ms"
+	MetricOverloadPressure      = "overload_pressure"
+	MetricOverloadEpisode       = "overload_episode_ms"
 )
+
+// overloadPressureBuckets spans the pressure signal's [0, 1] domain; the
+// 0.25/0.75 edges line up with the default hysteresis thresholds so the
+// histogram shows time spent inside and outside the band.
+func overloadPressureBuckets() []float64 {
+	return []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0}
+}
 
 // nodeMetrics holds the node's registered instruments. The histogram
 // pointers are resolved once at construction so hot paths skip the registry
@@ -34,12 +43,14 @@ const (
 type nodeMetrics struct {
 	reg *metrics.Registry
 
-	publishDeliver *metrics.FixedHistogram
-	relayHop       *metrics.FixedHistogram
-	nackRTT        *metrics.FixedHistogram
-	heartbeatRTT   *metrics.FixedHistogram
-	queueDepth     *metrics.FixedHistogram
-	successionTTR  *metrics.FixedHistogram
+	publishDeliver   *metrics.FixedHistogram
+	relayHop         *metrics.FixedHistogram
+	nackRTT          *metrics.FixedHistogram
+	heartbeatRTT     *metrics.FixedHistogram
+	queueDepth       *metrics.FixedHistogram
+	successionTTR    *metrics.FixedHistogram
+	overloadPressure *metrics.FixedHistogram
+	overloadEpisode  *metrics.FixedHistogram
 }
 
 // initObservability wires the metrics registry (always on) and registers
@@ -47,13 +58,15 @@ type nodeMetrics struct {
 func (n *Node) initObservability() {
 	reg := metrics.NewRegistry()
 	n.metrics = nodeMetrics{
-		reg:            reg,
-		publishDeliver: reg.Histogram(MetricPublishDeliverLatency, metrics.DefaultLatencyBuckets()),
-		relayHop:       reg.Histogram(MetricRelayHopLatency, metrics.DefaultLatencyBuckets()),
-		nackRTT:        reg.Histogram(MetricNackRTT, metrics.DefaultLatencyBuckets()),
-		heartbeatRTT:   reg.Histogram(MetricHeartbeatRTT, metrics.DefaultLatencyBuckets()),
-		queueDepth:     reg.Histogram(MetricRecvQueueDepth, metrics.DefaultDepthBuckets()),
-		successionTTR:  reg.Histogram(MetricSuccessionTTR, metrics.DefaultLatencyBuckets()),
+		reg:              reg,
+		publishDeliver:   reg.Histogram(MetricPublishDeliverLatency, metrics.DefaultLatencyBuckets()),
+		relayHop:         reg.Histogram(MetricRelayHopLatency, metrics.DefaultLatencyBuckets()),
+		nackRTT:          reg.Histogram(MetricNackRTT, metrics.DefaultLatencyBuckets()),
+		heartbeatRTT:     reg.Histogram(MetricHeartbeatRTT, metrics.DefaultLatencyBuckets()),
+		queueDepth:       reg.Histogram(MetricRecvQueueDepth, metrics.DefaultDepthBuckets()),
+		successionTTR:    reg.Histogram(MetricSuccessionTTR, metrics.DefaultLatencyBuckets()),
+		overloadPressure: reg.Histogram(MetricOverloadPressure, overloadPressureBuckets()),
+		overloadEpisode:  reg.Histogram(MetricOverloadEpisode, metrics.DefaultLatencyBuckets()),
 	}
 	reg.Gauge("neighbors", func() float64 {
 		return float64(n.NumNeighbors())
@@ -67,13 +80,58 @@ func (n *Node) initObservability() {
 		reg.Gauge("transport_inbox_sheds", func() float64 {
 			return float64(dc.DropStats().InboxSheds)
 		})
+		reg.Gauge("transport_control_sheds", func() float64 {
+			return float64(dc.DropStats().ControlSheds)
+		})
+		reg.Gauge("transport_reliable_sheds", func() float64 {
+			return float64(dc.DropStats().ReliableSheds)
+		})
+		reg.Gauge("transport_best_effort_sheds", func() float64 {
+			return float64(dc.DropStats().BestEffortSheds)
+		})
 		reg.Gauge("transport_fabric_drops", func() float64 {
 			return float64(dc.DropStats().FabricDrops)
+		})
+		reg.Gauge("transport_send_queue_drops", func() float64 {
+			return float64(dc.DropStats().SendQueueDrops)
+		})
+		reg.Gauge("transport_breaker_rejects", func() float64 {
+			return float64(dc.DropStats().BreakerRejects)
 		})
 		reg.Gauge("transport_duplicates", func() float64 {
 			return float64(dc.DropStats().Duplicates)
 		})
 	}
+	if br, ok := n.tr.(transport.BreakerReporter); ok {
+		reg.Gauge("transport_breakers_open", func() float64 {
+			open := 0
+			for _, b := range br.Breakers() {
+				if b.State == "open" {
+					open++
+				}
+			}
+			return float64(open)
+		})
+	}
+	if oq, ok := n.tr.(interface{ OutboundQueueDepth() int }); ok {
+		reg.Gauge("transport_outbound_queue_depth", func() float64 {
+			return float64(oq.OutboundQueueDepth())
+		})
+	}
+	reg.Gauge(MetricOverloadPressure, func() float64 {
+		n.overload.mu.Lock()
+		defer n.overload.mu.Unlock()
+		return n.overload.pressure
+	})
+	reg.Gauge("overload_degraded", func() float64 {
+		if n.Overloaded() {
+			return 1
+		}
+		return 0
+	})
+	reg.Gauge("pending_requests", func() float64 {
+		return float64(n.PendingRequests())
+	})
 	reg.Gauge("reliable_pending_gaps", func() float64 {
 		gaps, _, _ := n.reliableOccupancy()
 		return float64(gaps)

@@ -1,0 +1,328 @@
+package node
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"groupcast/internal/coords"
+	"groupcast/internal/transport"
+	"groupcast/internal/wire"
+)
+
+// forceDegraded flips the overload controller into the degraded state
+// directly, bypassing the sampler — tests that exercise the policy (admission
+// control, relay shedding) should not depend on pressure timing.
+func forceDegraded(n *Node, degraded bool) {
+	n.overload.mu.Lock()
+	n.overload.degraded = degraded
+	n.overload.enteredAt = time.Now()
+	n.overload.mu.Unlock()
+}
+
+// quietOverloadConfig returns a config whose overload sampler effectively
+// never ticks, so tests fully own the controller state.
+func quietOverloadConfig(capacity float64, coord coords.Point, seed int64) Config {
+	cfg := DefaultConfig(capacity, coord, seed)
+	cfg.OverloadSampleInterval = time.Hour
+	return cfg
+}
+
+// TestOverloadHysteresis drives the controller tick-by-tick and walks the
+// full hysteresis cycle deterministically: enter needs EnterSamples
+// consecutive high-pressure samples, exit needs ExitSamples consecutive
+// low-pressure ones, and any sample inside the band resets the streak.
+func TestOverloadHysteresis(t *testing.T) {
+	net := transport.NewMemNetwork()
+	n := New(net.NextEndpoint(), quietOverloadConfig(10, nil, 1))
+	// Defaults: enter >= 0.75 after 3 samples, exit <= 0.25 after 5.
+
+	n.overloadTick(0.9)
+	n.overloadTick(0.9)
+	if n.Overloaded() {
+		t.Fatal("degraded after 2/3 enter samples")
+	}
+	n.overloadTick(0.5) // inside the band: resets the enter streak
+	n.overloadTick(0.9)
+	n.overloadTick(0.9)
+	if n.Overloaded() {
+		t.Fatal("degraded though the enter streak was reset")
+	}
+	n.overloadTick(0.9)
+	if !n.Overloaded() {
+		t.Fatal("not degraded after 3 consecutive enter samples")
+	}
+	if ep := n.Stats().OverloadEpisodes; ep != 1 {
+		t.Fatalf("episodes = %d, want 1", ep)
+	}
+
+	for i := 0; i < 4; i++ {
+		n.overloadTick(0.1)
+	}
+	if !n.Overloaded() {
+		t.Fatal("recovered after 4/5 exit samples")
+	}
+	n.overloadTick(0.5) // inside the band: resets the exit streak
+	for i := 0; i < 4; i++ {
+		n.overloadTick(0.1)
+	}
+	if !n.Overloaded() {
+		t.Fatal("recovered though the exit streak was reset")
+	}
+	n.overloadTick(0.1)
+	if n.Overloaded() {
+		t.Fatal("still degraded after 5 consecutive exit samples")
+	}
+
+	ov := n.OverloadSnapshot()
+	if !ov.Enabled || ov.Degraded || ov.Episodes != 1 {
+		t.Fatalf("snapshot = %+v, want enabled, healthy, 1 episode", ov)
+	}
+}
+
+// TestOverloadDisabled: with DisableOverloadControl the controller never
+// degrades regardless of pressure, and Overloaded always reports false.
+func TestOverloadDisabled(t *testing.T) {
+	net := transport.NewMemNetwork()
+	cfg := quietOverloadConfig(10, nil, 1)
+	cfg.DisableOverloadControl = true
+	n := New(net.NextEndpoint(), cfg)
+	for i := 0; i < 20; i++ {
+		n.overloadTick(1.0)
+	}
+	if n.Overloaded() {
+		t.Fatal("disabled controller entered degraded state")
+	}
+	if ov := n.OverloadSnapshot(); ov.Enabled {
+		t.Fatal("snapshot reports the controller enabled")
+	}
+}
+
+// TestOverloadAdmissionControl: while degraded, best-effort publishes are
+// refused with ErrBackpressure and counted, reliable publishes are always
+// admitted, and recovery restores best-effort admission.
+func TestOverloadAdmissionControl(t *testing.T) {
+	net := transport.NewMemNetwork()
+	n := New(net.NextEndpoint(), quietOverloadConfig(10, nil, 1))
+	n.Start()
+	defer n.Close()
+	if err := n.CreateGroupMode("be", wire.BestEffort); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.CreateGroupMode("rel", wire.Reliable); err != nil {
+		t.Fatal(err)
+	}
+
+	forceDegraded(n, true)
+	if err := n.Publish("be", []byte("x")); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("degraded best-effort publish err = %v, want ErrBackpressure", err)
+	}
+	if err := n.Publish("rel", []byte("x")); err != nil {
+		t.Fatalf("degraded reliable publish err = %v, want admitted", err)
+	}
+	if got := n.Stats().PublishRejects; got != 1 {
+		t.Fatalf("publish rejects = %d, want 1", got)
+	}
+
+	forceDegraded(n, false)
+	if err := n.Publish("be", []byte("x")); err != nil {
+		t.Fatalf("recovered best-effort publish err = %v", err)
+	}
+}
+
+// TestOverloadRelayShed exercises the graceful-degradation policy at the
+// forwarding hop: a degraded interior node still delivers best-effort
+// payloads locally but sheds the downstream fan-out, while reliable payloads
+// are always relayed.
+func TestOverloadRelayShed(t *testing.T) {
+	net := transport.NewMemNetwork()
+	relay := New(net.NextEndpoint(), quietOverloadConfig(10, nil, 1))
+	child := net.NextEndpoint()
+	defer child.Close()
+
+	var delivered atomic.Uint64
+	relay.SetPayloadHandler(func(string, wire.PeerInfo, []byte) {
+		delivered.Add(1)
+	})
+	// Hand-build the tree position: a member with one downstream child, so
+	// the forwarding decision is isolated from topology formation.
+	install := func(gid string, mode wire.DeliveryMode) {
+		relay.mu.Lock()
+		gs := newGroupState(mode)
+		gs.member = true
+		gs.children[child.Addr()] = wire.PeerInfo{Addr: child.Addr()}
+		relay.groups[gid] = gs
+		relay.mu.Unlock()
+	}
+	install("be", wire.BestEffort)
+	install("rel", wire.Reliable)
+
+	forceDegraded(relay, true)
+	src := wire.PeerInfo{Addr: "src"}
+	relay.handlePayload(wire.Message{
+		Type: wire.TPayload, From: src, GroupID: "be", Seq: 1,
+		Mode: wire.BestEffort, Data: []byte("x"),
+	})
+	if got := delivered.Load(); got != 1 {
+		t.Fatalf("local deliveries = %d, want 1 (shedding must not touch local delivery)", got)
+	}
+	if got := relay.Stats().RelaySheds; got != 1 {
+		t.Fatalf("relay sheds = %d, want 1", got)
+	}
+	select {
+	case msg := <-child.Recv():
+		t.Fatalf("degraded relay forwarded best-effort payload %v downstream", msg.Type)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	relay.handlePayload(wire.Message{
+		Type: wire.TPayload, From: src, GroupID: "rel", Seq: 1,
+		Mode: wire.Reliable, Data: []byte("x"),
+	})
+	select {
+	case msg := <-child.Recv():
+		if msg.Type != wire.TPayload || msg.Mode != wire.Reliable {
+			t.Fatalf("forwarded %v/%v, want reliable payload", msg.Type, msg.Mode)
+		}
+	case <-time.After(testTimeout):
+		t.Fatal("degraded relay shed a reliable payload")
+	}
+	if got := relay.Stats().RelaySheds; got != 1 {
+		t.Fatalf("relay sheds = %d after reliable forward, want still 1", got)
+	}
+
+	// Recovery restores best-effort fan-out.
+	forceDegraded(relay, false)
+	relay.handlePayload(wire.Message{
+		Type: wire.TPayload, From: src, GroupID: "be", Seq: 2,
+		Mode: wire.BestEffort, Data: []byte("y"),
+	})
+	select {
+	case <-child.Recv():
+	case <-time.After(testTimeout):
+		t.Fatal("recovered relay still shedding best-effort payloads")
+	}
+	_ = relay.Close()
+}
+
+// TestPendingReqSweep is the leak bound on the request-correlation map:
+// entries that no waiter ever cleans up (crashed peers, lost responses) age
+// out at the TTL instead of accumulating forever.
+func TestPendingReqSweep(t *testing.T) {
+	net := transport.NewMemNetwork()
+	cfg := quietOverloadConfig(10, nil, 1)
+	cfg.PendingReqTTL = 30 * time.Second
+	n := New(net.NextEndpoint(), cfg)
+
+	const leaked = 50
+	for i := 0; i < leaked; i++ {
+		n.nextReq() // abandoned: no dropReq, simulating lost responses
+	}
+	if got := n.PendingRequests(); got != leaked {
+		t.Fatalf("pending = %d, want %d", got, leaked)
+	}
+
+	// A sweep inside the TTL keeps live waiters.
+	n.sweepPendingReqs(time.Now())
+	if got := n.PendingRequests(); got != leaked {
+		t.Fatalf("young entries swept: pending = %d, want %d", got, leaked)
+	}
+	// A sweep past the TTL reclaims every abandoned entry.
+	n.sweepPendingReqs(time.Now().Add(cfg.PendingReqTTL + time.Second))
+	if got := n.PendingRequests(); got != 0 {
+		t.Fatalf("pending = %d after TTL sweep, want 0", got)
+	}
+}
+
+// TestPendingReqSweepLoop verifies the sweep actually runs from the overload
+// loop with a short TTL — the end-to-end leak bound, not just the mechanism.
+func TestPendingReqSweepLoop(t *testing.T) {
+	net := transport.NewMemNetwork()
+	cfg := DefaultConfig(10, nil, 1)
+	cfg.OverloadSampleInterval = 10 * time.Millisecond
+	cfg.PendingReqTTL = 80 * time.Millisecond
+	n := New(net.NextEndpoint(), cfg)
+	n.Start()
+	defer n.Close()
+
+	for i := 0; i < 10; i++ {
+		n.nextReq()
+	}
+	waitFor(t, testTimeout, func() bool {
+		return n.PendingRequests() == 0
+	}, "leaked pending requests never swept by the overload loop")
+}
+
+// TestControlPlaneSurvivesPayloadFlood is the node-level starvation
+// regression (the transport-level counterpart lives in
+// transport/inbox_test.go): a best-effort payload flood at ~10x the inbox
+// capacity against a slow consumer must shed only best-effort traffic —
+// heartbeats, beacons, and the group's control plane ride the priority
+// classes and survive, so the overlay neither suspects peers nor starts a
+// succession.
+func TestControlPlaneSurvivesPayloadFlood(t *testing.T) {
+	net := transport.NewMemNetwork()
+	const inboxCap = 16
+	net.SetInboxPolicy(inboxCap, false)
+
+	a := New(net.NextEndpoint(), DefaultConfig(100, coords.Point{0, 0}, 1))
+	bcfg := DefaultConfig(10, coords.Point{10, 10}, 2)
+	bcfg.HeartbeatInterval = 100 * time.Millisecond
+	b := New(net.NextEndpoint(), bcfg)
+	a.Start()
+	b.Start()
+	defer a.Close()
+	defer b.Close()
+	if err := a.Bootstrap(nil, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Bootstrap([]string{a.Addr()}, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CreateGroupMode("flood", wire.BestEffort); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Advertise("flood"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, testTimeout, func() bool {
+		return b.Join("flood", 200*time.Millisecond) == nil
+	}, "b could not join")
+
+	// The slow consumer: each delivery stalls b's receive loop, so the flood
+	// overruns the 16-slot inbox by an order of magnitude.
+	b.SetPayloadHandler(func(string, wire.PeerInfo, []byte) {
+		time.Sleep(2 * time.Millisecond)
+	})
+	const flood = 10 * inboxCap
+	for i := 0; i < flood; i++ {
+		if err := a.Publish("flood", []byte("payload")); err != nil &&
+			!errors.Is(err, ErrBackpressure) {
+			t.Fatal(err)
+		}
+	}
+
+	// The flood must shed — and shed only best-effort.
+	waitFor(t, testTimeout, func() bool {
+		return b.Stats().Transport.BestEffortSheds > 0
+	}, "flood at 10x inbox capacity shed nothing")
+	ds := b.Stats().Transport
+	if ds.ControlSheds != 0 {
+		t.Fatalf("flood shed %d control messages; priority classes failed", ds.ControlSheds)
+	}
+	if ds.ReliableSheds != 0 {
+		t.Fatalf("flood shed %d reliable messages", ds.ReliableSheds)
+	}
+
+	// Control-plane survival: heartbeats kept flowing through the flood, so
+	// the overlay link is intact and the group saw no succession.
+	waitFor(t, testTimeout, func() bool {
+		return a.NumNeighbors() >= 1 && b.NumNeighbors() >= 1
+	}, "overlay link lost during the flood")
+	for _, td := range a.TreeDetails() {
+		if td.Group == "flood" && (td.Epoch != 1 || td.Promoted) {
+			t.Fatalf("flood triggered a succession: epoch=%d promoted=%v", td.Epoch, td.Promoted)
+		}
+	}
+}

@@ -86,6 +86,7 @@ func (n *Node) handleNack(msg wire.Message) {
 		return
 	}
 	self := n.selfInfoLocked()
+	mode := gs.mode
 	srcInfo := wire.PeerInfo{Addr: msg.NackSource}
 	lookup := func(seq uint64) (reliable.Item, bool) { return reliable.Item{}, false }
 	if msg.NackSource == self.Addr {
@@ -155,8 +156,11 @@ func (n *Node) handleNack(msg wire.Message) {
 			From:    srcInfo,
 			GroupID: msg.GroupID,
 			Seq:     r.seq,
-			Relay:   self,
-			Data:    r.item.Data,
+			// Mode classifies the retransmission as reliable data on the
+			// wire, exempting it from best-effort shedding end to end.
+			Mode:  mode,
+			Relay: self,
+			Data:  r.item.Data,
 			// The cached item re-carries the payload's original trace
 			// identity, so the recovered hop joins the publisher's trace and
 			// the receiver still measures true publish→deliver latency.

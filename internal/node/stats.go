@@ -66,6 +66,14 @@ type Stats struct {
 	// OrphansReabsorbed counts subtree roots that re-attached under this node
 	// after it promoted — the heal converging.
 	OrphansReabsorbed uint64
+	// OverloadEpisodes counts entries into the degraded state (overload
+	// controller hysteresis flips); PublishRejects counts best-effort
+	// publishes refused with ErrBackpressure while degraded; RelaySheds
+	// counts best-effort payload fan-outs skipped while degraded (the
+	// payload was still delivered locally).
+	OverloadEpisodes uint64
+	PublishRejects   uint64
+	RelaySheds       uint64
 	// Transport reports the transport layer's drop accounting (inbox
 	// sheds, send failures, chaos-injected faults) when the node's
 	// transport exposes it; zero otherwise.
@@ -96,6 +104,10 @@ type statCounters struct {
 	demotions       atomic.Uint64
 	charterRepl     atomic.Uint64
 	orphansAbsorbed atomic.Uint64
+
+	overloadEpisodes atomic.Uint64
+	publishRejects   atomic.Uint64
+	relaySheds       atomic.Uint64
 }
 
 func (s *statCounters) onSend(t wire.Type) {
@@ -134,6 +146,9 @@ func (n *Node) Stats() Stats {
 		Demotions:             n.stats.demotions.Load(),
 		CharterReplications:   n.stats.charterRepl.Load(),
 		OrphansReabsorbed:     n.stats.orphansAbsorbed.Load(),
+		OverloadEpisodes:      n.stats.overloadEpisodes.Load(),
+		PublishRejects:        n.stats.publishRejects.Load(),
+		RelaySheds:            n.stats.relaySheds.Load(),
 	}
 	if dc, ok := n.tr.(transport.DropCounter); ok {
 		out.Transport = dc.DropStats()
@@ -183,9 +198,10 @@ func (s *Stats) Merge(other Stats) {
 	s.Demotions += other.Demotions
 	s.CharterReplications += other.CharterReplications
 	s.OrphansReabsorbed += other.OrphansReabsorbed
-	s.Transport.InboxSheds += other.Transport.InboxSheds
-	s.Transport.FabricDrops += other.Transport.FabricDrops
-	s.Transport.Duplicates += other.Transport.Duplicates
+	s.OverloadEpisodes += other.OverloadEpisodes
+	s.PublishRejects += other.PublishRejects
+	s.RelaySheds += other.RelaySheds
+	s.Transport.Add(other.Transport)
 }
 
 // Delta returns the counters gained since base (interval measurement
@@ -220,10 +236,18 @@ func (s Stats) Delta(base Stats) Stats {
 		Demotions:             sub(s.Demotions, base.Demotions),
 		CharterReplications:   sub(s.CharterReplications, base.CharterReplications),
 		OrphansReabsorbed:     sub(s.OrphansReabsorbed, base.OrphansReabsorbed),
+		OverloadEpisodes:      sub(s.OverloadEpisodes, base.OverloadEpisodes),
+		PublishRejects:        sub(s.PublishRejects, base.PublishRejects),
+		RelaySheds:            sub(s.RelaySheds, base.RelaySheds),
 		Transport: transport.DropStats{
-			InboxSheds:  sub(s.Transport.InboxSheds, base.Transport.InboxSheds),
-			FabricDrops: sub(s.Transport.FabricDrops, base.Transport.FabricDrops),
-			Duplicates:  sub(s.Transport.Duplicates, base.Transport.Duplicates),
+			InboxSheds:      sub(s.Transport.InboxSheds, base.Transport.InboxSheds),
+			ControlSheds:    sub(s.Transport.ControlSheds, base.Transport.ControlSheds),
+			ReliableSheds:   sub(s.Transport.ReliableSheds, base.Transport.ReliableSheds),
+			BestEffortSheds: sub(s.Transport.BestEffortSheds, base.Transport.BestEffortSheds),
+			FabricDrops:     sub(s.Transport.FabricDrops, base.Transport.FabricDrops),
+			SendQueueDrops:  sub(s.Transport.SendQueueDrops, base.Transport.SendQueueDrops),
+			BreakerRejects:  sub(s.Transport.BreakerRejects, base.Transport.BreakerRejects),
+			Duplicates:      sub(s.Transport.Duplicates, base.Transport.Duplicates),
 		},
 	}
 	for k, v := range s.Sent {

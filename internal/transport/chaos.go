@@ -63,6 +63,8 @@ type ChaosStats struct {
 	Duplicates uint64
 	// Reordered counts messages held back by a reorder rule.
 	Reordered uint64
+	// Slowed counts messages delayed by a slow-peer pipe.
+	Slowed uint64
 	// Delivered counts messages handed to the wrapped transport.
 	Delivered uint64
 }
@@ -134,6 +136,20 @@ func LinkRuleAt(at time.Duration, from, to string, rule LinkRule) FaultEvent {
 	}
 }
 
+// SlowPeerAt installs (or, with perMessage == 0, removes) a slow-peer pipe
+// in front of the destination at the given offset.
+func SlowPeerAt(at time.Duration, addr string, perMessage time.Duration) FaultEvent {
+	desc := fmt.Sprintf("slow-peer %s: %v/msg", addr, perMessage)
+	if perMessage <= 0 {
+		desc = fmt.Sprintf("slow-peer %s: restored", addr)
+	}
+	return FaultEvent{
+		At:    at,
+		Desc:  desc,
+		apply: func(n *ChaosNetwork) { n.SlowPeer(addr, perMessage) },
+	}
+}
+
 func orAll(s string) string {
 	if s == "" {
 		return "*"
@@ -160,6 +176,7 @@ type ChaosNetwork struct {
 	island      map[string]int // addr → island ID; absent = mainland (0)
 	islandSeq   int
 	crashed     map[string]bool
+	slowPeers   map[string]*slowPipe // destination addr → serialized pipe
 	endpoints   map[string]*ChaosEndpoint
 
 	ruleDrops      atomic.Uint64
@@ -167,6 +184,7 @@ type ChaosNetwork struct {
 	crashDrops     atomic.Uint64
 	duplicates     atomic.Uint64
 	reordered      atomic.Uint64
+	slowed         atomic.Uint64
 	delivered      atomic.Uint64
 
 	timers   []*time.Timer
@@ -182,8 +200,63 @@ func NewChaosNetwork(seed int64) *ChaosNetwork {
 		links:     make(map[linkKey]*linkState),
 		island:    make(map[string]int),
 		crashed:   make(map[string]bool),
+		slowPeers: make(map[string]*slowPipe),
 		endpoints: make(map[string]*ChaosEndpoint),
 	}
+}
+
+// slowPipe models a destination whose link drains at a fixed per-message
+// service time: deliveries to it are serialized, each occupying the pipe for
+// perMessage. Messages queue behind each other (nextFree pushes out), which
+// is exactly how a peer with a wedged reader looks from the outside — alive,
+// reachable, but consuming far slower than producers send.
+type slowPipe struct {
+	perMessage time.Duration
+
+	mu       sync.Mutex
+	nextFree time.Time
+}
+
+// occupy reserves the pipe for one message and returns the extra delivery
+// delay: how long the message waits for the pipe plus its own service time.
+func (p *slowPipe) occupy() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	start := p.nextFree
+	if start.Before(now) {
+		start = now
+	}
+	p.nextFree = start.Add(p.perMessage)
+	return p.nextFree.Sub(now)
+}
+
+// SlowPeer installs a serialized slow pipe in front of the destination:
+// every delivery to addr takes perMessage of exclusive pipe time, so a
+// burst queues and arrives strung out — the canonical slow-consumer fault
+// the circuit breaker and bounded send queues exist for. perMessage <= 0
+// removes the pipe.
+func (n *ChaosNetwork) SlowPeer(addr string, perMessage time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if perMessage <= 0 {
+		delete(n.slowPeers, addr)
+		return
+	}
+	n.slowPeers[addr] = &slowPipe{perMessage: perMessage}
+}
+
+// slowDelay returns the extra delay a delivery to addr incurs from a slow
+// pipe (0 without one).
+func (n *ChaosNetwork) slowDelay(to string) time.Duration {
+	n.mu.Lock()
+	sp := n.slowPeers[to]
+	n.mu.Unlock()
+	if sp == nil {
+		return 0
+	}
+	n.slowed.Add(1)
+	return sp.occupy()
 }
 
 // Wrap attaches an endpoint to the chaos layer. All of the endpoint's
@@ -260,6 +333,7 @@ func (n *ChaosNetwork) Stats() ChaosStats {
 		CrashDrops:     n.crashDrops.Load(),
 		Duplicates:     n.duplicates.Load(),
 		Reordered:      n.reordered.Load(),
+		Slowed:         n.slowed.Load(),
 		Delivered:      n.delivered.Load(),
 	}
 }
@@ -406,6 +480,25 @@ func (e *ChaosEndpoint) QueueDepth() int {
 	return 0
 }
 
+// QueueCapacity reports the wrapped endpoint's inbox bound (0 when the
+// wrapped transport does not report one).
+func (e *ChaosEndpoint) QueueCapacity() int {
+	if qr, ok := e.inner.(QueueReporter); ok {
+		return qr.QueueCapacity()
+	}
+	return 0
+}
+
+// Breakers passes through the wrapped transport's circuit-breaker snapshot
+// (nil when it has none) so breaker state stays observable under fault
+// injection.
+func (e *ChaosEndpoint) Breakers() []BreakerInfo {
+	if br, ok := e.inner.(BreakerReporter); ok {
+		return br.Breakers()
+	}
+	return nil
+}
+
 // Close closes the wrapped endpoint.
 func (e *ChaosEndpoint) Close() error {
 	e.closed.Store(true)
@@ -416,17 +509,15 @@ func (e *ChaosEndpoint) Close() error {
 }
 
 // DropStats combines the chaos layer's per-endpoint drops with the wrapped
-// transport's own counters.
+// transport's own counters (including the per-class shed breakdown, so shed
+// accounting stays visible through the chaos layer).
 func (e *ChaosEndpoint) DropStats() DropStats {
 	out := DropStats{
 		FabricDrops: e.chaosDrops.Load(),
 		Duplicates:  e.duplicates.Load(),
 	}
 	if dc, ok := e.inner.(DropCounter); ok {
-		inner := dc.DropStats()
-		out.InboxSheds += inner.InboxSheds
-		out.FabricDrops += inner.FabricDrops
-		out.Duplicates += inner.Duplicates
+		out.Add(dc.DropStats())
 	}
 	return out
 }
@@ -456,6 +547,9 @@ func (e *ChaosEndpoint) Send(addr string, msg wire.Message) error {
 		}
 		return nil
 	}
+	// A slow-peer pipe adds queueing delay on top of whatever the link rule
+	// decided (a slow consumer is slow regardless of loss or jitter).
+	v.delay += e.net.slowDelay(addr)
 	copies := 1
 	if v.dupe {
 		copies = 2

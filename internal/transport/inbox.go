@@ -1,0 +1,253 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"groupcast/internal/wire"
+)
+
+// DefaultInboxCapacity is the bounded inbound queue size every transport
+// uses unless configured otherwise: deep enough that a promptly-draining
+// node never sheds, small enough that a wedged node bounds its memory.
+const DefaultInboxCapacity = 1024
+
+// PrioInbox is the class-prioritized bounded inbound queue shared by every
+// transport (MemEndpoint, TCPTransport, and anything wrapped in the chaos
+// layer inherits it through them). It replaces the old single buffered
+// channel, which shed indiscriminately when full — a flash-crowd payload
+// storm could starve the beacons and NACKs that keep trees alive.
+//
+// Messages are bucketed by wire.Classify into control, reliable-data, and
+// best-effort queues sharing one capacity. The drain side always serves the
+// highest-priority non-empty queue. The admission side never sheds a message
+// while a strictly lower-priority message holds a slot: when the inbox is
+// full, the oldest message of the lowest-priority non-empty class below the
+// arrival's class is displaced instead. A control message is therefore shed
+// only when the entire inbox is already control traffic.
+//
+// Every shed — displacement or arrival drop — is counted against the class
+// of the message lost, and every accepted message is counted too, so
+// delivery ratio per class is observable end to end (the overload
+// experiment's control-plane-survival column reads these counters).
+//
+// A classless mode reproduces the legacy single-FIFO behaviour (arrival
+// order preserved across classes, incoming messages shed when full) while
+// still keeping per-class counters — the ablation baseline that shows what
+// priority shedding buys.
+type PrioInbox struct {
+	capacity  int
+	classless bool
+
+	mu     sync.Mutex
+	queues [wire.NumClasses][]wire.Message
+	size   int
+	closed bool
+
+	wake chan struct{} // pump doorbell (capacity 1)
+	done chan struct{} // closed by Close; unblocks a pump stuck on out
+	out  chan wire.Message
+
+	accepted [wire.NumClasses]atomic.Uint64
+	shed     [wire.NumClasses]atomic.Uint64
+}
+
+// NewPrioInbox returns a running inbox with the given total capacity
+// (DefaultInboxCapacity when <= 0). classless selects the legacy
+// single-queue shed policy.
+func NewPrioInbox(capacity int, classless bool) *PrioInbox {
+	if capacity <= 0 {
+		capacity = DefaultInboxCapacity
+	}
+	in := &PrioInbox{
+		capacity:  capacity,
+		classless: classless,
+		wake:      make(chan struct{}, 1),
+		done:      make(chan struct{}),
+		// Unbuffered on purpose: a buffered out channel would be a hidden
+		// FIFO segment that priority cannot reach into, letting queued
+		// best-effort traffic delay control messages again.
+		out: make(chan wire.Message),
+	}
+	go in.pump()
+	return in
+}
+
+// Push offers one inbound message, reporting whether it was accepted.
+// Rejections (inbox full with nothing lower-priority to displace, or inbox
+// closed) are counted by the message's class; closed-inbox pushes are not
+// sheds and count nowhere.
+func (in *PrioInbox) Push(msg wire.Message) bool {
+	cls := wire.Classify(&msg)
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return false
+	}
+	if in.size < in.capacity {
+		in.enqueueLocked(cls, msg)
+		in.mu.Unlock()
+		in.ring()
+		return true
+	}
+	if !in.classless {
+		// Full: displace the oldest message of the lowest-priority non-empty
+		// class strictly below the arrival. Control never sheds while any
+		// best-effort or reliable-data slot remains occupied.
+		for victim := wire.NumClasses - 1; victim > int(cls); victim-- {
+			q := in.queues[victim]
+			if len(q) == 0 {
+				continue
+			}
+			q[0] = wire.Message{}
+			in.queues[victim] = q[1:]
+			in.size--
+			in.enqueueLocked(cls, msg)
+			in.mu.Unlock()
+			in.shed[victim].Add(1)
+			in.ring()
+			return true
+		}
+	}
+	in.mu.Unlock()
+	in.shed[cls].Add(1)
+	return false
+}
+
+// enqueueLocked appends msg to its class queue (the single shared queue in
+// classless mode) and ticks the accept counter.
+func (in *PrioInbox) enqueueLocked(cls wire.Class, msg wire.Message) {
+	idx := int(cls)
+	if in.classless {
+		idx = 0
+	}
+	in.queues[idx] = append(in.queues[idx], msg)
+	in.size++
+	in.accepted[cls].Add(1)
+}
+
+// ring wakes the pump without blocking.
+func (in *PrioInbox) ring() {
+	select {
+	case in.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pump moves messages from the class queues to the out channel, always
+// serving the highest-priority non-empty class. It owns closing out.
+func (in *PrioInbox) pump() {
+	for {
+		in.mu.Lock()
+		var msg wire.Message
+		found := false
+		for c := 0; c < wire.NumClasses && !found; c++ {
+			if q := in.queues[c]; len(q) > 0 {
+				msg = q[0]
+				q[0] = wire.Message{}
+				in.queues[c] = q[1:]
+				in.size--
+				found = true
+			}
+		}
+		closed := in.closed
+		in.mu.Unlock()
+		if !found {
+			if closed {
+				close(in.out)
+				return
+			}
+			select {
+			case <-in.wake:
+			case <-in.done:
+			}
+			continue
+		}
+		select {
+		case in.out <- msg:
+		case <-in.done:
+			// Closing: the receiver may already be gone. Queued messages are
+			// dropped, exactly like buffered messages in a closed socket.
+			close(in.out)
+			return
+		}
+	}
+}
+
+// Recv is the prioritized inbound stream, closed after Close.
+func (in *PrioInbox) Recv() <-chan wire.Message { return in.out }
+
+// Depth is the number of queued messages not yet handed to the receiver.
+func (in *PrioInbox) Depth() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.size
+}
+
+// Capacity is the fixed queue bound.
+func (in *PrioInbox) Capacity() int { return in.capacity }
+
+// DepthByClass samples per-class occupancy (all in index 0 in classless
+// mode).
+func (in *PrioInbox) DepthByClass() [wire.NumClasses]int {
+	var out [wire.NumClasses]int
+	in.mu.Lock()
+	for c := range in.queues {
+		out[c] = len(in.queues[c])
+	}
+	in.mu.Unlock()
+	return out
+}
+
+// ShedByClass reports cumulative sheds per class of message lost.
+func (in *PrioInbox) ShedByClass() [wire.NumClasses]uint64 {
+	var out [wire.NumClasses]uint64
+	for c := range out {
+		out[c] = in.shed[c].Load()
+	}
+	return out
+}
+
+// AcceptedByClass reports cumulative accepted messages per class.
+func (in *PrioInbox) AcceptedByClass() [wire.NumClasses]uint64 {
+	var out [wire.NumClasses]uint64
+	for c := range out {
+		out[c] = in.accepted[c].Load()
+	}
+	return out
+}
+
+// Sheds is the total across classes.
+func (in *PrioInbox) Sheds() uint64 {
+	var total uint64
+	for c := range in.shed {
+		total += in.shed[c].Load()
+	}
+	return total
+}
+
+// dropStats folds the inbox's shed counters into one DropStats value (the
+// other fields stay zero for the caller to fill).
+func (in *PrioInbox) dropStats() DropStats {
+	shed := in.ShedByClass()
+	return DropStats{
+		InboxSheds:      shed[wire.ClassControl] + shed[wire.ClassReliableData] + shed[wire.ClassBestEffort],
+		ControlSheds:    shed[wire.ClassControl],
+		ReliableSheds:   shed[wire.ClassReliableData],
+		BestEffortSheds: shed[wire.ClassBestEffort],
+	}
+}
+
+// Close stops the pump and closes the out stream. Idempotent. Messages
+// still queued are discarded.
+func (in *PrioInbox) Close() {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return
+	}
+	in.closed = true
+	in.mu.Unlock()
+	close(in.done)
+	in.ring()
+}

@@ -21,6 +21,9 @@ type MemNetwork struct {
 	dropRate  float64
 	rng       *rand.Rand
 	seq       int
+
+	inboxCapacity  int
+	classlessInbox bool
 }
 
 // NewMemNetwork returns an empty fabric with zero latency and no loss.
@@ -29,6 +32,17 @@ func NewMemNetwork() *MemNetwork {
 		endpoints: make(map[string]*MemEndpoint),
 		rng:       rand.New(rand.NewSource(1)),
 	}
+}
+
+// SetInboxPolicy configures the inbound queue of endpoints created after
+// the call: capacity (<= 0 means DefaultInboxCapacity) and the shed policy
+// (classless reproduces the legacy single-FIFO queue that sheds arrivals
+// regardless of class — the overload experiment's ablation baseline).
+func (n *MemNetwork) SetInboxPolicy(capacity int, classless bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.inboxCapacity = capacity
+	n.classlessInbox = classless
 }
 
 // SetLatency installs a latency model (nil means instant delivery).
@@ -63,9 +77,10 @@ func (n *MemNetwork) Endpoint(name string) (*MemEndpoint, error) {
 	ep := &MemEndpoint{
 		net:  n,
 		addr: name,
-		// A deep inbox so slow receivers don't wedge the whole fabric; the
-		// node layer drains promptly.
-		inbox: make(chan wire.Message, 1024),
+		// A deep prioritized inbox so slow receivers don't wedge the whole
+		// fabric; the node layer drains promptly, and under overload control
+		// messages displace best-effort traffic instead of being shed.
+		inbox: NewPrioInbox(n.inboxCapacity, n.classlessInbox),
 	}
 	n.endpoints[name] = ep
 	return ep, nil
@@ -123,9 +138,8 @@ func (n *MemNetwork) endpoint(name string) *MemEndpoint {
 type MemEndpoint struct {
 	net   *MemNetwork
 	addr  string
-	inbox chan wire.Message
+	inbox *PrioInbox
 
-	inboxSheds  atomic.Uint64
 	fabricDrops atomic.Uint64
 
 	mu     sync.Mutex
@@ -166,33 +180,31 @@ func (e *MemEndpoint) SendMany(addrs []string, msg wire.Message, each func(addr 
 }
 
 // Recv returns the inbound stream.
-func (e *MemEndpoint) Recv() <-chan wire.Message { return e.inbox }
+func (e *MemEndpoint) Recv() <-chan wire.Message { return e.inbox.Recv() }
 
 // QueueDepth samples the inbox occupancy.
-func (e *MemEndpoint) QueueDepth() int { return len(e.inbox) }
+func (e *MemEndpoint) QueueDepth() int { return e.inbox.Depth() }
 
-// push enqueues an inbound message, dropping when the endpoint is closed or
-// the inbox is full (backpressure becomes loss, like UDP).
+// QueueCapacity reports the inbox bound.
+func (e *MemEndpoint) QueueCapacity() int { return e.inbox.Capacity() }
+
+// InboxQueue exposes the prioritized inbox for tests and experiments that
+// assert on per-class accept/shed accounting.
+func (e *MemEndpoint) InboxQueue() *PrioInbox { return e.inbox }
+
+// push enqueues an inbound message; the prioritized inbox sheds (with
+// per-class accounting) when full and discards silently when closed.
 func (e *MemEndpoint) push(msg wire.Message) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
-		return
-	}
-	select {
-	case e.inbox <- msg:
-	default:
-		e.inboxSheds.Add(1)
-	}
+	e.inbox.Push(msg)
 }
 
 // DropStats reports the endpoint's loss counters: messages this endpoint
-// sent that the fabric dropped, and inbound messages shed on a full inbox.
+// sent that the fabric dropped, and inbound messages shed on a full inbox,
+// broken down by class.
 func (e *MemEndpoint) DropStats() DropStats {
-	return DropStats{
-		InboxSheds:  e.inboxSheds.Load(),
-		FabricDrops: e.fabricDrops.Load(),
-	}
+	out := e.inbox.dropStats()
+	out.FabricDrops = e.fabricDrops.Load()
+	return out
 }
 
 // Close detaches the endpoint from the fabric.
@@ -209,8 +221,6 @@ func (e *MemEndpoint) Close() error {
 	delete(e.net.endpoints, e.addr)
 	e.net.mu.Unlock()
 
-	e.mu.Lock()
-	close(e.inbox)
-	e.mu.Unlock()
+	e.inbox.Close()
 	return nil
 }

@@ -1,14 +1,21 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"groupcast/internal/wire"
 )
+
+// DefaultSendQueueLen is the per-link outbound queue bound: deep enough to
+// absorb a relay burst, shallow enough that a stalled peer wastes at most a
+// few hundred frames of memory before the breaker takes over.
+const DefaultSendQueueLen = 256
 
 // TCPConfig bounds the TCP transport's blocking operations and selects its
 // wire behaviour. A dead or wedged peer must never stall Send (and the
@@ -33,14 +40,38 @@ type TCPConfig struct {
 	// container frame before the window elapses. Zero uses
 	// DefaultCoalesceLimit.
 	CoalesceLimit int
+	// InboxCapacity bounds the prioritized inbound queue. Zero uses
+	// DefaultInboxCapacity.
+	InboxCapacity int
+	// ClasslessInbox selects the legacy single-FIFO inbound shed policy
+	// (arrivals shed when full regardless of class) instead of the
+	// class-prioritized queue. Kept as the overload ablation baseline.
+	ClasslessInbox bool
+	// SendQueueLen bounds each link's outbound queue (frames waiting for
+	// the link's writer goroutine). Zero uses DefaultSendQueueLen.
+	SendQueueLen int
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// destination's circuit breaker. Zero uses DefaultBreakerThreshold;
+	// negative disables breakers.
+	BreakerThreshold int
+	// BreakerBackoff is the initial fail-fast window after a breaker opens
+	// (doubles per failed probe up to BreakerMaxBackoff). Zeros use the
+	// defaults.
+	BreakerBackoff    time.Duration
+	BreakerMaxBackoff time.Duration
 }
 
 // DefaultTCPConfig returns the timeouts and wire settings used by ListenTCP.
 func DefaultTCPConfig() TCPConfig {
 	return TCPConfig{
-		DialTimeout:  5 * time.Second,
-		WriteTimeout: 5 * time.Second,
-		WireVersion:  wire.DefaultVersion,
+		DialTimeout:       5 * time.Second,
+		WriteTimeout:      5 * time.Second,
+		WireVersion:       wire.DefaultVersion,
+		InboxCapacity:     DefaultInboxCapacity,
+		SendQueueLen:      DefaultSendQueueLen,
+		BreakerThreshold:  DefaultBreakerThreshold,
+		BreakerBackoff:    DefaultBreakerBackoff,
+		BreakerMaxBackoff: DefaultBreakerMaxBackoff,
 	}
 }
 
@@ -50,46 +81,86 @@ func DefaultTCPConfig() TCPConfig {
 // with a hard frame size cap either way so a hostile or corrupted stream
 // fails fast instead of driving huge allocations). Each endpoint listens on
 // its address; outbound connections are cached per destination and
-// redialled once on write failure. Dials and writes carry deadlines so a
-// dead peer fails the Send instead of hanging it.
+// redialled once on failure.
+//
+// Inbound messages land in a class-prioritized bounded queue (PrioInbox):
+// under overload, control traffic displaces best-effort payloads instead of
+// being shed behind them. Outbound, every link owns a bounded send queue
+// drained by a writer goroutine, so one stalled peer delays only its own
+// queue — never the caller, never the other links of a SendMany fan-out. A
+// per-destination circuit breaker converts repeated failures (dial errors,
+// write errors, full send queues) into fast rejections with a half-open
+// probe after backoff.
 //
 // On the binary wire version the transport additionally coalesces per-link
 // control messages (beacons and digests share one container frame, flushed
 // on a short timer or size threshold) and implements MultiSender: a fan-out
-// message is encoded once into a pooled buffer and the same bytes are
-// written to every link — the zero-copy half of the relay hot path.
+// message is encoded once into a pooled, reference-counted buffer and the
+// same bytes are queued to every link — the zero-copy half of the relay
+// hot path.
 type TCPTransport struct {
 	ln    net.Listener
 	cfg   TCPConfig
-	inbox chan wire.Message
+	inbox *PrioInbox
 
-	inboxSheds    atomic.Uint64
-	fabricDrops   atomic.Uint64
-	coalesceMsgs  atomic.Uint64
-	coalesceFlush atomic.Uint64
+	fabricDrops    atomic.Uint64
+	sendQueueDrops atomic.Uint64
+	breakerRejects atomic.Uint64
+	coalesceMsgs   atomic.Uint64
+	coalesceFlush  atomic.Uint64
 
-	mu      sync.Mutex
-	conns   map[string]*tcpConn
-	inbound map[net.Conn]struct{}
-	closed  bool
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	conns    map[string]*tcpConn
+	breakers map[string]*breaker
+	inbound  map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// outItem is one queued outbound unit: either pre-encoded frame bytes
+// (binary wire — possibly shared across a fan-out via refs) or a message
+// value the writer's own FrameWriter encodes (gob wire, whose per-stream
+// encoder state forbids pre-encoding).
+type outItem struct {
+	frame []byte
+	refs  *atomic.Int32 // nil: exclusive pooled frame
+	msg   *wire.Message // gob wire only
+	msgs  int           // messages carried (coalesced containers carry >1)
+}
+
+// releaseItem returns an item's frame buffer to the encode pool once the
+// last holder lets go.
+func releaseItem(it outItem) {
+	if it.frame == nil {
+		return
+	}
+	if it.refs == nil || it.refs.Add(-1) == 0 {
+		wire.PutEncodeBuffer(it.frame)
+	}
 }
 
 type tcpConn struct {
-	t        *TCPTransport
-	mu       sync.Mutex
-	conn     net.Conn
-	enc      *wire.FrameWriter
-	writeTmo time.Duration
-	coal     *coalescer // nil when coalescing is disabled
-	broken   bool       // a flush failed; the next Send must redial
+	t    *TCPTransport
+	addr string
+	conn net.Conn
+	brk  *breaker
+	fw   *wire.FrameWriter // gob wire: owned by the writer goroutine
+
+	writeTmo   time.Duration
+	sendq      chan outItem
+	writerDone chan struct{} // closed when the writer goroutine exits
+
+	mu     sync.Mutex
+	coal   *coalescer // nil when coalescing is disabled
+	closed bool
 }
 
 var (
-	_ Transport     = (*TCPTransport)(nil)
-	_ DropCounter   = (*TCPTransport)(nil)
-	_ QueueReporter = (*TCPTransport)(nil)
-	_ MultiSender   = (*TCPTransport)(nil)
+	_ Transport       = (*TCPTransport)(nil)
+	_ DropCounter     = (*TCPTransport)(nil)
+	_ QueueReporter   = (*TCPTransport)(nil)
+	_ MultiSender     = (*TCPTransport)(nil)
+	_ BreakerReporter = (*TCPTransport)(nil)
 )
 
 // ListenTCP starts an endpoint on addr ("host:port"; ":0" picks a free
@@ -111,6 +182,21 @@ func ListenTCPConfig(addr string, cfg TCPConfig) (*TCPTransport, error) {
 	if cfg.WireVersion == 0 {
 		cfg.WireVersion = def.WireVersion
 	}
+	if cfg.InboxCapacity <= 0 {
+		cfg.InboxCapacity = def.InboxCapacity
+	}
+	if cfg.SendQueueLen <= 0 {
+		cfg.SendQueueLen = def.SendQueueLen
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = def.BreakerThreshold
+	}
+	if cfg.BreakerBackoff <= 0 {
+		cfg.BreakerBackoff = def.BreakerBackoff
+	}
+	if cfg.BreakerMaxBackoff <= 0 {
+		cfg.BreakerMaxBackoff = def.BreakerMaxBackoff
+	}
 	if _, err := wire.NewFrameWriterVersion(nil, cfg.WireVersion); err != nil {
 		return nil, err
 	}
@@ -119,11 +205,12 @@ func ListenTCPConfig(addr string, cfg TCPConfig) (*TCPTransport, error) {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
 	t := &TCPTransport{
-		ln:      ln,
-		cfg:     cfg,
-		inbox:   make(chan wire.Message, 1024),
-		conns:   make(map[string]*tcpConn),
-		inbound: make(map[net.Conn]struct{}),
+		ln:       ln,
+		cfg:      cfg,
+		inbox:    NewPrioInbox(cfg.InboxCapacity, cfg.ClasslessInbox),
+		conns:    make(map[string]*tcpConn),
+		breakers: make(map[string]*breaker),
+		inbound:  make(map[net.Conn]struct{}),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -133,22 +220,55 @@ func ListenTCPConfig(addr string, cfg TCPConfig) (*TCPTransport, error) {
 // Addr returns the bound listen address.
 func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
 
-// Recv returns the inbound stream.
-func (t *TCPTransport) Recv() <-chan wire.Message { return t.inbox }
+// Recv returns the inbound stream (class-prioritized).
+func (t *TCPTransport) Recv() <-chan wire.Message { return t.inbox.Recv() }
 
 // QueueDepth samples the inbox occupancy.
-func (t *TCPTransport) QueueDepth() int { return len(t.inbox) }
+func (t *TCPTransport) QueueDepth() int { return t.inbox.Depth() }
+
+// QueueCapacity reports the inbox bound.
+func (t *TCPTransport) QueueCapacity() int { return t.inbox.Capacity() }
+
+// InboxQueue exposes the prioritized inbox for tests and experiments that
+// assert on per-class accept/shed accounting.
+func (t *TCPTransport) InboxQueue() *PrioInbox { return t.inbox }
 
 // WireVersion reports the frame encoding this endpoint writes.
 func (t *TCPTransport) WireVersion() int { return t.cfg.WireVersion }
 
-// DropStats reports inbound messages shed on a full inbox and outbound
-// messages lost to dial/write failures after the retry.
+// DropStats reports inbound messages shed on a full inbox (broken down by
+// class), outbound messages lost to dial/write failures, frames dropped on
+// full per-link send queues, and sends rejected by open breakers.
 func (t *TCPTransport) DropStats() DropStats {
-	return DropStats{
-		InboxSheds:  t.inboxSheds.Load(),
-		FabricDrops: t.fabricDrops.Load(),
+	out := t.inbox.dropStats()
+	out.FabricDrops = t.fabricDrops.Load()
+	out.SendQueueDrops = t.sendQueueDrops.Load()
+	out.BreakerRejects = t.breakerRejects.Load()
+	return out
+}
+
+// Breakers snapshots every destination's circuit breaker, sorted by address.
+func (t *TCPTransport) Breakers() []BreakerInfo {
+	t.mu.Lock()
+	out := make([]BreakerInfo, 0, len(t.breakers))
+	for addr, b := range t.breakers {
+		out = append(out, b.snapshot(addr))
 	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// OutboundQueueDepth sums the frames waiting in every link's send queue —
+// the outbound counterpart of QueueDepth for the overload gauges.
+func (t *TCPTransport) OutboundQueueDepth() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := 0
+	for _, c := range t.conns {
+		total += len(c.sendq)
+	}
+	return total
 }
 
 // CoalesceStats reports how many control messages travelled inside
@@ -162,6 +282,17 @@ func (t *TCPTransport) CoalesceStats() CoalesceStats {
 
 func (t *TCPTransport) coalescing() bool {
 	return t.cfg.WireVersion == wire.VersionBinary && t.cfg.CoalesceWindow >= 0
+}
+
+// breakerLocked returns addr's breaker, creating it on first use. Caller
+// holds t.mu.
+func (t *TCPTransport) breakerLocked(addr string) *breaker {
+	b := t.breakers[addr]
+	if b == nil {
+		b = newBreaker(t.cfg.BreakerThreshold, t.cfg.BreakerBackoff, t.cfg.BreakerMaxBackoff)
+		t.breakers[addr] = b
+	}
+	return b
 }
 
 func (t *TCPTransport) acceptLoop() {
@@ -206,22 +337,19 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		if closed {
 			return
 		}
-		select {
-		case t.inbox <- msg:
-		default:
-			// Inbox full: shed load rather than stall the peer, but account
-			// for it so soak tests can assert on loss.
-			t.inboxSheds.Add(1)
-		}
+		// The prioritized inbox sheds (with per-class accounting) when full
+		// rather than stalling the peer.
+		t.inbox.Push(msg)
 	}
 }
 
-// Send writes msg to addr over a cached connection, dialling on demand and
-// retrying once with a fresh connection on failure. Dials and writes are
-// deadline-bounded by the transport's TCPConfig. Coalescable control
-// messages may be buffered up to the coalesce window; everything else is
-// written immediately (flushing any pending container frame first, so
-// per-link ordering holds).
+// Send queues msg for addr over a cached connection, dialling on demand and
+// retrying once with a fresh connection when the cached one has died. The
+// actual write happens on the link's writer goroutine, so a slow peer
+// delays only its own queue; a full queue or an open breaker fails the Send
+// immediately. Coalescable control messages may be buffered up to the
+// coalesce window; everything else is queued at once (flushing any pending
+// container frame first, so per-link ordering holds).
 func (t *TCPTransport) Send(addr string, msg wire.Message) error {
 	t.mu.Lock()
 	if t.closed {
@@ -229,34 +357,59 @@ func (t *TCPTransport) Send(addr string, msg wire.Message) error {
 		return ErrClosed
 	}
 	c := t.conns[addr]
+	brk := t.breakerLocked(addr)
 	t.mu.Unlock()
 
+	if !brk.allow() {
+		t.breakerRejects.Add(1)
+		return fmt.Errorf("%w: %s", ErrBreakerOpen, addr)
+	}
+	binary := t.cfg.WireVersion == wire.VersionBinary
+	attempt := func(c *tcpConn) error {
+		if binary {
+			return c.send(&msg)
+		}
+		return c.sendGob(&msg)
+	}
 	if c != nil {
-		if err := c.encode(&msg); err == nil {
+		err := attempt(c)
+		if err == nil {
 			return nil
 		}
+		if errors.Is(err, ErrSendQueueFull) {
+			t.sendQueueDrops.Add(1)
+			brk.onFailure()
+			return fmt.Errorf("transport: send to %s: %w", addr, err)
+		}
+		// The cached connection is closing or poisoned: redial once.
 		t.dropConn(addr, c)
 	}
 	c, err := t.dial(addr)
 	if err != nil {
 		t.fabricDrops.Add(1)
+		brk.onFailure()
 		return err
 	}
-	if err := c.encode(&msg); err != nil {
-		t.dropConn(addr, c)
-		t.fabricDrops.Add(1)
+	if err := attempt(c); err != nil {
+		if errors.Is(err, ErrSendQueueFull) {
+			t.sendQueueDrops.Add(1)
+		} else {
+			t.dropConn(addr, c)
+			t.fabricDrops.Add(1)
+		}
+		brk.onFailure()
 		return fmt.Errorf("transport: send to %s: %w", addr, err)
 	}
 	return nil
 }
 
 // SendMany implements MultiSender: on the binary wire version msg is
-// encoded exactly once into a pooled buffer and the same frame bytes are
-// written to every address (each write still deadline-bounded, each failed
-// link redialled once). The gob version falls back to per-link Send — its
-// per-stream encoder state makes frames non-shareable, which is one of the
-// reasons it is being retired. each (optional) observes every link's
-// outcome.
+// encoded exactly once into a pooled, reference-counted buffer and the same
+// frame bytes are queued to every address — a stalled link rejects fast
+// (full queue or open breaker) without delaying the others. The gob version
+// falls back to per-link Send — its per-stream encoder state makes frames
+// non-shareable, which is one of the reasons it is being retired. each
+// (optional) observes every link's outcome.
 func (t *TCPTransport) SendMany(addrs []string, msg wire.Message, each func(addr string, err error)) {
 	if t.cfg.WireVersion != wire.VersionBinary {
 		for _, addr := range addrs {
@@ -278,56 +431,96 @@ func (t *TCPTransport) SendMany(addrs []string, msg wire.Message, each func(addr
 		}
 		return
 	}
+	// One reference per link plus one held here, so the frame cannot be
+	// pooled while links are still being offered it.
+	refs := new(atomic.Int32)
+	refs.Store(int32(len(addrs)) + 1)
 	for _, addr := range addrs {
-		err := t.sendRaw(addr, frame)
+		err := t.sendRaw(addr, frame, refs)
+		if err != nil {
+			// The link never took ownership of its reference.
+			releaseItem(outItem{frame: frame, refs: refs})
+		}
 		if each != nil {
 			each(addr, err)
 		}
 	}
-	wire.PutEncodeBuffer(frame)
+	releaseItem(outItem{frame: frame, refs: refs})
 }
 
-// sendRaw delivers one pre-encoded frame to addr with the same cached
-// connection + single redial contract as Send.
-func (t *TCPTransport) sendRaw(addr string, frame []byte) error {
+// sendRaw queues one pre-encoded shared frame to addr with the same cached
+// connection + single redial + breaker contract as Send.
+func (t *TCPTransport) sendRaw(addr string, frame []byte, refs *atomic.Int32) error {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return ErrClosed
 	}
 	c := t.conns[addr]
+	brk := t.breakerLocked(addr)
 	t.mu.Unlock()
 
+	if !brk.allow() {
+		t.breakerRejects.Add(1)
+		return fmt.Errorf("%w: %s", ErrBreakerOpen, addr)
+	}
 	if c != nil {
-		if err := c.writeRaw(frame); err == nil {
+		err := c.sendShared(frame, refs)
+		if err == nil {
 			return nil
+		}
+		if errors.Is(err, ErrSendQueueFull) {
+			t.sendQueueDrops.Add(1)
+			brk.onFailure()
+			return fmt.Errorf("transport: send to %s: %w", addr, err)
 		}
 		t.dropConn(addr, c)
 	}
 	c, err := t.dial(addr)
 	if err != nil {
 		t.fabricDrops.Add(1)
+		brk.onFailure()
 		return err
 	}
-	if err := c.writeRaw(frame); err != nil {
-		t.dropConn(addr, c)
-		t.fabricDrops.Add(1)
+	if err := c.sendShared(frame, refs); err != nil {
+		if errors.Is(err, ErrSendQueueFull) {
+			t.sendQueueDrops.Add(1)
+		} else {
+			t.dropConn(addr, c)
+			t.fabricDrops.Add(1)
+		}
+		brk.onFailure()
 		return fmt.Errorf("transport: send to %s: %w", addr, err)
 	}
 	return nil
 }
 
 func (t *TCPTransport) dial(addr string) (*tcpConn, error) {
+	t.mu.Lock()
+	brk := t.breakerLocked(addr)
+	t.mu.Unlock()
 	conn, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	fw, err := wire.NewFrameWriterVersion(conn, t.cfg.WireVersion)
-	if err != nil {
-		conn.Close()
-		return nil, err
+	var fw *wire.FrameWriter
+	if t.cfg.WireVersion != wire.VersionBinary {
+		fw, err = wire.NewFrameWriterVersion(conn, t.cfg.WireVersion)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
 	}
-	c := &tcpConn{t: t, conn: conn, enc: fw, writeTmo: t.cfg.WriteTimeout}
+	c := &tcpConn{
+		t:          t,
+		addr:       addr,
+		conn:       conn,
+		brk:        brk,
+		fw:         fw,
+		writeTmo:   t.cfg.WriteTimeout,
+		sendq:      make(chan outItem, t.cfg.SendQueueLen),
+		writerDone: make(chan struct{}),
+	}
 	if t.coalescing() {
 		c.coal = newCoalescer(t.cfg.CoalesceWindow, t.cfg.CoalesceLimit, c.kickFlush)
 	}
@@ -344,26 +537,32 @@ func (t *TCPTransport) dial(addr string) (*tcpConn, error) {
 		return old, nil
 	}
 	t.conns[addr] = c
+	t.wg.Add(1)
 	t.mu.Unlock()
+	go c.writeLoop()
 	return c, nil
 }
 
-func (t *TCPTransport) dropConn(addr string, c *tcpConn) {
+// detachConn removes c from the connection cache (if still current)
+// without closing it.
+func (t *TCPTransport) detachConn(addr string, c *tcpConn) {
 	t.mu.Lock()
 	if t.conns[addr] == c {
 		delete(t.conns, addr)
 	}
 	t.mu.Unlock()
+}
+
+func (t *TCPTransport) dropConn(addr string, c *tcpConn) {
+	t.detachConn(addr, c)
 	c.close()
 }
 
-// encode writes (or, for coalescable control messages, buffers) one message.
-func (c *tcpConn) encode(msg *wire.Message) error {
+// send encodes one message (binary wire) and queues it, buffering
+// coalescable control messages in the per-link container frame instead.
+func (c *tcpConn) send(msg *wire.Message) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.broken {
-		return fmt.Errorf("transport: connection poisoned by failed flush")
-	}
 	if c.coal != nil && coalescable(msg.Type) {
 		full, err := c.coal.add(msg)
 		if err != nil {
@@ -377,46 +576,77 @@ func (c *tcpConn) encode(msg *wire.Message) error {
 	if err := c.flushLocked(); err != nil {
 		return err
 	}
-	if err := c.deadline(); err != nil {
+	buf := wire.GetEncodeBuffer()
+	frame, err := wire.AppendMessage(buf, msg)
+	if err != nil {
+		wire.PutEncodeBuffer(buf)
 		return err
 	}
-	return c.enc.WriteMessage(msg)
+	if err := c.enqueueLocked(outItem{frame: frame, msgs: 1}); err != nil {
+		wire.PutEncodeBuffer(frame)
+		return err
+	}
+	return nil
 }
 
-// writeRaw flushes any pending container frame and writes pre-encoded frame
-// bytes directly — the fan-out path, which bypasses per-message encoding.
-func (c *tcpConn) writeRaw(frame []byte) error {
+// sendShared queues a fan-out frame whose buffer is shared across links.
+// On success the queue owns one of the frame's references.
+func (c *tcpConn) sendShared(frame []byte, refs *atomic.Int32) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.broken {
-		return fmt.Errorf("transport: connection poisoned by failed flush")
-	}
 	if err := c.flushLocked(); err != nil {
 		return err
 	}
-	if err := c.deadline(); err != nil {
-		return err
-	}
-	_, err := c.conn.Write(frame)
-	return err
+	return c.enqueueLocked(outItem{frame: frame, refs: refs, msgs: 1})
 }
 
-// flushLocked writes the pending container frame, if any. Coalesced types
-// are loss-tolerant (re-sent every epoch), so a failed flush just poisons
-// the connection for the caller to redial.
+// sendGob queues a message value for the writer goroutine's FrameWriter
+// (gob frames cannot be pre-encoded — the encoder state lives per stream).
+func (c *tcpConn) sendGob(msg *wire.Message) error {
+	cp := *msg
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enqueueLocked(outItem{msg: &cp, msgs: 1})
+}
+
+// enqueueLocked offers an item to the send queue without blocking. Caller
+// holds c.mu (which is what makes flush-then-enqueue sequences atomic and
+// preserves per-link FIFO order across senders).
+func (c *tcpConn) enqueueLocked(it outItem) error {
+	if c.closed {
+		return errConnClosing
+	}
+	select {
+	case c.sendq <- it:
+		return nil
+	default:
+		return ErrSendQueueFull
+	}
+}
+
+var errConnClosing = errors.New("transport: connection closing")
+
+// flushLocked queues the pending container frame, if any. Coalesced types
+// are loss-tolerant (re-sent every epoch), so a full send queue sheds the
+// container — counted, breaker-notified — without failing the caller.
 func (c *tcpConn) flushLocked() error {
 	if c.coal == nil || c.coal.pendingMsgs() == 0 {
 		return nil
 	}
 	sub, msgs := c.coal.take()
-	if err := c.deadline(); err != nil {
-		c.broken = true
+	buf := wire.GetEncodeBuffer()
+	frame, err := wire.AppendCoalesced(buf, sub)
+	if err != nil {
+		wire.PutEncodeBuffer(buf)
 		return err
 	}
-	// A lone message still ships in a (one-element) container: the framing
-	// overhead is two bytes and the write path stays single-shape.
-	if err := c.enc.WriteCoalesced(sub); err != nil {
-		c.broken = true
+	if err := c.enqueueLocked(outItem{frame: frame, msgs: msgs}); err != nil {
+		wire.PutEncodeBuffer(frame)
+		if errors.Is(err, ErrSendQueueFull) {
+			c.t.sendQueueDrops.Add(uint64(msgs))
+			c.brk.onFailure()
+			return nil
+		}
 		return err
 	}
 	c.t.coalesceMsgs.Add(uint64(msgs))
@@ -429,12 +659,51 @@ func (c *tcpConn) kickFlush() {
 	c.mu.Lock()
 	err := c.flushLocked()
 	c.mu.Unlock()
-	if err != nil {
-		// The connection is broken; Send's redial path replaces it. The
-		// pending beacons/digests are lost, exactly like any other message a
-		// dying TCP connection takes with it — the next epoch re-sends them.
+	if err != nil && !errors.Is(err, errConnClosing) {
+		// The pending beacons/digests are lost, exactly like any other
+		// message a dying connection takes with it — the next epoch re-sends
+		// them.
 		c.t.fabricDrops.Add(1)
 	}
+}
+
+// writeLoop drains the send queue onto the socket. It is the only goroutine
+// touching the socket's write side (and the gob FrameWriter), so a stalled
+// peer blocks only this loop. The first write failure trips the breaker and
+// drops the connection; the rest of the queue drains as accounted loss.
+func (c *tcpConn) writeLoop() {
+	defer c.t.wg.Done()
+	defer close(c.writerDone)
+	broken := false
+	for it := range c.sendq {
+		if broken {
+			c.t.fabricDrops.Add(uint64(it.msgs))
+			releaseItem(it)
+			continue
+		}
+		err := c.writeItem(it)
+		releaseItem(it)
+		if err != nil {
+			broken = true
+			c.t.fabricDrops.Add(uint64(it.msgs))
+			c.brk.onFailure()
+			c.t.detachConn(c.addr, c)
+			c.closeAbort()
+		} else {
+			c.brk.onSuccess()
+		}
+	}
+}
+
+func (c *tcpConn) writeItem(it outItem) error {
+	if err := c.deadline(); err != nil {
+		return err
+	}
+	if it.frame != nil {
+		_, err := c.conn.Write(it.frame)
+		return err
+	}
+	return c.fw.WriteMessage(it.msg)
 }
 
 func (c *tcpConn) deadline() error {
@@ -444,19 +713,60 @@ func (c *tcpConn) deadline() error {
 	return nil
 }
 
-// close flushes pending control messages best-effort and closes the socket.
+// close queues pending control messages best-effort, closes the send queue,
+// gives the writer a bounded window to drain what was already accepted
+// (matching the old synchronous path's "Send returned nil means the bytes
+// went out" expectation for graceful shutdowns), then closes the socket.
 func (c *tcpConn) close() {
+	if !c.shut() {
+		return
+	}
+	select {
+	case <-c.writerDone:
+	case <-time.After(c.drainWindow()):
+		// A stalled peer holds the writer past the window; the socket close
+		// below fails the in-flight write and the rest drains as loss.
+	}
+	c.conn.Close()
+}
+
+// closeAbort is the writer goroutine's own shutdown after a failed write:
+// the socket is already broken, so there is nothing to drain and waiting on
+// writerDone from the writer itself would deadlock.
+func (c *tcpConn) closeAbort() {
+	c.shut()
+	c.conn.Close()
+}
+
+// shut marks the connection closing and closes the send queue, reporting
+// whether this call did the transition.
+func (c *tcpConn) shut() bool {
 	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
 	_ = c.flushLocked()
+	c.closed = true
 	if c.coal != nil && c.coal.timer != nil {
 		c.coal.timer.Stop()
 		c.coal.timer = nil
 	}
-	c.mu.Unlock()
-	c.conn.Close()
+	close(c.sendq)
+	return true
 }
 
-// Close shuts the listener and all cached connections and closes the inbox.
+// drainWindow bounds how long close waits for the writer to finish the
+// accepted queue.
+func (c *tcpConn) drainWindow() time.Duration {
+	if c.writeTmo > 0 && c.writeTmo < time.Second {
+		return c.writeTmo
+	}
+	return time.Second
+}
+
+// Close shuts the listener, all cached connections (waiting for their
+// writer goroutines), and the inbox.
 func (t *TCPTransport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -480,6 +790,6 @@ func (t *TCPTransport) Close() error {
 		c.Close()
 	}
 	t.wg.Wait()
-	close(t.inbox)
+	t.inbox.Close()
 	return err
 }

@@ -36,6 +36,15 @@ var (
 	// connection rather than silently lose the message. Probabilistic loss
 	// stays silent (lost on the wire, as on UDP).
 	ErrUnreachable = errors.New("transport: destination unreachable")
+	// ErrSendQueueFull reports a destination whose bounded outbound send
+	// queue is saturated — the peer is alive but consuming slower than the
+	// caller produces. The message was not queued.
+	ErrSendQueueFull = errors.New("transport: send queue full")
+	// ErrBreakerOpen reports a destination guarded by an open circuit
+	// breaker: recent sends failed or queued up, so the transport fails
+	// fast instead of burning a deadline per message. A half-open probe
+	// retries the link after a backoff.
+	ErrBreakerOpen = errors.New("transport: circuit breaker open")
 )
 
 // MultiSender is implemented by transports that can deliver one message to
@@ -52,18 +61,50 @@ type MultiSender interface {
 // counts are cumulative and monotonically increasing.
 type DropStats struct {
 	// InboxSheds counts inbound messages discarded because the endpoint's
-	// inbox was full (backpressure becomes loss, like UDP).
+	// inbox was full (backpressure becomes loss, like UDP). It is the sum of
+	// the per-class breakdown below.
 	InboxSheds uint64
+	// ControlSheds, ReliableSheds and BestEffortSheds break InboxSheds down
+	// by the wire.Class of the message lost. Under the prioritized inbox a
+	// nonzero ControlSheds means the inbox was entirely full of control
+	// traffic — the condition the overload experiment asserts never happens
+	// with priority shedding while it demonstrably does on the legacy
+	// single-queue policy.
+	ControlSheds    uint64
+	ReliableSheds   uint64
+	BestEffortSheds uint64
 	// FabricDrops counts outbound messages the fabric or chaos layer lost
 	// (injected loss, partitions, crash-stopped peers).
 	FabricDrops uint64
+	// SendQueueDrops counts outbound frames discarded because a link's
+	// bounded send queue was full — the peer is alive but consuming slower
+	// than we produce (TCP transport only).
+	SendQueueDrops uint64
+	// BreakerRejects counts sends refused immediately by an open circuit
+	// breaker guarding a slow or dead peer (TCP transport only).
+	BreakerRejects uint64
 	// Duplicates counts extra copies injected by the chaos layer.
 	Duplicates uint64
 }
 
 // Total is the number of messages lost (duplicates are extra copies, not
-// losses, and are excluded).
-func (d DropStats) Total() uint64 { return d.InboxSheds + d.FabricDrops }
+// losses, and are excluded; the per-class shed fields are a breakdown of
+// InboxSheds, not additional losses).
+func (d DropStats) Total() uint64 {
+	return d.InboxSheds + d.FabricDrops + d.SendQueueDrops + d.BreakerRejects
+}
+
+// Add accumulates other into d field by field (fleet-wide aggregation).
+func (d *DropStats) Add(other DropStats) {
+	d.InboxSheds += other.InboxSheds
+	d.ControlSheds += other.ControlSheds
+	d.ReliableSheds += other.ReliableSheds
+	d.BestEffortSheds += other.BestEffortSheds
+	d.FabricDrops += other.FabricDrops
+	d.SendQueueDrops += other.SendQueueDrops
+	d.BreakerRejects += other.BreakerRejects
+	d.Duplicates += other.Duplicates
+}
 
 // DropCounter is implemented by transports that account for shed and
 // dropped messages. The node layer surfaces these through its Stats so soak
@@ -74,9 +115,68 @@ type DropCounter interface {
 
 // QueueReporter is implemented by transports whose inbound queue occupancy
 // can be sampled. The node's metrics registry gauges and histograms feed on
-// it (send-queue depth is a leading indicator of shed-induced loss).
+// it (send-queue depth is a leading indicator of shed-induced loss), and
+// the node's overload controller reads depth/capacity as its local
+// pressure signal.
 type QueueReporter interface {
 	// QueueDepth returns the number of inbound messages buffered and not yet
 	// drained by the receiver.
 	QueueDepth() int
+	// QueueCapacity returns the inbound queue's fixed bound (0 when
+	// unbounded or unknown).
+	QueueCapacity() int
+}
+
+// BreakerState is a slow-peer circuit breaker's position.
+type BreakerState uint8
+
+// Breaker states.
+const (
+	// BreakerClosed: the link is healthy, sends flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the link tripped; sends fail fast until the backoff
+	// elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the backoff elapsed; one probe send is in flight to
+	// decide between reclosing and reopening.
+	BreakerHalfOpen
+)
+
+// String names the breaker state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "state(?)"
+	}
+}
+
+// BreakerInfo is one destination's breaker snapshot for introspection.
+type BreakerInfo struct {
+	// Addr is the guarded destination.
+	Addr string `json:"addr"`
+	// State is the breaker's position ("closed", "open", "half-open").
+	State string `json:"state"`
+	// Failures is the consecutive-failure count feeding the trip decision.
+	Failures int `json:"failures"`
+	// Trips counts how many times the breaker has opened.
+	Trips uint64 `json:"trips"`
+	// BackoffMs is the current reopen backoff in milliseconds (only
+	// meaningful when open).
+	BackoffMs int64 `json:"backoff_ms"`
+}
+
+// BreakerReporter is implemented by transports that guard slow peers with
+// per-destination circuit breakers. The introspection endpoint and the
+// node's overload controller read the snapshot (open breakers raise the
+// node's pressure signal).
+type BreakerReporter interface {
+	// Breakers snapshots every destination with breaker state, sorted by
+	// address.
+	Breakers() []BreakerInfo
 }

@@ -1,0 +1,59 @@
+package wire
+
+// Class buckets every message into one of three overload-handling tiers.
+// Transports shed load by class when an inbox saturates (control is never
+// shed while a lower class still holds a slot) and the node's degradation
+// policy keys off the same classification, so the whole stack agrees on
+// what "important" means.
+type Class uint8
+
+// Classes, highest priority first. The numeric order is the shed order's
+// inverse: under pressure the highest-numbered non-empty class loses first.
+const (
+	// ClassControl is everything that keeps the overlay alive: probes,
+	// connection setup, advertisements, joins, searches, beacons,
+	// heartbeats, NACKs, digests, handoffs — every non-payload type.
+	// Starving this class collapses trees exactly when load peaks, so it
+	// sheds last.
+	ClassControl Class = iota
+	// ClassReliableData is payload traffic in a Reliable or ReliableOrdered
+	// group, including NACK-triggered retransmissions (which are payloads
+	// re-sent with the group's mode stamped). Shedding one costs a
+	// NACK/digest recovery round trip, not the message.
+	ClassReliableData
+	// ClassBestEffort is payload traffic in a BestEffort group: already
+	// fire-and-forget, so it absorbs overload first.
+	ClassBestEffort
+
+	// NumClasses is the number of classes (array-index bound).
+	NumClasses = 3
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassControl:
+		return "control"
+	case ClassReliableData:
+		return "reliable-data"
+	case ClassBestEffort:
+		return "best-effort"
+	default:
+		return "class(?)"
+	}
+}
+
+// Classify buckets one message. Payloads carry their group's delivery mode
+// (stamped by the publisher and preserved across relays and retransmissions);
+// everything else is control plane. A zero Mode is BestEffort by definition,
+// so legacy payloads from nodes that predate mode stamping degrade to the
+// safest assumption: sheddable.
+func Classify(m *Message) Class {
+	if m.Type != TPayload {
+		return ClassControl
+	}
+	if m.Mode == BestEffort {
+		return ClassBestEffort
+	}
+	return ClassReliableData
+}

@@ -1,0 +1,49 @@
+package wire
+
+import "testing"
+
+// TestClassify pins the class of every message type: all control types
+// classify as control regardless of mode, and payloads split by delivery
+// mode with zero-mode (legacy or best-effort) payloads sheddable.
+func TestClassify(t *testing.T) {
+	controlTypes := []Type{
+		TProbe, TProbeResp, TConnect, TBackConnect, TBackAccept,
+		TAdvertise, TJoin, TJoinAck, TSearch, TSearchHit,
+		TBeacon, TLeave, THeartbeat, THeartbeatAck, TNack, TDigest, THandoff,
+	}
+	for _, typ := range controlTypes {
+		for _, mode := range []DeliveryMode{BestEffort, Reliable, ReliableOrdered} {
+			m := Message{Type: typ, Mode: mode}
+			if got := Classify(&m); got != ClassControl {
+				t.Errorf("Classify(%v, mode=%v) = %v, want control", typ, mode, got)
+			}
+		}
+	}
+	cases := []struct {
+		mode DeliveryMode
+		want Class
+	}{
+		{BestEffort, ClassBestEffort},
+		{Reliable, ClassReliableData},
+		{ReliableOrdered, ClassReliableData},
+	}
+	for _, c := range cases {
+		m := Message{Type: TPayload, Mode: c.mode}
+		if got := Classify(&m); got != c.want {
+			t.Errorf("Classify(payload, mode=%v) = %v, want %v", c.mode, got, c.want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{
+		ClassControl:      "control",
+		ClassReliableData: "reliable-data",
+		ClassBestEffort:   "best-effort",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Class(%d).String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}
