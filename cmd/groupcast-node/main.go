@@ -62,6 +62,7 @@ func run() error {
 		debugAddr = flag.String("debug-addr", "", "serve the introspection endpoint on this address (enables tracing)")
 		traceFile = flag.String("trace-file", "", "append trace events as NDJSON to this file (enables tracing)")
 		wireVer   = flag.String("wire", "binary", "wire protocol version to speak: binary or gob (legacy; inbound frames of either version are always accepted, see docs/WIRE.md)")
+		discovery = flag.String("discovery", "dht", "group discovery plane: dht (Kademlia lookup with ripple fallback) or ripple (flood-only, see docs/DISCOVERY.md)")
 	)
 	flag.Parse()
 
@@ -94,6 +95,13 @@ func run() error {
 	cfg.Deputies = *deputies
 	if *deputies <= 0 {
 		cfg.Deputies = -1 // the config treats 0 as "use the default"
+	}
+	switch *discovery {
+	case "dht":
+	case "ripple":
+		cfg.DisableDHT = true
+	default:
+		return fmt.Errorf("unknown -discovery %q (want dht or ripple)", *discovery)
 	}
 
 	status := func(format string, args ...any) {

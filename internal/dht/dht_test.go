@@ -1,0 +1,337 @@
+package dht
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"groupcast/internal/wire"
+)
+
+func TestIDDerivationAndMetric(t *testing.T) {
+	a, b := NodeID("host-a:1"), NodeID("host-b:2")
+	if a == b {
+		t.Fatal("distinct addresses hashed to the same ID")
+	}
+	if NodeID("host-a:1") != a {
+		t.Fatal("NodeID not deterministic")
+	}
+	if Distance(a, a) != (ID{}) {
+		t.Fatal("d(a,a) != 0")
+	}
+	if Distance(a, b) != Distance(b, a) {
+		t.Fatal("XOR metric not symmetric")
+	}
+	if got, ok := FromBytes(a.Bytes()); !ok || got != a {
+		t.Fatalf("FromBytes round trip: %v %v", got, ok)
+	}
+	if _, ok := FromBytes([]byte("short")); ok {
+		t.Fatal("FromBytes accepted a non-20-byte slice")
+	}
+	if len(a.String()) != 2*IDBytes {
+		t.Fatalf("hex form length %d", len(a.String()))
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	self := ID{}
+	if BucketIndex(self, self) != -1 {
+		t.Fatal("self must not be tabled")
+	}
+	// Flipping exactly bit i (from the MSB) lands in bucket i.
+	for _, bit := range []int{0, 7, 8, 42, IDBits - 1} {
+		var other ID
+		other[bit/8] = 1 << (7 - bit%8)
+		if got := BucketIndex(self, other); got != bit {
+			t.Fatalf("bit %d: bucket %d", bit, got)
+		}
+	}
+}
+
+func contact(addr string) Contact {
+	return Contact{ID: NodeID(addr), Info: wire.PeerInfo{Addr: addr}}
+}
+
+func TestTableLRUAndEviction(t *testing.T) {
+	self := NodeID("self")
+	tab := NewTable(self, 2)
+
+	// Find three contacts that share one bucket so it overflows at k=2.
+	byBucket := map[int][]Contact{}
+	var bucket int
+	var trio []Contact
+	for i := 0; trio == nil && i < 10000; i++ {
+		c := contact(fmt.Sprintf("n%d", i))
+		idx := BucketIndex(self, c.ID)
+		byBucket[idx] = append(byBucket[idx], c)
+		if len(byBucket[idx]) == 3 {
+			bucket, trio = idx, byBucket[idx]
+		}
+	}
+	if trio == nil {
+		t.Fatal("no bucket collision found")
+	}
+	_ = bucket
+
+	if _, full := tab.Observe(trio[0]); full {
+		t.Fatal("empty bucket reported full")
+	}
+	if _, full := tab.Observe(trio[1]); full {
+		t.Fatal("bucket with room reported full")
+	}
+	// Third contact overflows: the eviction candidate must be the stalest
+	// (trio[0]) and the newcomer must NOT be inserted yet.
+	cand, full := tab.Observe(trio[2])
+	if !full || cand.Info.Addr != trio[0].Info.Addr {
+		t.Fatalf("eviction candidate = %q full=%v, want %q", cand.Info.Addr, full, trio[0].Info.Addr)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d after overflow, want 2", tab.Len())
+	}
+	// Re-observing trio[0] refreshes it; now trio[1] is stalest.
+	tab.Observe(trio[0])
+	if cand, full = tab.Observe(trio[2]); !full || cand.Info.Addr != trio[1].Info.Addr {
+		t.Fatalf("after refresh, candidate = %q, want %q", cand.Info.Addr, trio[1].Info.Addr)
+	}
+	// The candidate fails its ping: evict it and admit the newcomer.
+	tab.Evict(cand, trio[2])
+	got := map[string]bool{}
+	for _, c := range tab.Closest(self, 10) {
+		got[c.Info.Addr] = true
+	}
+	if !got[trio[0].Info.Addr] || !got[trio[2].Info.Addr] || got[trio[1].Info.Addr] {
+		t.Fatalf("post-eviction contents: %v", got)
+	}
+
+	tab.Remove(trio[2].ID, trio[2].Info.Addr)
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d after Remove, want 1", tab.Len())
+	}
+	if tab.MaxBucketDepth() != 1 {
+		t.Fatalf("MaxBucketDepth = %d, want 1", tab.MaxBucketDepth())
+	}
+}
+
+func TestTableClosestOrdering(t *testing.T) {
+	self := NodeID("origin")
+	tab := NewTable(self, DefaultK)
+	var all []Contact
+	for i := 0; i < 200; i++ {
+		c := contact(fmt.Sprintf("peer-%d", i))
+		tab.Observe(c)
+		all = append(all, c)
+	}
+	target := KeyID("some-group")
+	got := tab.Closest(target, 10)
+	if len(got) != 10 {
+		t.Fatalf("Closest returned %d contacts", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if Closer(target, got[i].ID, got[i-1].ID) {
+			t.Fatalf("Closest not sorted at %d", i)
+		}
+	}
+	// The first result must be the global nearest among the tabled subset.
+	sort.Slice(all, func(i, j int) bool { return Closer(target, all[i].ID, all[j].ID) })
+	tabled := map[string]bool{}
+	for _, c := range tab.Closest(target, tab.Len()) {
+		tabled[c.Info.Addr] = true
+	}
+	for _, c := range all {
+		if tabled[c.Info.Addr] {
+			if got[0].Info.Addr != c.Info.Addr {
+				t.Fatalf("nearest tabled contact %q, Closest[0] = %q", c.Info.Addr, got[0].Info.Addr)
+			}
+			break
+		}
+	}
+}
+
+func TestStoreEpochGuard(t *testing.T) {
+	s := NewStore(time.Minute)
+	key := KeyID("g")
+	now := time.Unix(1700000000, 0)
+	rec := func(addr string, epoch uint64) Record {
+		return Record{GroupID: "g", Rendezvous: wire.PeerInfo{Addr: addr}, Epoch: epoch}
+	}
+
+	if !s.Put(key, rec("b", 1), now) {
+		t.Fatal("fresh record rejected")
+	}
+	// A higher epoch (the successor) always wins.
+	if !s.Put(key, rec("c", 2), now) {
+		t.Fatal("higher epoch rejected")
+	}
+	// The stale old root cannot clobber the successor.
+	if s.Put(key, rec("b", 1), now) {
+		t.Fatal("stale epoch accepted")
+	}
+	// Same epoch, same rendezvous: an owner refresh.
+	later := now.Add(10 * time.Second)
+	if !s.Put(key, rec("c", 2), later) {
+		t.Fatal("owner refresh rejected")
+	}
+	if r, ok := s.Get(key, later); !ok || !r.StoredAt.Equal(later) {
+		t.Fatalf("refresh did not restamp: %+v ok=%v", r, ok)
+	}
+	// Same epoch, different rendezvous: lexicographically lower address wins.
+	if !s.Put(key, rec("a", 2), later) {
+		t.Fatal("lower-address tiebreak rejected")
+	}
+	if s.Put(key, rec("z", 2), later) {
+		t.Fatal("higher-address tiebreak accepted")
+	}
+
+	// Expiry: the record dies TTL after its last refresh, and an old epoch
+	// may then re-enter (its publisher is the only root left republishing).
+	end := later.Add(2 * time.Minute)
+	if _, ok := s.Get(key, end); ok {
+		t.Fatal("expired record still served")
+	}
+	if !s.Put(key, rec("z", 1), end) {
+		t.Fatal("post-expiry record rejected")
+	}
+	if n := s.Sweep(end.Add(3 * time.Minute)); n != 1 {
+		t.Fatalf("Sweep removed %d records, want 1", n)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after sweep", s.Len())
+	}
+}
+
+// simNet is an offline population of DHT nodes with fully converged routing
+// tables, used to drive Lookup without a transport.
+type simNet struct {
+	addrs  []string
+	ids    []ID
+	byAddr map[string]int
+	tables []*Table
+}
+
+func buildSimNet(n, k int, seed int64) *simNet {
+	net := &simNet{byAddr: make(map[string]int, n)}
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("node-%d", i)
+		net.addrs = append(net.addrs, addr)
+		net.ids = append(net.ids, NodeID(addr))
+		net.byAddr[addr] = i
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	for i := 0; i < n; i++ {
+		tab := NewTable(net.ids[i], k)
+		for j := 0; j < n; j++ {
+			o := perm[(i+j)%n]
+			if o == i {
+				continue
+			}
+			tab.Observe(Contact{ID: net.ids[o], Info: wire.PeerInfo{Addr: net.addrs[o]}})
+		}
+		net.tables = append(net.tables, tab)
+	}
+	return net
+}
+
+func (s *simNet) query(c Contact, target ID) ([]Contact, *Record, error) {
+	i, ok := s.byAddr[c.Info.Addr]
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown contact %q", c.Info.Addr)
+	}
+	return s.tables[i].Closest(target, s.tables[i].K()), nil, nil
+}
+
+func TestLookupConvergesLogarithmically(t *testing.T) {
+	const n, k = 512, DefaultK
+	net := buildSimNet(n, k, 1)
+
+	// Global k-nearest set for a sample of targets; the lookup must find the
+	// true nearest node and stay within a small multiple of log2(N) waves.
+	totalHops := 0
+	const targets = 20
+	for ti := 0; ti < targets; ti++ {
+		target := KeyID(fmt.Sprintf("group-%d", ti))
+		nearest := 0
+		for i := 1; i < n; i++ {
+			if Closer(target, net.ids[i], net.ids[nearest]) {
+				nearest = i
+			}
+		}
+		origin := (ti * 37) % n
+		res := Lookup(target, net.tables[origin].Closest(target, k), k, DefaultAlpha, net.query)
+		if len(res.Closest) == 0 || res.Closest[0].Info.Addr != net.addrs[nearest] {
+			t.Fatalf("target %d: lookup missed the nearest node", ti)
+		}
+		if res.Failures != 0 {
+			t.Fatalf("target %d: %d failures in a healthy net", ti, res.Failures)
+		}
+		totalHops += res.Hops
+	}
+	avg := float64(totalHops) / targets
+	if ceil := 1.5 * math.Log2(n); avg > ceil {
+		t.Fatalf("avg hops %.2f exceeds %.2f (1.5·log2 %d)", avg, ceil, n)
+	}
+}
+
+func TestLookupFindsValueAndSurvivesFailures(t *testing.T) {
+	const n, k = 256, DefaultK
+	net := buildSimNet(n, k, 2)
+	target := KeyID("the-group")
+
+	// Replicate the record on the k globally closest nodes.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return Closer(target, net.ids[order[a]], net.ids[order[b]])
+	})
+	holders := map[string]bool{}
+	for _, i := range order[:k] {
+		holders[net.addrs[i]] = true
+	}
+	rec := &Record{GroupID: "the-group", Rendezvous: wire.PeerInfo{Addr: "root"}, Epoch: 3}
+
+	// Half the holders are down: the lookup must still find a live replica.
+	dead := 0
+	query := func(c Contact, tgt ID) ([]Contact, *Record, error) {
+		if holders[c.Info.Addr] {
+			if dead < k/2 {
+				dead++
+				holders[c.Info.Addr] = false // stays dead, deterministic
+				return nil, nil, fmt.Errorf("replica down")
+			}
+			cs, _, err := net.query(c, tgt)
+			return cs, rec, err
+		}
+		return net.query(c, tgt)
+	}
+	res := Lookup(target, net.tables[11].Closest(target, k), k, DefaultAlpha, query)
+	if res.Record == nil || res.Record.Epoch != 3 {
+		t.Fatalf("value lookup missed: %+v", res)
+	}
+	if res.Failures == 0 {
+		t.Fatal("test never exercised the failure path")
+	}
+}
+
+func TestLookupDeterministic(t *testing.T) {
+	const n, k = 256, DefaultK
+	net := buildSimNet(n, k, 3)
+	target := KeyID("repeat")
+	seeds := net.tables[5].Closest(target, k)
+	ref := Lookup(target, seeds, k, DefaultAlpha, net.query)
+	for i := 0; i < 5; i++ {
+		got := Lookup(target, seeds, k, DefaultAlpha, net.query)
+		if got.Queries != ref.Queries || got.Hops != ref.Hops ||
+			len(got.Closest) != len(ref.Closest) {
+			t.Fatalf("run %d diverged: %+v vs %+v", i, got, ref)
+		}
+		for j := range got.Closest {
+			if got.Closest[j].Info.Addr != ref.Closest[j].Info.Addr {
+				t.Fatalf("run %d: shortlist differs at %d", i, j)
+			}
+		}
+	}
+}

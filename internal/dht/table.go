@@ -1,0 +1,169 @@
+package dht
+
+import (
+	"sort"
+	"sync"
+
+	"groupcast/internal/wire"
+)
+
+// Contact pairs a DHT identifier with the peer's transport identity.
+type Contact struct {
+	ID   ID
+	Info wire.PeerInfo
+}
+
+// Table is the XOR-metric routing table: one bucket per distance prefix,
+// each holding up to k contacts ordered least-recently-seen first. Kademlia's
+// insight is that old contacts are the most likely to stay alive, so a full
+// bucket never evicts blindly — Observe hands the caller the stalest contact
+// to liveness-check first (ping-before-evict).
+type Table struct {
+	mu      sync.Mutex
+	self    ID
+	k       int
+	buckets [IDBits][]Contact
+	size    int
+}
+
+// NewTable returns an empty table for the given local identity. k ≤ 0 uses
+// DefaultK.
+func NewTable(self ID, k int) *Table {
+	if k <= 0 {
+		k = DefaultK
+	}
+	return &Table{self: self, k: k}
+}
+
+// Self returns the table's local identity.
+func (t *Table) Self() ID { return t.self }
+
+// K returns the bucket capacity.
+func (t *Table) K() int { return t.k }
+
+// Observe notes a live contact. A known contact refreshes to most recently
+// seen; a new contact fills its bucket if there is room. When the bucket is
+// full the new contact is NOT inserted — instead the bucket's stalest entry
+// comes back with full=true, and the caller decides: ping it, then Evict on
+// silence (the new contact will be re-observed on its next message) or leave
+// it be on an answer.
+func (t *Table) Observe(c Contact) (candidate Contact, full bool) {
+	idx := BucketIndex(t.self, c.ID)
+	if idx < 0 || c.Info.Addr == "" {
+		return Contact{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.buckets[idx]
+	for i := range b {
+		if b[i].Info.Addr == c.Info.Addr {
+			// Known: refresh metadata and move to the most-recent end.
+			copy(b[i:], b[i+1:])
+			b[len(b)-1] = c
+			return Contact{}, false
+		}
+	}
+	if len(b) < t.k {
+		t.buckets[idx] = append(b, c)
+		t.size++
+		return Contact{}, false
+	}
+	return b[0], true
+}
+
+// Evict removes a contact that failed its liveness check and inserts the
+// replacement in its bucket (if the replacement still fits and is not
+// already present).
+func (t *Table) Evict(old, repl Contact) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.removeLocked(old.ID, old.Info.Addr)
+	idx := BucketIndex(t.self, repl.ID)
+	if idx < 0 || repl.Info.Addr == "" {
+		return
+	}
+	b := t.buckets[idx]
+	for i := range b {
+		if b[i].Info.Addr == repl.Info.Addr {
+			return
+		}
+	}
+	if len(b) < t.k {
+		t.buckets[idx] = append(b, repl)
+		t.size++
+	}
+}
+
+// Remove drops a contact known to be dead (failed neighbour, closed link).
+func (t *Table) Remove(id ID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.removeLocked(id, addr)
+}
+
+func (t *Table) removeLocked(id ID, addr string) {
+	idx := BucketIndex(t.self, id)
+	if idx < 0 {
+		return
+	}
+	b := t.buckets[idx]
+	for i := range b {
+		if b[i].Info.Addr == addr {
+			t.buckets[idx] = append(b[:i], b[i+1:]...)
+			t.size--
+			return
+		}
+	}
+}
+
+// Closest returns up to n contacts XOR-nearest to target, nearest first.
+// Ties cannot occur: distinct IDs sit at distinct distances from any target.
+func (t *Table) Closest(target ID, n int) []Contact {
+	t.mu.Lock()
+	all := make([]Contact, 0, t.size)
+	for i := range t.buckets {
+		all = append(all, t.buckets[i]...)
+	}
+	t.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		return Closer(target, all[i].ID, all[j].ID)
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// Len is the number of tabled contacts.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.size
+}
+
+// MaxBucketDepth is the occupancy of the fullest bucket (≤ k).
+func (t *Table) MaxBucketDepth() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	max := 0
+	for i := range t.buckets {
+		if len(t.buckets[i]) > max {
+			max = len(t.buckets[i])
+		}
+	}
+	return max
+}
+
+// BucketSizes reports the occupancy of every non-empty bucket, nearest-half
+// buckets last (index order). The map key is the bucket index.
+func (t *Table) BucketSizes() map[int]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[int]int)
+	for i := range t.buckets {
+		if n := len(t.buckets[i]); n > 0 {
+			out[i] = n
+		}
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"groupcast/internal/dht"
+	"groupcast/internal/overlay"
+	"groupcast/internal/wire"
+)
+
+// This experiment compares the two group-discovery mechanisms on the same
+// population: the unstructured ripple search (BFS flood over the utility
+// overlay until a group member answers) against the Kademlia DHT (iterative
+// XOR-metric lookup toward the group key, with the charter record replicated
+// to the k closest nodes). Join events draw their group from a Zipf
+// popularity law — the regime the paper's group applications live in, where
+// a few groups are hot and the long tail is nearly memberless. The flood's
+// cost collapses for hot groups (any neighbour is a member) but degrades
+// toward O(N) on the tail; the DHT pays the same O(log N) everywhere.
+
+// DiscoveryRow is one cell of the discovery comparison: overlay size ×
+// Zipf skew, with per-join means over both mechanisms.
+type DiscoveryRow struct {
+	N    int
+	Skew float64
+	// Groups and Joins are the cell's workload shape.
+	Groups int
+	Joins  int
+	// RippleMsgs/DhtMsgs are mean messages per join (ripple: one per link
+	// traversal of the flood; DHT: request + reply per lookup query).
+	RippleMsgs float64
+	DhtMsgs    float64
+	// RippleHops/DhtHops are mean waves until the first hit (ripple: BFS
+	// depth; DHT: lookup waves — the O(log N) quantity).
+	RippleHops float64
+	DhtHops    float64
+	// RippleHit/DhtHit are the fraction of joins that found the group.
+	RippleHit float64
+	DhtHit    float64
+}
+
+// discoveryRippleTTL bounds the ripple flood. The live node defaults to a
+// TTL of 2 with retries; the study gives the flood a deep TTL so its hit
+// rate is comparable and the cost difference is the mechanism's, not the
+// budget's.
+const discoveryRippleTTL = 8
+
+// DiscoveryStudy runs the join-discovery comparison over every overlay size
+// × Zipf skew cell. Each cell builds one utility overlay and one simulated
+// DHT population over the same peers, creates `groups` groups rooted at
+// random peers (records replicated to the k = 8 XOR-closest nodes), and
+// replays `joins` Zipf-drawn join events through both mechanisms; a joiner
+// becomes a member afterwards, so hot groups grow cheap access points for
+// the flood just as they do live. Cells fan out across `workers` goroutines
+// with grid-seeded RNGs, so output is identical at any worker count.
+func DiscoveryStudy(sizes []int, skews []float64, groups, joins int, seed int64, workers int) ([]DiscoveryRow, error) {
+	return mapOrdered(workers, len(sizes)*len(skews), func(cell int) (DiscoveryRow, error) {
+		si, ki := cell/len(skews), cell%len(skews)
+		n, skew := sizes[si], skews[ki]
+		row := DiscoveryRow{N: n, Skew: skew, Groups: groups, Joins: joins}
+		rng := rand.New(rand.NewSource(cellSeed(seed, 97, int64(si), int64(ki))))
+
+		p, err := BuildPipeline(DefaultPipelineConfig(n, seed))
+		if err != nil {
+			return row, err
+		}
+		g, _, _, err := p.GroupCastOverlay(seed)
+		if err != nil {
+			return row, err
+		}
+		alive := g.AlivePeers()
+
+		// The DHT population over the same peers: one routing table per
+		// peer, fed from a single shared permutation rotated per node (the
+		// arrival order differs per node, the work stays O(N·N) in Observe
+		// calls with no per-node allocation storm).
+		ids := make([]dht.ID, len(alive))
+		contacts := make([]dht.Contact, len(alive))
+		idxOf := make(map[string]int, len(alive))
+		for i, peerID := range alive {
+			addr := fmt.Sprintf("n%d", peerID)
+			ids[i] = dht.NodeID(addr)
+			contacts[i] = dht.Contact{ID: ids[i], Info: wire.PeerInfo{Addr: addr}}
+			idxOf[addr] = i
+		}
+		tables := make([]*dht.Table, len(alive))
+		perm := rng.Perm(len(alive))
+		for i := range alive {
+			tables[i] = dht.NewTable(ids[i], dht.DefaultK)
+			for j := range alive {
+				o := perm[(i+j)%len(alive)]
+				if o != i {
+					tables[i].Observe(contacts[o])
+				}
+			}
+		}
+
+		// Groups: random rendezvous each, members start as {rendezvous},
+		// record replicated to the k globally XOR-closest nodes.
+		type groupSim struct {
+			key     dht.ID
+			rdv     int // index into alive
+			members map[int]bool
+			holders map[int]bool
+		}
+		sims := make([]*groupSim, groups)
+		for gi := range sims {
+			name := fmt.Sprintf("group-%d", gi)
+			gs := &groupSim{
+				key:     dht.KeyID(name),
+				rdv:     rng.Intn(len(alive)),
+				members: make(map[int]bool),
+				holders: make(map[int]bool),
+			}
+			gs.members[gs.rdv] = true
+			byDist := make([]int, len(alive))
+			for i := range byDist {
+				byDist[i] = i
+			}
+			sort.Slice(byDist, func(a, b int) bool {
+				return dht.Closer(gs.key, ids[byDist[a]], ids[byDist[b]])
+			})
+			for _, i := range byDist[:dht.DefaultK] {
+				gs.holders[i] = true
+			}
+			sims[gi] = gs
+		}
+
+		// Replay the Zipf join workload through both mechanisms. Both see
+		// the same (group, joiner) sequence and the same growing membership.
+		zipf := rand.NewZipf(rng, skew, 1, uint64(groups-1))
+		for j := 0; j < joins; j++ {
+			gs := sims[int(zipf.Uint64())]
+			joiner := rng.Intn(len(alive))
+			for gs.members[joiner] {
+				joiner = rng.Intn(len(alive))
+			}
+
+			rip := overlay.RippleSearch(g, alive[joiner], discoveryRippleTTL,
+				func(p int) bool { return gs.members[p] })
+			row.RippleMsgs += float64(rip.Messages)
+			row.RippleHops += float64(rip.Hops)
+			if rip.Found {
+				row.RippleHit++
+			}
+
+			res := dht.Lookup(gs.key, tables[joiner].Closest(gs.key, dht.DefaultK),
+				dht.DefaultK, dht.DefaultAlpha,
+				func(c dht.Contact, target dht.ID) ([]dht.Contact, *dht.Record, error) {
+					i := idxOf[c.Info.Addr]
+					if gs.holders[i] {
+						return nil, &dht.Record{GroupID: "g", Epoch: 1,
+							Rendezvous: contacts[gs.rdv].Info}, nil
+					}
+					return tables[i].Closest(target, dht.DefaultK), nil, nil
+				})
+			row.DhtMsgs += 2 * float64(res.Queries)
+			row.DhtHops += float64(res.Hops)
+			if res.Record != nil {
+				row.DhtHit++
+			}
+
+			gs.members[joiner] = true
+		}
+		fj := float64(joins)
+		row.RippleMsgs /= fj
+		row.DhtMsgs /= fj
+		row.RippleHops /= fj
+		row.DhtHops /= fj
+		row.RippleHit /= fj
+		row.DhtHit /= fj
+		return row, nil
+	})
+}
+
+// RunDiscovery writes the discovery comparison: DHT vs ripple on join
+// latency proxies (waves/hops), message cost, and hit rate across overlay
+// size and group popularity skew.
+func RunDiscovery(w io.Writer, seed int64, workers int) error {
+	rows, err := DiscoveryStudy([]int{256, 1024, 4096}, []float64{1.2, 2.0},
+		48, 160, seed, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "# Group discovery: Kademlia DHT vs ripple search (Zipf join popularity)")
+	fmt.Fprintf(w, "%-7s %-6s %-8s %-7s %-11s %-10s %-10s %-9s %-9s %-8s\n",
+		"n", "skew", "groups", "joins", "rip-msgs", "dht-msgs", "rip-hops", "dht-hops", "rip-hit", "dht-hit")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-7d %-6.1f %-8d %-7d %-11.1f %-10.1f %-10.2f %-9.2f %-9.3f %-8.3f\n",
+			r.N, r.Skew, r.Groups, r.Joins, r.RippleMsgs, r.DhtMsgs,
+			r.RippleHops, r.DhtHops, r.RippleHit, r.DhtHit)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDiscoveryStudyScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rows, err := DiscoveryStudy([]int{256, 1024}, []float64{1.2}, 24, 80, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// No churn: every DHT lookup must find the replicated record, in
+		// logarithmically few messages; the flood must cost far more.
+		if r.DhtHit < 0.99 {
+			t.Errorf("n=%d dht hit rate %v, want >= 0.99", r.N, r.DhtHit)
+		}
+		if r.DhtMsgs >= r.RippleMsgs {
+			t.Errorf("n=%d dht msgs %v not below ripple msgs %v", r.N, r.DhtMsgs, r.RippleMsgs)
+		}
+		maxMsgs := 2 * 3 * 1.5 * math.Log2(float64(r.N)) // 2 per query, alpha per wave
+		if r.DhtMsgs > maxMsgs {
+			t.Errorf("n=%d dht msgs %v above the O(log N) budget %v", r.N, r.DhtMsgs, maxMsgs)
+		}
+	}
+	// Ripple cost grows with the population far faster than the DHT's.
+	ripGrowth := rows[1].RippleMsgs / rows[0].RippleMsgs
+	dhtGrowth := rows[1].DhtMsgs / rows[0].DhtMsgs
+	if ripGrowth < 2 || dhtGrowth > 1.5 {
+		t.Errorf("growth 256→1024: ripple %.2fx dht %.2fx, want ripple ≫ dht", ripGrowth, dhtGrowth)
+	}
+}
+
+func TestDiscoveryStudyDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	a, err := DiscoveryStudy([]int{256}, []float64{1.2, 2.0}, 16, 48, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DiscoveryStudy([]int{256}, []float64{1.2, 2.0}, 16, 48, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs across worker counts:\n 1: %+v\n 8: %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunDiscoveryWriter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var buf bytes.Buffer
+	if err := RunDiscovery(&buf, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, col := range []string{"dht-msgs", "rip-msgs", "dht-hit"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("output lacks %q column:\n%s", col, out)
+		}
+	}
+}

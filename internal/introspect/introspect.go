@@ -10,6 +10,7 @@
 //	/debug/tree     per-group tree attachment with per-link utility/latency
 //	/debug/overlay  neighbour table with liveness and coordinates
 //	/debug/overload overload controller state + per-peer circuit breakers
+//	/debug/dht      discovery-plane snapshot: routing table, records, counters
 //	/debug/trace    recent trace events, newest last (?n= caps the count)
 //	/debug/pprof/   the standard Go profiler index
 //	/debug/expvars  the stdlib expvar dump (Go runtime memstats etc.)
@@ -56,6 +57,12 @@ func Handler(n *node.Node) http.Handler {
 	})
 	mux.HandleFunc("/debug/overlay", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, n.OverlayView())
+	})
+	mux.HandleFunc("/debug/dht", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"addr": n.Addr(),
+			"dht":  n.DhtView(),
+		})
 	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
 		limit := 0

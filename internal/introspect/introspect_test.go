@@ -136,6 +136,18 @@ func TestEndpointsServeJSONOverTCP(t *testing.T) {
 		t.Fatalf("/debug/overlay has no peers: %v", overlayDoc)
 	}
 
+	dhtDoc := get("/debug/dht")
+	dv, ok := dhtDoc["dht"].(map[string]any)
+	if !ok {
+		t.Fatalf("/debug/dht has no dht object: %v", dhtDoc)
+	}
+	if enabled, _ := dv["enabled"].(bool); !enabled {
+		t.Errorf("/debug/dht enabled = %v, want true", dv["enabled"])
+	}
+	if id, _ := dv["id"].(string); len(id) != 40 {
+		t.Errorf("/debug/dht id = %q, want a 40-hex-digit node ID", dv["id"])
+	}
+
 	tr := get("/debug/trace?n=50")
 	if tracing, _ := tr["tracing"].(bool); !tracing {
 		t.Errorf("/debug/trace tracing = %v, want true", tr["tracing"])

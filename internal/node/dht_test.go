@@ -1,0 +1,286 @@
+package node
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"groupcast/internal/coords"
+	"groupcast/internal/transport"
+	"groupcast/internal/wire"
+)
+
+// dhtCluster spins up live nodes on one in-memory fabric with a per-node
+// config hook, and can grow after construction — the DHT tests need to add
+// fresh joiners once the original population has already converged (or
+// churned).
+type dhtCluster struct {
+	mem   *transport.MemNetwork
+	rng   *rand.Rand
+	seq   int64
+	nodes []*Node
+}
+
+func newDhtCluster(t *testing.T, n int, seed int64, tweak func(i int, cfg *Config)) *dhtCluster {
+	t.Helper()
+	c := &dhtCluster{mem: transport.NewMemNetwork(), rng: rand.New(rand.NewSource(seed))}
+	for i := 0; i < n; i++ {
+		var contacts []string
+		for j := len(c.nodes) - 1; j >= 0 && len(contacts) < 5; j-- {
+			contacts = append(contacts, c.nodes[j].Addr())
+		}
+		c.add(t, contacts, func(cfg *Config) {
+			if tweak != nil {
+				tweak(i, cfg)
+			}
+		})
+	}
+	t.Cleanup(func() {
+		for _, nd := range c.nodes {
+			_ = nd.Close()
+		}
+	})
+	return c
+}
+
+func (c *dhtCluster) add(t *testing.T, contacts []string, tweak func(cfg *Config)) *Node {
+	t.Helper()
+	c.seq++
+	cfg := DefaultConfig(50, coords.Point{c.rng.Float64() * 100, c.rng.Float64() * 100}, c.seq)
+	cfg.HeartbeatInterval = 100 * time.Millisecond
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	nd := New(c.mem.NextEndpoint(), cfg)
+	nd.Start()
+	if err := nd.Bootstrap(contacts, testTimeout); err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	c.nodes = append(c.nodes, nd)
+	return nd
+}
+
+// joinEventually retries Join until the DHT record has replicated far enough
+// to resolve (the owner republishes every DHTRepublishEpochs heartbeats, so
+// the first attempts may race the record's spread).
+func joinEventually(t *testing.T, nd *Node, gid string, within time.Duration) {
+	t.Helper()
+	var last error
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if last = nd.Join(gid, time.Second); last == nil {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("join %q never succeeded: %v", gid, last)
+}
+
+// TestDhtJoinResolvesWithoutRipple pins the structured discovery path: with
+// no advertisement flood at all and the ripple fallback disabled on every
+// node, a joiner can only reach the group through a DHT value lookup — and
+// does.
+func TestDhtJoinResolvesWithoutRipple(t *testing.T) {
+	const gid = "dht-only"
+	c := newDhtCluster(t, 8, 11, func(i int, cfg *Config) {
+		cfg.DHTNoFallback = true
+	})
+	rdv := c.nodes[0]
+	if err := rdv.CreateGroupMode(gid, wire.BestEffort); err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately no Advertise: the charter record in the DHT is the only
+	// breadcrumb.
+	joiner := c.nodes[len(c.nodes)-1]
+	joinEventually(t, joiner, gid, 10*time.Second)
+
+	if !joiner.Tree(gid).Attached {
+		t.Fatal("joined but not attached")
+	}
+	st := joiner.Stats()
+	if st.DhtLookups == 0 {
+		t.Error("join resolved without a counted DHT lookup")
+	}
+	if st.DhtFallbacks != 0 {
+		t.Errorf("DhtFallbacks = %d on the no-fallback path", st.DhtFallbacks)
+	}
+	if rdv.Stats().DhtStores == 0 {
+		t.Error("rendezvous never counted a charter store")
+	}
+}
+
+// TestDhtFallbackToRipple pins the escape hatch: when no charter record
+// exists anywhere (the rendezvous predates the DHT / runs with it disabled),
+// the joiner's lookup misses, the fallback counter ticks, and the ripple
+// flood still finds the group.
+func TestDhtFallbackToRipple(t *testing.T) {
+	const gid = "legacy"
+	c := newDhtCluster(t, 6, 13, func(i int, cfg *Config) {
+		if i == 0 {
+			cfg.DisableDHT = true
+		}
+	})
+	rdv := c.nodes[0]
+	if err := rdv.CreateGroupMode(gid, wire.BestEffort); err != nil {
+		t.Fatal(err)
+	}
+	joiner := c.nodes[len(c.nodes)-1]
+	joinEventually(t, joiner, gid, 15*time.Second)
+
+	st := joiner.Stats()
+	if st.DhtLookups == 0 {
+		t.Error("no DHT lookup was attempted before the fallback")
+	}
+	if st.DhtFallbacks == 0 {
+		t.Error("ripple rescue not counted in DhtFallbacks")
+	}
+}
+
+// TestDhtSuccessionRepublish is the PR's acceptance test: after the root of
+// a group dies and a deputy promotes itself, the successor must republish
+// the charter record under its bumped epoch — so a fresh node that joins
+// through the DHT alone (fallback disabled, no advertisement ever reaches
+// it) lands on the new root's epoch-2 charter.
+func TestDhtSuccessionRepublish(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live succession test")
+	}
+	const gid = "succession"
+	c := newDhtCluster(t, 7, 31, func(i int, cfg *Config) {
+		cfg.SuspectEpochs = 3
+		// Keep advertisement floods out of the picture: the promotion's one
+		// flood happens before the fresh node exists, and with refresh
+		// effectively off it can never leak the group to it afterwards.
+		cfg.AdvertiseRefreshEpochs = 1 << 20
+	})
+	rdv := c.nodes[0]
+	if err := rdv.CreateGroupMode(gid, wire.ReliableOrdered); err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range c.nodes[1:] {
+		joinEventually(t, nd, gid, 10*time.Second)
+	}
+	survivors := c.nodes[1:]
+	waitFor(t, 10*time.Second, func() bool {
+		for _, nd := range survivors {
+			if holdsCharter(nd, gid) {
+				return true
+			}
+		}
+		return false
+	}, "no deputy ever received the charter")
+
+	if err := rdv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 15*time.Second, func() bool {
+		return singleRoot(survivors, gid) != nil
+	}, "no deputy promoted after the root died")
+	newRoot := singleRoot(survivors, gid)
+
+	// The promotion must push the epoch-2 record into the DHT.
+	waitFor(t, 10*time.Second, func() bool {
+		return newRoot.Stats().DhtStores > 0
+	}, "promoted root never republished the charter record")
+
+	var seeds []string
+	for _, nd := range survivors[:3] {
+		seeds = append(seeds, nd.Addr())
+	}
+	fresh := c.add(t, seeds, func(cfg *Config) {
+		cfg.DHTNoFallback = true
+		cfg.AdvertiseRefreshEpochs = 1 << 20
+	})
+	joinEventually(t, fresh, gid, 15*time.Second)
+
+	// Beacons from the new root carry the bumped epoch down to the joiner.
+	waitFor(t, 10*time.Second, func() bool {
+		tv := fresh.Tree(gid)
+		return tv.Attached && tv.Epoch >= 2
+	}, "fresh DHT-only joiner never reached the successor's epoch")
+	if st := fresh.Stats(); st.DhtFallbacks != 0 || st.DhtLookups == 0 {
+		t.Errorf("fresh joiner stats = %d lookups / %d fallbacks, want DHT-only", st.DhtLookups, st.DhtFallbacks)
+	}
+}
+
+// TestDhtChurnSoak is the race-enabled churn soak CI runs: members die and
+// fresh nodes arrive while another member flaps Leave/Join, all of it
+// resolving through the DHT. Afterwards a cold node must still join with the
+// fallback disabled (the routing tables and record replicas re-converged),
+// and shutdown must leak no goroutines.
+func TestDhtChurnSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	baseline := runtime.NumGoroutine()
+	const gid = "churny"
+	c := newDhtCluster(t, 10, 41, nil)
+	rdv := c.nodes[0]
+	if err := rdv.CreateGroupMode(gid, wire.BestEffort); err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range c.nodes[1:] {
+		joinEventually(t, nd, gid, 10*time.Second)
+	}
+
+	// One member flaps throughout the churn: its joins race the deaths and
+	// arrivals below through live lookups.
+	flapper := c.nodes[1]
+	stopFlap := make(chan struct{})
+	flapDone := make(chan struct{})
+	go func() {
+		defer close(flapDone)
+		for {
+			select {
+			case <-stopFlap:
+				return
+			default:
+			}
+			_ = flapper.Leave(gid)
+			_ = flapper.Join(gid, time.Second)
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	// Three churn rounds: crash-stop one member, add one stranger that joins.
+	alive := append([]*Node(nil), c.nodes...)
+	for round := 0; round < 3; round++ {
+		victim := alive[len(alive)-1]
+		alive = alive[:len(alive)-1]
+		_ = victim.Close()
+		var seeds []string
+		for _, nd := range alive[:4] {
+			if nd != victim {
+				seeds = append(seeds, nd.Addr())
+			}
+		}
+		fresh := c.add(t, seeds, nil)
+		joinEventually(t, fresh, gid, 10*time.Second)
+		alive = append(alive, fresh)
+	}
+	close(stopFlap)
+	<-flapDone
+
+	// Post-churn convergence: a cold node resolves through the DHT alone.
+	var seeds []string
+	for _, nd := range alive[:3] {
+		seeds = append(seeds, nd.Addr())
+	}
+	cold := c.add(t, seeds, func(cfg *Config) { cfg.DHTNoFallback = true })
+	joinEventually(t, cold, gid, 15*time.Second)
+
+	for _, nd := range c.nodes {
+		_ = nd.Close()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+3 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutine leak after shutdown: %d -> %d\n%s",
+		baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"groupcast/internal/core"
+	"groupcast/internal/dht"
 	"groupcast/internal/peer"
 	"groupcast/internal/protocol"
 	"groupcast/internal/reliable"
@@ -37,8 +38,8 @@ func (n *Node) CreateGroupMode(groupID string, mode wire.DeliveryMode) error {
 		return err
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if _, dup := n.groups[groupID]; dup {
+		n.mu.Unlock()
 		return fmt.Errorf("node: group %q already exists here", groupID)
 	}
 	self := n.selfInfoLocked()
@@ -50,6 +51,11 @@ func (n *Node) CreateGroupMode(groupID string, mode wire.DeliveryMode) error {
 	gs.epoch = 1 // succession epoch: the creating root's lineage starts at 1
 	n.groups[groupID] = gs
 	n.adSeen[groupID] = adState{upstream: "", rendezvous: self, mode: mode, epoch: 1}
+	n.mu.Unlock()
+	// Seed the discovery plane: the charter record replicates to the k
+	// closest nodes so joiners resolve the group in O(log N) without
+	// waiting for an advertisement flood to reach them.
+	n.dhtRepublishAsync(groupID)
 	return nil
 }
 
@@ -217,6 +223,32 @@ func (n *Node) joinInternal(groupID string, timeout time.Duration, asMember bool
 	if sawAd && ad.upstream == "" {
 		// We are the rendezvous (handled above) or the ad record is local.
 		return nil
+	}
+
+	// Structured discovery: resolve the group's charter record through the
+	// DHT and join at its rendezvous — O(log N) messages against the ripple
+	// flood's O(N). A miss (young record not yet replicated, churned
+	// replicas) falls back to the search below unless DHTNoFallback pins
+	// the structured path.
+	if n.dht != nil {
+		if rec, ok := n.dhtResolve(groupID); ok {
+			err := n.joinVia(groupID, rec.Rendezvous.Addr, rec.Rendezvous, rec.Mode, timeout, asMember)
+			if err != nil && err != ErrClosed {
+				// The record's rendezvous would not have us — most often a
+				// corpse cached across a succession. Purge it so the next
+				// attempt resolves through the network (where the new root's
+				// higher-epoch record wins) instead of replaying the cache
+				// until the TTL clears it.
+				n.dht.store.Delete(dht.KeyID(groupID))
+			}
+			if err == nil || err == ErrClosed || n.cfg.DHTNoFallback {
+				return err
+			}
+		} else if n.cfg.DHTNoFallback {
+			return fmt.Errorf("%w: %q (no DHT record and fallback disabled)",
+				ErrJoinFailed, groupID)
+		}
+		n.stats.dhtFallbacks.Add(1)
 	}
 
 	// Ripple search for an access point.

@@ -79,11 +79,13 @@ func (n *Node) dispatch(msg wire.Message) {
 		n.addNeighbor(msg.From)
 	case wire.THeartbeat:
 		n.touchNeighbor(msg.From)
+		n.dhtObserve(msg.From)
 		_ = n.send(msg.From.Addr, wire.Message{
 			Type: wire.THeartbeatAck, From: n.selfInfo(), SentAt: msg.SentAt,
 		})
 	case wire.THeartbeatAck:
 		n.touchNeighbor(msg.From)
+		n.dhtObserve(msg.From)
 		if !msg.SentAt.IsZero() {
 			rttMs := float64(time.Since(msg.SentAt)) / float64(time.Millisecond)
 			n.metrics.heartbeatRTT.ObserveDurationMs(rttMs)
@@ -107,6 +109,17 @@ func (n *Node) dispatch(msg wire.Message) {
 		n.handleLeave(msg)
 	case wire.THandoff:
 		n.handleHandoff(msg)
+	case wire.TDhtFindNode:
+		n.handleDhtFindNode(msg)
+	case wire.TDhtFindValue:
+		n.handleDhtFindValue(msg)
+	case wire.TDhtStore:
+		n.handleDhtStore(msg)
+	case wire.TDhtFindNodeResp, wire.TDhtFindValueResp, wire.TDhtStoreAck:
+		// Every DHT reply is liveness evidence for the routing table; the
+		// waiting lookup (if still there) gets the message itself.
+		n.dhtObserve(msg.From)
+		n.routePending(msg)
 	}
 }
 
@@ -229,6 +242,7 @@ func (n *Node) heartbeatLoop() {
 			lastRun = now
 			n.epoch(stalled)
 			epochs++
+			n.dhtEpoch(epochs)
 			if n.cfg.AdvertiseRefreshEpochs > 0 && epochs%n.cfg.AdvertiseRefreshEpochs == 0 {
 				n.refreshAdvertisements()
 			}

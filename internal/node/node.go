@@ -18,6 +18,7 @@ import (
 
 	"groupcast/internal/coords"
 	"groupcast/internal/core"
+	"groupcast/internal/dht"
 	"groupcast/internal/peer"
 	"groupcast/internal/reliable"
 	"groupcast/internal/trace"
@@ -92,6 +93,35 @@ type Config struct {
 	// parent died goes straight to the ripple search instead of trying its
 	// precomputed backup access points first.
 	DisableBackupFailover bool
+
+	// DisableDHT turns off the structured discovery plane: no routing
+	// table, no record replication, and Join goes straight to the reverse
+	// advertisement path / ripple search. The DHT is on by default — a join
+	// still prefers a known reverse path, so enabling it only adds the
+	// O(log N) resolve between that and the flood.
+	DisableDHT bool
+	// DHTNoFallback makes Join fail outright when the DHT lookup misses
+	// instead of falling back to the ripple search (experiments and tests
+	// that must isolate the structured path).
+	DHTNoFallback bool
+	// DHTBucketSize is the Kademlia k: bucket depth, lookup shortlist
+	// width, and record replication factor (0 uses the default of 8).
+	DHTBucketSize int
+	// DHTAlpha is the lookup's per-wave query parallelism (0 uses 3).
+	DHTAlpha int
+	// DHTRecordTTL is how long a replicated charter record lives without a
+	// refresh; the owning rendezvous republishes well inside it (0 uses 30s).
+	DHTRecordTTL time.Duration
+	// DHTRepublishEpochs is how many heartbeat epochs pass between a
+	// rendezvous re-replicating its charter records (0 uses 5).
+	DHTRepublishEpochs int
+	// DHTRefreshEpochs is how many heartbeat epochs pass between background
+	// self-lookups that keep the routing table's near buckets fresh
+	// (0 uses 8).
+	DHTRefreshEpochs int
+	// DHTQueryTimeout bounds one DHT RPC round trip; a silent contact is
+	// treated as failed and the lookup routes around it (0 uses 250ms).
+	DHTQueryTimeout time.Duration
 
 	// DeliveryMode is the data-plane reliability level for groups this node
 	// creates (BestEffort, Reliable, or ReliableOrdered). Members inherit a
@@ -287,6 +317,9 @@ type Node struct {
 	metrics nodeMetrics
 	// rejoining guards against overlapping re-join attempts per group.
 	rejoining map[string]bool
+	// dht is the structured discovery plane (nil when DisableDHT). See
+	// dht.go.
+	dht *dhtState
 
 	stop chan struct{}
 	done sync.WaitGroup
@@ -397,6 +430,24 @@ func New(tr transport.Transport, cfg Config) *Node {
 	if cfg.PendingReqTTL <= 0 {
 		cfg.PendingReqTTL = DefaultPendingReqTTL
 	}
+	if cfg.DHTBucketSize < 1 {
+		cfg.DHTBucketSize = dht.DefaultK
+	}
+	if cfg.DHTAlpha < 1 {
+		cfg.DHTAlpha = dht.DefaultAlpha
+	}
+	if cfg.DHTRecordTTL <= 0 {
+		cfg.DHTRecordTTL = 30 * time.Second
+	}
+	if cfg.DHTRepublishEpochs < 1 {
+		cfg.DHTRepublishEpochs = 5
+	}
+	if cfg.DHTRefreshEpochs < 1 {
+		cfg.DHTRefreshEpochs = 8
+	}
+	if cfg.DHTQueryTimeout <= 0 {
+		cfg.DHTQueryTimeout = 250 * time.Millisecond
+	}
 	coord := cfg.Coord
 	if coord == nil {
 		coord = coords.Point{0, 0, 0}
@@ -432,6 +483,16 @@ func New(tr transport.Transport, cfg Config) *Node {
 	n.multi, _ = tr.(transport.MultiSender)
 	if vivaldi != nil {
 		n.self.CoordErr = vivaldi.ErrorEstimate()
+	}
+	if !cfg.DisableDHT {
+		id := dht.NodeID(n.self.Addr)
+		n.dht = &dhtState{
+			id:      id,
+			table:   dht.NewTable(id, cfg.DHTBucketSize),
+			store:   dht.NewStore(cfg.DHTRecordTTL),
+			pinging: make(map[string]bool),
+			storing: make(map[string]bool),
+		}
 	}
 	n.initObservability()
 	return n
@@ -769,5 +830,10 @@ func (n *Node) removeNeighborAndOrphans(addr string) (orphaned []string) {
 		}
 	}
 	n.mu.Unlock()
+	// A peer the failure detector declared dead must not linger in the
+	// routing table waiting for a ping-before-evict round.
+	if n.dht != nil {
+		n.dht.table.Remove(dht.NodeID(addr), addr)
+	}
 	return orphaned
 }

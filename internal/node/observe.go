@@ -28,6 +28,7 @@ const (
 	MetricSuccessionTTR         = "succession_ttr_ms"
 	MetricOverloadPressure      = "overload_pressure"
 	MetricOverloadEpisode       = "overload_episode_ms"
+	MetricDhtLookup             = "dht_lookup_ms"
 )
 
 // overloadPressureBuckets spans the pressure signal's [0, 1] domain; the
@@ -51,6 +52,7 @@ type nodeMetrics struct {
 	successionTTR    *metrics.FixedHistogram
 	overloadPressure *metrics.FixedHistogram
 	overloadEpisode  *metrics.FixedHistogram
+	dhtLookup        *metrics.FixedHistogram
 }
 
 // initObservability wires the metrics registry (always on) and registers
@@ -67,10 +69,22 @@ func (n *Node) initObservability() {
 		successionTTR:    reg.Histogram(MetricSuccessionTTR, metrics.DefaultLatencyBuckets()),
 		overloadPressure: reg.Histogram(MetricOverloadPressure, overloadPressureBuckets()),
 		overloadEpisode:  reg.Histogram(MetricOverloadEpisode, metrics.DefaultLatencyBuckets()),
+		dhtLookup:        reg.Histogram(MetricDhtLookup, metrics.DefaultLatencyBuckets()),
 	}
 	reg.Gauge("neighbors", func() float64 {
 		return float64(n.NumNeighbors())
 	})
+	if n.dht != nil {
+		reg.Gauge("dht_routing_table_size", func() float64 {
+			return float64(n.dht.table.Len())
+		})
+		reg.Gauge("dht_bucket_depth", func() float64 {
+			return float64(n.dht.table.MaxBucketDepth())
+		})
+		reg.Gauge("dht_records", func() float64 {
+			return float64(n.dht.store.Len())
+		})
+	}
 	if qr, ok := n.tr.(transport.QueueReporter); ok {
 		reg.Gauge(MetricRecvQueueDepth, func() float64 {
 			return float64(qr.QueueDepth())

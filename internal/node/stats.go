@@ -74,6 +74,13 @@ type Stats struct {
 	OverloadEpisodes uint64
 	PublishRejects   uint64
 	RelaySheds       uint64
+	// DhtLookups counts iterative DHT lookups this node ran (joins, record
+	// replication, bucket refresh); DhtFallbacks counts joins that missed
+	// in the DHT and fell back to the ripple search; DhtStores counts
+	// charter record replications this node originated as a rendezvous.
+	DhtLookups   uint64
+	DhtFallbacks uint64
+	DhtStores    uint64
 	// Transport reports the transport layer's drop accounting (inbox
 	// sheds, send failures, chaos-injected faults) when the node's
 	// transport exposes it; zero otherwise.
@@ -108,6 +115,10 @@ type statCounters struct {
 	overloadEpisodes atomic.Uint64
 	publishRejects   atomic.Uint64
 	relaySheds       atomic.Uint64
+
+	dhtLookups   atomic.Uint64
+	dhtFallbacks atomic.Uint64
+	dhtStores    atomic.Uint64
 }
 
 func (s *statCounters) onSend(t wire.Type) {
@@ -149,6 +160,9 @@ func (n *Node) Stats() Stats {
 		OverloadEpisodes:      n.stats.overloadEpisodes.Load(),
 		PublishRejects:        n.stats.publishRejects.Load(),
 		RelaySheds:            n.stats.relaySheds.Load(),
+		DhtLookups:            n.stats.dhtLookups.Load(),
+		DhtFallbacks:          n.stats.dhtFallbacks.Load(),
+		DhtStores:             n.stats.dhtStores.Load(),
 	}
 	if dc, ok := n.tr.(transport.DropCounter); ok {
 		out.Transport = dc.DropStats()
@@ -201,6 +215,9 @@ func (s *Stats) Merge(other Stats) {
 	s.OverloadEpisodes += other.OverloadEpisodes
 	s.PublishRejects += other.PublishRejects
 	s.RelaySheds += other.RelaySheds
+	s.DhtLookups += other.DhtLookups
+	s.DhtFallbacks += other.DhtFallbacks
+	s.DhtStores += other.DhtStores
 	s.Transport.Add(other.Transport)
 }
 
@@ -239,6 +256,9 @@ func (s Stats) Delta(base Stats) Stats {
 		OverloadEpisodes:      sub(s.OverloadEpisodes, base.OverloadEpisodes),
 		PublishRejects:        sub(s.PublishRejects, base.PublishRejects),
 		RelaySheds:            sub(s.RelaySheds, base.RelaySheds),
+		DhtLookups:            sub(s.DhtLookups, base.DhtLookups),
+		DhtFallbacks:          sub(s.DhtFallbacks, base.DhtFallbacks),
+		DhtStores:             sub(s.DhtStores, base.DhtStores),
 		Transport: transport.DropStats{
 			InboxSheds:      sub(s.Transport.InboxSheds, base.Transport.InboxSheds),
 			ControlSheds:    sub(s.Transport.ControlSheds, base.Transport.ControlSheds),

@@ -195,6 +195,10 @@ func (n *Node) promoteSelf(gid string, silentFor time.Duration) {
 	// reverse paths, and the epoch on the flood demotes any lower-priority
 	// root after a partition heal.
 	_ = n.Advertise(gid)
+	// Republish the charter record under the bumped epoch so DHT joiners
+	// resolve to this root; the replicas' epoch guards now reject the dead
+	// root's stale record (and any republish it might wake up with).
+	n.dhtRepublishAsync(gid)
 }
 
 // handleHandoff promotes this node immediately on the departing root's

@@ -116,6 +116,7 @@ const (
 	bitRelayedAt
 	bitPath
 	bitBackups
+	bitTarget
 	fieldCount
 )
 
@@ -266,6 +267,7 @@ func presence(msg *Message) uint64 {
 	set(bitRelayedAt, !msg.RelayedAt.IsZero())
 	set(bitPath, len(msg.Path) > 0)
 	set(bitBackups, len(msg.Backups) > 0)
+	set(bitTarget, len(msg.Target) > 0)
 	return bits
 }
 
@@ -375,6 +377,9 @@ func appendBody(dst []byte, msg *Message) ([]byte, error) {
 		if dst, err = appendPeers(dst, msg.Backups); err != nil {
 			return dst, err
 		}
+	}
+	if bits&(1<<bitTarget) != 0 {
+		dst = appendByteSlice(dst, msg.Target)
 	}
 	return dst, nil
 }
@@ -756,6 +761,9 @@ func decodeBody(body []byte, typ byte, msg *Message, intern *internTable) error 
 	}
 	if bits&(1<<bitBackups) != 0 {
 		msg.Backups = c.peers()
+	}
+	if bits&(1<<bitTarget) != 0 {
+		msg.Target = c.byteSlice()
 	}
 	if c.err != nil {
 		*msg = Message{}

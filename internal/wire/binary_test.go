@@ -51,6 +51,17 @@ func testMessages() []Message {
 		{Type: THandoff, From: peers[0], GroupID: "g", Epoch: 5,
 			Charter: Charter{GroupID: "g", Epoch: 5, Deputies: peers}},
 		{Type: TLeave, From: peers[1], GroupID: "g"},
+		{Type: TDhtFindNode, From: peers[0], ReqID: 31,
+			Target: bytes.Repeat([]byte{0xab}, 20)},
+		{Type: TDhtFindNodeResp, From: peers[1], ReqID: 31, Neighbors: peers},
+		{Type: TDhtFindValue, From: peers[0], ReqID: 32, GroupID: "g"},
+		{Type: TDhtFindValueResp, From: peers[1], ReqID: 32, GroupID: "g",
+			Rendezvous: peers[0], Mode: Reliable, Epoch: 4,
+			Charter: Charter{GroupID: "g", Mode: Reliable, Epoch: 4, Deputies: peers}},
+		{Type: TDhtStore, From: peers[0], ReqID: 33, GroupID: "g",
+			Rendezvous: peers[0], Mode: Reliable, Epoch: 4,
+			Charter: Charter{GroupID: "g", Mode: Reliable, Epoch: 4, Deputies: peers}},
+		{Type: TDhtStoreAck, From: peers[1], ReqID: 33, GroupID: "g", Epoch: 4},
 	}
 }
 

@@ -37,6 +37,14 @@ func fuzzSeeds(tb testing.TB) [][]byte {
 			Digest: []DigestEntry{{Source: "a", High: 10}, {Source: "b", High: 20}}},
 		{Type: THandoff, From: peers[0], GroupID: "g", Epoch: 5,
 			Charter: Charter{GroupID: "g", Epoch: 5, Deputies: peers}},
+		{Type: TDhtFindNode, From: peers[0], ReqID: 21,
+			Target: bytes.Repeat([]byte{0x5a}, 20)},
+		{Type: TDhtFindValueResp, From: peers[1], ReqID: 22, GroupID: "g",
+			Rendezvous: peers[0], Mode: Reliable, Epoch: 4, Neighbors: peers,
+			Charter: Charter{GroupID: "g", Mode: Reliable, Epoch: 4, Deputies: peers}},
+		{Type: TDhtStore, From: peers[0], ReqID: 23, GroupID: "g",
+			Rendezvous: peers[1], Mode: Reliable, Epoch: 4,
+			Charter: Charter{GroupID: "g", Epoch: 4}},
 	}
 	// Both wire versions of every shape: the sniffing decoder must hold its
 	// contract against hostile mutations of either layout.

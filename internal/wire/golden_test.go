@@ -72,6 +72,23 @@ func goldenMessages() []struct {
 		{"handoff", Message{Type: THandoff, From: p1, GroupID: "chat", Epoch: 5,
 			Charter: Charter{GroupID: "chat", Epoch: 5,
 				Deputies: []PeerInfo{p2}}}},
+		{"dht-find-node", Message{Type: TDhtFindNode, From: p1, ReqID: 21,
+			Target: []byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a,
+				0x0b, 0x0c, 0x0d, 0x0e, 0x0f, 0x10, 0x11, 0x12, 0x13, 0x14}}},
+		{"dht-find-node-resp", Message{Type: TDhtFindNodeResp, From: p2, ReqID: 21,
+			Neighbors: []PeerInfo{p1, p2}}},
+		{"dht-find-value", Message{Type: TDhtFindValue, From: p2, ReqID: 22,
+			GroupID: "chat"}},
+		{"dht-find-value-resp", Message{Type: TDhtFindValueResp, From: p1, ReqID: 22,
+			GroupID: "chat", Rendezvous: p1, Mode: Reliable, Epoch: 3,
+			Charter: Charter{GroupID: "chat", Mode: Reliable, Epoch: 3,
+				Deputies: []PeerInfo{p2}}}},
+		{"dht-store", Message{Type: TDhtStore, From: p1, ReqID: 23, GroupID: "chat",
+			Rendezvous: p1, Mode: Reliable, Epoch: 3,
+			Charter: Charter{GroupID: "chat", Mode: Reliable, Epoch: 3,
+				Deputies: []PeerInfo{p2}}}},
+		{"dht-store-ack", Message{Type: TDhtStoreAck, From: p2, ReqID: 23,
+			GroupID: "chat", Epoch: 3}},
 		{"zero", Message{}},
 	}
 }

@@ -36,6 +36,16 @@ const (
 	TNack         // retransmission request for missing payload sequences
 	TDigest       // per-source high-water digest (anti-entropy heartbeat)
 	THandoff      // graceful root departure handing the charter to a deputy
+
+	// DHT discovery plane (internal/dht): Kademlia-style iterative lookups
+	// over the same transport, replacing the ripple-search flood for group
+	// discovery at scale.
+	TDhtFindNode      // request the k closest known contacts to a 160-bit target
+	TDhtFindNodeResp  // closest-contact reply (Neighbors)
+	TDhtFindValue     // request a group's charter record, or closer contacts
+	TDhtFindValueResp // record hit (Rendezvous/Epoch/Charter) or contact miss (Neighbors)
+	TDhtStore         // replicate a group record onto one of the k closest nodes
+	TDhtStoreAck      // store acknowledgement echoing the retained epoch
 )
 
 // String names the message type.
@@ -77,6 +87,18 @@ func (t Type) String() string {
 		return "digest"
 	case THandoff:
 		return "handoff"
+	case TDhtFindNode:
+		return "dht-find-node"
+	case TDhtFindNodeResp:
+		return "dht-find-node-resp"
+	case TDhtFindValue:
+		return "dht-find-value"
+	case TDhtFindValueResp:
+		return "dht-find-value-resp"
+	case TDhtStore:
+		return "dht-store"
+	case TDhtStoreAck:
+		return "dht-store-ack"
 	default:
 		return fmt.Sprintf("type(%d)", int(t))
 	}
@@ -265,4 +287,9 @@ type Message struct {
 	// paying a ripple search. This is the live-runtime port of the
 	// dynamic-replication extension (protocol.ComputeBackups).
 	Backups []PeerInfo
+
+	// Target is the 20-byte DHT identifier a TDhtFindNode lookup steps
+	// toward (arbitrary targets cover bucket refresh and self-lookups;
+	// value lookups derive their key from GroupID instead).
+	Target []byte
 }
