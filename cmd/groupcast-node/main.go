@@ -112,12 +112,15 @@ func run() error {
 
 	var sink trace.Sink
 	if *traceFile != "" {
-		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		// FileSink (not a bare NDJSON writer) so node.Close flushes and
+		// fsyncs the file after the loops stop — a killed-at-the-right-moment
+		// process no longer truncates its last trace lines, and write errors
+		// surface in Stats.TraceWriteErrors instead of vanishing.
+		fs, err := trace.OpenFileSink(*traceFile)
 		if err != nil {
 			return fmt.Errorf("trace file: %w", err)
 		}
-		defer f.Close()
-		sink = trace.NewNDJSON(f)
+		sink = fs
 	}
 	if *debugAddr != "" || sink != nil {
 		cfg.Tracer = trace.New(traceRingCapacity, sink)

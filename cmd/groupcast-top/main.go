@@ -1,0 +1,143 @@
+// Command groupcast-top is `top` for a GroupCast fleet: it polls one node's
+// /debug/cluster endpoint (any node will do — the fleet view is gossiped, so
+// every node converges on the same table) and renders the per-node health
+// digests and firing SLO alerts as a live-updating terminal table.
+//
+//	groupcast-top -addr 127.0.0.1:6060              # live, refreshes each interval
+//	groupcast-top -addr 127.0.0.1:6060 -once        # one snapshot, then exit
+//	groupcast-top -addr 127.0.0.1:6060 -json        # raw /debug/cluster JSON
+//
+// Columns: the digest fields of docs/WIRE.md (epoch, Eq. 6 utility, overload
+// pressure, p99 publish→deliver latency, inbox depth, delivered/shed
+// counters) plus the viewing node's staleness verdict. Rows are sorted by
+// address; the viewing node's own row is marked with '*'.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"groupcast/internal/node"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "groupcast-top:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, argv []string) error {
+	fs := flag.NewFlagSet("groupcast-top", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:6060", "debug endpoint of any cluster node (host:port or http URL)")
+		interval = fs.Duration("interval", time.Second, "refresh interval in live mode")
+		once     = fs.Bool("once", false, "print one snapshot and exit")
+		raw      = fs.Bool("json", false, "dump the raw /debug/cluster JSON and exit")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	base := *addr
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	if *raw {
+		resp, err := client.Get(base + "/debug/cluster")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s/debug/cluster: %s", base, resp.Status)
+		}
+		_, err = io.Copy(out, resp.Body)
+		return err
+	}
+
+	for {
+		cv, err := fetchCluster(client, base)
+		if err != nil {
+			return err
+		}
+		if !*once {
+			fmt.Fprint(out, "\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		render(out, cv, time.Now())
+		if *once {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetchCluster pulls and decodes one /debug/cluster document.
+func fetchCluster(client *http.Client, base string) (node.ClusterView, error) {
+	var cv node.ClusterView
+	resp, err := client.Get(base + "/debug/cluster")
+	if err != nil {
+		return cv, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return cv, fmt.Errorf("%s/debug/cluster: %s", base, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cv); err != nil {
+		return cv, fmt.Errorf("decode /debug/cluster: %w", err)
+	}
+	return cv, nil
+}
+
+// render writes the fleet table and the alert list for one snapshot.
+func render(out io.Writer, cv node.ClusterView, now time.Time) {
+	fmt.Fprintf(out, "groupcast-top — via %s  epoch %d  interval %.0fms  stale-after %.0fms  %s\n\n",
+		cv.Addr, cv.Epoch, cv.IntervalMs, cv.StaleAfterMs, now.Format("15:04:05"))
+	if !cv.Enabled {
+		fmt.Fprintln(out, "telemetry is disabled on this node")
+		return
+	}
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tEPOCH\tUTIL\tPRESS\tP99MS\tINBOX\tDELIVERED\tSHED\tAGE\tSTATE")
+	for _, nh := range cv.Nodes {
+		mark := ""
+		if nh.Self {
+			mark = "*"
+		}
+		state := "ok"
+		switch {
+		case nh.Stale:
+			state = "STALE"
+		case nh.Degraded:
+			state = "degraded"
+		}
+		age := now.Sub(nh.LastSeen).Round(100 * time.Millisecond)
+		if age < 0 {
+			age = 0
+		}
+		fmt.Fprintf(tw, "%s%s\t%d\t%.3f\t%.2f\t%.1f\t%d\t%d\t%d\t%s\t%s\n",
+			nh.Addr, mark, nh.Epoch, nh.Utility, nh.Pressure, nh.P99Ms,
+			nh.Inbox, nh.Delivered, nh.Shed, age, state)
+	}
+	tw.Flush()
+	if len(cv.Alerts) == 0 {
+		fmt.Fprintln(out, "\nno firing SLO alerts")
+		return
+	}
+	var alerts []string
+	for _, a := range cv.Alerts {
+		alerts = append(alerts, fmt.Sprintf("  %s %s  value %.3f  threshold %.3f  since %s",
+			a.Rule, a.Node, a.Value, a.Threshold, a.Since.Format("15:04:05")))
+	}
+	sort.Strings(alerts)
+	fmt.Fprintf(out, "\n%d firing SLO alert(s):\n%s\n", len(cv.Alerts), strings.Join(alerts, "\n"))
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"groupcast/internal/node"
+	"groupcast/internal/telemetry"
+	"groupcast/internal/wire"
+)
+
+func fakeCluster(now time.Time) node.ClusterView {
+	return node.ClusterView{
+		Addr:         "10.0.0.1:7001",
+		Enabled:      true,
+		Epoch:        42,
+		IntervalMs:   1000,
+		StaleAfterMs: 2000,
+		SLO:          telemetry.DefaultSLOConfig(),
+		Nodes: []telemetry.NodeHealth{
+			{
+				HealthDigest: wire.HealthDigest{Addr: "10.0.0.1:7001", Epoch: 42,
+					Utility: 0.812, Pressure: 0.10, P99Ms: 12.5, Delivered: 900},
+				LastSeen: now.Add(-300 * time.Millisecond), Self: true,
+			},
+			{
+				HealthDigest: wire.HealthDigest{Addr: "10.0.0.2:7001", Epoch: 41,
+					Utility: 0.655, Pressure: 0.93, P99Ms: 310, Inbox: 12,
+					Delivered: 850, Shed: 17, Degraded: true},
+				LastSeen: now.Add(-700 * time.Millisecond),
+			},
+			{
+				HealthDigest: wire.HealthDigest{Addr: "10.0.0.3:7001", Epoch: 12},
+				LastSeen:     now.Add(-9 * time.Second), Stale: true,
+			},
+		},
+		Alerts: []telemetry.Alert{
+			{Rule: telemetry.RulePressure, Node: "10.0.0.2:7001", Value: 0.93,
+				Threshold: 0.90, Firing: true, Since: now.Add(-2 * time.Second)},
+			{Rule: telemetry.RuleStale, Node: "10.0.0.3:7001", Value: 9,
+				Threshold: 2, Firing: true, Since: now.Add(-7 * time.Second)},
+		},
+	}
+}
+
+// TestRenderTable pins the shape of the fleet table: every node row with its
+// digest columns and state verdict, plus the alert list.
+func TestRenderTable(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	var sb strings.Builder
+	render(&sb, fakeCluster(now), now)
+	out := sb.String()
+
+	for _, want := range []string{
+		"via 10.0.0.1:7001",
+		"epoch 42",
+		"NODE", "EPOCH", "PRESS", "P99MS", "STATE", // table header columns
+		"10.0.0.1:7001*", // self marker
+		"degraded",
+		"STALE",
+		"2 firing SLO alert(s)",
+		telemetry.RulePressure + " 10.0.0.2:7001",
+		telemetry.RuleStale + " 10.0.0.3:7001",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "telemetry is disabled") {
+		t.Error("enabled view rendered the disabled banner")
+	}
+}
+
+// TestRenderDisabled: a node with telemetry off gets a banner, not a table.
+func TestRenderDisabled(t *testing.T) {
+	var sb strings.Builder
+	render(&sb, node.ClusterView{Addr: "x", Enabled: false}, time.Now())
+	if !strings.Contains(sb.String(), "telemetry is disabled") {
+		t.Errorf("disabled view output:\n%s", sb.String())
+	}
+}
+
+// TestRunOnceAgainstHTTP drives the whole binary path (flag parsing, HTTP
+// fetch, JSON decode, render) against a fake /debug/cluster endpoint.
+func TestRunOnceAgainstHTTP(t *testing.T) {
+	now := time.Now()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/cluster" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(fakeCluster(now)); err != nil {
+			t.Error(err)
+		}
+	}))
+	defer srv.Close()
+
+	var sb strings.Builder
+	if err := run(&sb, []string{"-addr", srv.URL, "-once"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "10.0.0.2:7001") || !strings.Contains(out, "firing SLO alert") {
+		t.Errorf("run -once output:\n%s", out)
+	}
+	if strings.Contains(out, "\x1b[2J") {
+		t.Error("-once mode must not clear the screen")
+	}
+
+	// -json passes the document through untouched.
+	sb.Reset()
+	if err := run(&sb, []string{"-addr", srv.URL, "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"epoch": 42`) && !strings.Contains(sb.String(), `"epoch":42`) {
+		t.Errorf("-json output:\n%s", sb.String())
+	}
+}
+
+// TestRunBadEndpoint: a dead endpoint is an error, not a hang.
+func TestRunBadEndpoint(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-addr", "127.0.0.1:1", "-once"}); err == nil {
+		t.Fatal("run against a dead endpoint returned nil")
+	}
+}

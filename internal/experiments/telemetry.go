@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"groupcast/internal/coords"
+	"groupcast/internal/node"
+	"groupcast/internal/peer"
+	"groupcast/internal/telemetry"
+	"groupcast/internal/transport"
+	"groupcast/internal/wire"
+)
+
+// This file is the fleet-telemetry chaos study: a live cluster runs the
+// gossiped health-digest plane until every node knows every member and
+// every future survivor holds a fresh view of the root, then the group's
+// rendezvous root is crash-stopped and the experiment measures
+// fault-detection latency — how many of a survivor's own telemetry epochs
+// pass between the last sign of life it accepted from the victim and its
+// stale SLO alert firing.
+//
+// Counting from the last accepted digest (not from the wall-clock crash
+// moment) is what makes the number an invariant: the victim's final digest
+// keeps echoing through gossip for a while after the crash, and a survivor
+// cannot — by definition — start suspecting before the last echo reaches
+// it. From that point the detector is deterministic: the staleness window
+// is 2 epochs and the sweep runs once per epoch, so the alert fires on the
+// first sweep past the window, at most 3 of the survivor's own epochs
+// later, at any -workers count and under any load. The wall-clock columns
+// (converge-ms, detect-ms) are measurements and vary run to run.
+
+// telemetryDetectBudget is the acceptance bound on detection latency, in
+// survivor telemetry epochs.
+const telemetryDetectBudget = 3
+
+// telemetryHorizon bounds each cell's convergence and detection phases.
+const telemetryHorizon = 15 * time.Second
+
+// telemetryCell is one (cluster size, gossip fan-in) configuration.
+type telemetryCell struct {
+	size   int
+	gossip int
+	seed   int64
+}
+
+// telemetryRow is one cell's measurement.
+type telemetryRow struct {
+	Size         int
+	Gossip       int
+	Converged    bool
+	ConvergeTime time.Duration
+	Detected     bool          // every survivor fired the stale alert
+	DetectEpochs uint64        // max over survivors: last-sign-of-life → alert, in their own epochs
+	DetectTime   time.Duration // wall clock, crash to last survivor's alert
+}
+
+// RunTelemetry runs the fault-detection study and writes the table.
+func RunTelemetry(w io.Writer, seed int64, workers int) error {
+	sizes := []int{6, 12}
+	fanins := []int{1, 2}
+	cells := make([]telemetryCell, 0, len(sizes)*len(fanins))
+	for si, size := range sizes {
+		for gi, g := range fanins {
+			cells = append(cells, telemetryCell{
+				size: size, gossip: g,
+				seed: cellSeed(seed, 97, int64(si), int64(gi)),
+			})
+		}
+	}
+	rows, err := mapOrdered(workers, len(cells), func(i int) (telemetryRow, error) {
+		return runTelemetryCell(cells[i])
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "# telemetry: gossiped fleet view vs a root crash-stop")
+	fmt.Fprintf(w, "# (health digests piggyback on heartbeats/beacons with the given gossip\n")
+	fmt.Fprintf(w, "#  fan-in; once every node knows the fleet the rendezvous root is killed\n")
+	fmt.Fprintf(w, "#  and each survivor's stale SLO alert is timed in its own telemetry\n")
+	fmt.Fprintf(w, "#  epochs, from the victim's last accepted digest to the alert.\n")
+	fmt.Fprintf(w, "#  converged, detected and detect-epochs <= %d are invariants —\n", telemetryDetectBudget)
+	fmt.Fprintln(w, "#  deterministic at any -workers; converge-ms and detect-ms are")
+	fmt.Fprintln(w, "#  wall-clock measurements)")
+	fmt.Fprintf(w, "%-6s %-7s %-10s %-12s %-9s %-14s %s\n",
+		"size", "gossip", "converged", "converge-ms", "detected", "detect-epochs", "detect-ms")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6d %-7d %-10t %-12d %-9t %-14d %d\n",
+			r.Size, r.Gossip, r.Converged, r.ConvergeTime.Milliseconds(),
+			r.Detected, r.DetectEpochs, r.DetectTime.Milliseconds())
+	}
+	return nil
+}
+
+// runTelemetryCell boots one live cluster, waits for every node's fleet view
+// to hold all members fresh, crash-stops the root, and times detection.
+func runTelemetryCell(c telemetryCell) (telemetryRow, error) {
+	row := telemetryRow{Size: c.size, Gossip: c.gossip}
+	mem := transport.NewMemNetwork()
+	rng := rand.New(rand.NewSource(c.seed))
+	sampler := peer.MustTable1Sampler()
+
+	nodes := make([]*node.Node, 0, c.size)
+	defer func() {
+		for _, nd := range nodes {
+			_ = nd.Close()
+		}
+	}()
+	for i := 0; i < c.size; i++ {
+		cfg := node.DefaultConfig(float64(sampler.Sample(rng)),
+			coords.Point{rng.Float64() * 100, rng.Float64() * 100}, int64(i+1))
+		cfg.HeartbeatInterval = 40 * time.Millisecond
+		cfg.OverloadSampleInterval = 20 * time.Millisecond
+		cfg.TelemetryGossip = c.gossip
+		nd := node.New(mem.NextEndpoint(), cfg)
+		nd.Start()
+		var contacts []string
+		for j := len(nodes) - 1; j >= 0 && len(contacts) < 5; j-- {
+			contacts = append(contacts, nodes[j].Addr())
+		}
+		if err := nd.Bootstrap(contacts, 2*time.Second); err != nil {
+			return row, fmt.Errorf("telemetry %d/%d: bootstrap node %d: %w", c.size, c.gossip, i, err)
+		}
+		nodes = append(nodes, nd)
+	}
+
+	const gid = "fleet"
+	rdv := nodes[0]
+	if err := rdv.CreateGroupMode(gid, wire.Reliable); err != nil {
+		return row, err
+	}
+	if err := rdv.Advertise(gid); err != nil {
+		return row, err
+	}
+	time.Sleep(200 * time.Millisecond)
+	for _, nd := range nodes[1:] {
+		joined := false
+		for attempt := 0; attempt < 6 && !joined; attempt++ {
+			joined = nd.Join(gid, time.Second) == nil
+		}
+		if !joined {
+			return row, fmt.Errorf("telemetry %d/%d: member never joined", c.size, c.gossip)
+		}
+	}
+
+	// Phase 1 — convergence: every node's fleet view knows every member
+	// (epoch-advancing digest present), and every future survivor holds a
+	// currently fresh view of the root it is about to lose. Freshness of
+	// *every* pairwise entry is deliberately not required: at gossip fan-in 1
+	// a low-degree node's view of a distant peer legitimately flaps in and
+	// out of the 2-epoch staleness window — that is the fan-in trade-off this
+	// experiment's gossip column exists to show, not a convergence failure.
+	victim := rdv.Addr()
+	start := time.Now()
+	deadline := start.Add(telemetryHorizon)
+	for !row.Converged && time.Now().Before(deadline) {
+		row.Converged = true
+		for _, nd := range nodes {
+			known, rootFresh := 0, nd == rdv
+			for _, nh := range nd.FleetView() {
+				if nh.Epoch > 0 {
+					known++
+				}
+				if nh.Addr == victim && !nh.Stale {
+					rootFresh = true
+				}
+			}
+			if known < c.size || !rootFresh {
+				row.Converged = false
+				break
+			}
+		}
+		if !row.Converged {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	row.ConvergeTime = time.Since(start)
+	if !row.Converged {
+		return row, nil
+	}
+
+	// Phase 2 — crash-stop the root and time each survivor's stale alert,
+	// counted in the survivor's OWN telemetry epochs from the victim's last
+	// accepted digest (the fleet entry's LastSeen — which the victim's final
+	// in-flight and gossip-echoed digests may still advance shortly after
+	// the crash) to the alert's Since timestamp, both mapped to epoch
+	// numbers through the survivor's history ring. That window is pure
+	// detector latency and load-independent.
+	_ = rdv.Close()
+	crash := time.Now()
+
+	pending := make(map[string]bool, c.size-1)
+	for _, nd := range nodes[1:] {
+		pending[nd.Addr()] = true
+	}
+	deadline = crash.Add(telemetryHorizon)
+	for len(pending) > 0 && time.Now().Before(deadline) {
+		for _, nd := range nodes[1:] {
+			if !pending[nd.Addr()] {
+				continue
+			}
+			for _, a := range nd.SLOActive() {
+				if a.Rule == telemetry.RuleStale && a.Node == victim {
+					delete(pending, nd.Addr())
+					lat := detectionEpochs(nd, victim, a)
+					if lat > row.DetectEpochs {
+						row.DetectEpochs = lat
+					}
+					row.DetectTime = time.Since(crash)
+					break
+				}
+			}
+		}
+		if len(pending) > 0 {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	row.Detected = len(pending) == 0
+	return row, nil
+}
+
+// detectionEpochs converts one survivor's firing stale alert into detection
+// latency in the survivor's own telemetry epochs: the epoch during which the
+// victim's LastSeen last advanced to the epoch whose sweep raised the alert.
+// The alert's Since is stamped with the same clock reading the sweep's
+// history sample records, so both endpoints map exactly onto the ring. A
+// refresh that arrives after an alert clears and re-raises it, keeping the
+// (LastSeen, Since) pair of any *active* alert consistent.
+func detectionEpochs(nd *node.Node, victim string, a telemetry.Alert) uint64 {
+	var lastSeen time.Time
+	for _, nh := range nd.FleetView() {
+		if nh.Addr == victim {
+			lastSeen = nh.LastSeen
+			break
+		}
+	}
+	epochAt := func(t time.Time) uint64 {
+		var e uint64
+		for _, s := range nd.TelemetryHistory() {
+			if !s.Time.After(t) {
+				e = s.Epoch
+			}
+		}
+		return e
+	}
+	seenEpoch, alertEpoch := epochAt(lastSeen), epochAt(a.Since)
+	if alertEpoch <= seenEpoch {
+		return 0
+	}
+	return alertEpoch - seenEpoch
+}

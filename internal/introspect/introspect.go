@@ -7,11 +7,14 @@
 // Endpoint catalog (see docs/OBSERVABILITY.md):
 //
 //	/debug/vars     metrics registry snapshot + node stats (JSON)
+//	/debug/metrics  metrics registry alone; ?format=prom for Prometheus text
 //	/debug/tree     per-group tree attachment with per-link utility/latency
 //	/debug/overlay  neighbour table with liveness and coordinates
 //	/debug/overload overload controller state + per-peer circuit breakers
 //	/debug/dht      discovery-plane snapshot: routing table, records, counters
 //	/debug/trace    recent trace events, newest last (?n= caps the count)
+//	/debug/cluster  gossiped fleet view: per-node health digests + SLO alerts
+//	/debug/history  local telemetry time series, oldest sample first
 //	/debug/pprof/   the standard Go profiler index
 //	/debug/expvars  the stdlib expvar dump (Go runtime memstats etc.)
 package introspect
@@ -27,6 +30,7 @@ import (
 	"time"
 
 	"groupcast/internal/node"
+	"groupcast/internal/telemetry"
 )
 
 // Handler builds the debug mux for one node. The mux is self-contained (no
@@ -40,6 +44,27 @@ func Handler(n *node.Node) http.Handler {
 			"metrics":  n.Metrics().Snapshot(),
 			"stats":    n.Stats(),
 			"overload": n.OverloadSnapshot(),
+		})
+	})
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := n.Metrics().Snapshot()
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			telemetry.WriteProm(w, snap, map[string]string{"node": n.Addr()})
+			return
+		}
+		writeJSON(w, map[string]any{
+			"addr":    n.Addr(),
+			"metrics": snap,
+		})
+	})
+	mux.HandleFunc("/debug/cluster", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, n.ClusterView())
+	})
+	mux.HandleFunc("/debug/history", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"addr":    n.Addr(),
+			"samples": n.TelemetryHistory(),
 		})
 	})
 	mux.HandleFunc("/debug/overload", func(w http.ResponseWriter, r *http.Request) {

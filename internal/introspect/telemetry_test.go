@@ -1,0 +1,466 @@
+package introspect
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"groupcast/internal/coords"
+	"groupcast/internal/node"
+	"groupcast/internal/telemetry"
+	"groupcast/internal/trace"
+	"groupcast/internal/transport"
+	"groupcast/internal/wire"
+)
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestTelemetryEndpoints drives the three PR 9 endpoints on a live two-node
+// TCP cluster: /debug/cluster must show a converged fleet view,
+// /debug/history a growing local time series, and /debug/metrics both JSON
+// and Prometheus text exposition.
+func TestTelemetryEndpoints(t *testing.T) {
+	rdv := startTCPNode(t, 1)
+	peer := startTCPNode(t, 2, rdv.Addr())
+
+	if err := rdv.CreateGroupMode("tel", wire.Reliable); err != nil {
+		t.Fatal(err)
+	}
+	if err := rdv.Advertise("tel"); err != nil {
+		t.Fatal(err)
+	}
+	var jerr error
+	for attempt := 0; attempt < 10; attempt++ {
+		if jerr = peer.Join("tel", time.Second); jerr == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if jerr != nil {
+		t.Fatalf("join: %v", jerr)
+	}
+	if err := rdv.Publish("tel", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := Start("127.0.0.1:0", rdv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// The fleet view needs a couple of heartbeat epochs to gossip.
+	waitUntil(t, 5*time.Second, func() bool {
+		return len(rdv.FleetView()) >= 2 && len(rdv.TelemetryHistory()) > 0
+	}, "rdv fleet view never converged")
+
+	getJSON := func(path string) map[string]any {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatalf("GET %s: invalid JSON: %v\n%s", path, err, body)
+		}
+		return doc
+	}
+
+	cl := getJSON("/debug/cluster")
+	if cl["addr"] != rdv.Addr() || cl["enabled"] != true {
+		t.Fatalf("/debug/cluster header wrong: %v", cl)
+	}
+	clNodes, _ := cl["nodes"].([]any)
+	if len(clNodes) < 2 {
+		t.Fatalf("/debug/cluster has %d nodes, want >= 2: %v", len(clNodes), cl)
+	}
+	seen := map[string]bool{}
+	for _, raw := range clNodes {
+		nh, _ := raw.(map[string]any)
+		addr, _ := nh["addr"].(string)
+		seen[addr] = true
+		if ep, _ := nh["epoch"].(float64); ep == 0 {
+			t.Errorf("/debug/cluster node %s has epoch 0", addr)
+		}
+	}
+	if !seen[rdv.Addr()] || !seen[peer.Addr()] {
+		t.Errorf("/debug/cluster missing a node: %v", seen)
+	}
+	if _, ok := cl["slo"].(map[string]any); !ok {
+		t.Errorf("/debug/cluster has no slo config: %v", cl["slo"])
+	}
+
+	hist := getJSON("/debug/history")
+	samples, _ := hist["samples"].([]any)
+	if len(samples) == 0 {
+		t.Fatalf("/debug/history has no samples: %v", hist)
+	}
+	s0, _ := samples[0].(map[string]any)
+	for _, field := range []string{"epoch", "t", "counters"} {
+		if _, ok := s0[field]; !ok {
+			t.Errorf("/debug/history sample missing %q: %v", field, s0)
+		}
+	}
+
+	md := getJSON("/debug/metrics")
+	if _, ok := md["metrics"].(map[string]any); !ok {
+		t.Fatalf("/debug/metrics has no metrics object: %v", md)
+	}
+
+	resp, err := http.Get(base + "/debug/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	promBody, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prom: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("prom content type %q", ct)
+	}
+	text := string(promBody)
+	if !strings.Contains(text, "# TYPE groupcast_") {
+		t.Errorf("prom output lacks TYPE comments:\n%.400s", text)
+	}
+	if !strings.Contains(text, fmt.Sprintf("node=%q", rdv.Addr())) {
+		t.Errorf("prom output lacks the node label:\n%.400s", text)
+	}
+	if !strings.Contains(text, "_bucket{") || !strings.Contains(text, `le="+Inf"`) {
+		t.Errorf("prom output lacks histogram buckets:\n%.400s", text)
+	}
+}
+
+// debugPaths is every read-only endpoint the hammer test hits concurrently.
+var debugPaths = []string{
+	"/debug/vars",
+	"/debug/metrics",
+	"/debug/metrics?format=prom",
+	"/debug/tree",
+	"/debug/overlay",
+	"/debug/overload",
+	"/debug/dht",
+	"/debug/trace?n=50",
+	"/debug/cluster",
+	"/debug/history",
+	"/debug/pprof/",
+	"/debug/expvars",
+}
+
+// TestDebugEndpointsHammer hammers every /debug/* endpoint from many
+// goroutines while a live lossy cluster publishes underneath — the race
+// detector (CI runs this package with -race) turns any unsynchronized
+// snapshot into a failure — then asserts the whole stack tears down without
+// leaking goroutines.
+func TestDebugEndpointsHammer(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	net := transport.NewMemNetwork()
+	net.SetDropRate(0.05, 7)
+	var nodes []*node.Node
+	var servers []*Server
+	for i := 0; i < 3; i++ {
+		cfg := node.DefaultConfig(10, coords.Point{float64(i), 0}, int64(i+1))
+		cfg.HeartbeatInterval = 60 * time.Millisecond
+		cfg.Tracer = trace.New(512, nil)
+		nd := node.New(net.NextEndpoint(), cfg)
+		nd.Start()
+		var contacts []string
+		for _, prev := range nodes {
+			contacts = append(contacts, prev.Addr())
+		}
+		if err := nd.Bootstrap(contacts, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+		srv, err := Start("127.0.0.1:0", nd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, srv)
+	}
+	rdv := nodes[0]
+	if err := rdv.CreateGroupMode("hammer", wire.Reliable); err != nil {
+		t.Fatal(err)
+	}
+	if err := rdv.Advertise("hammer"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	for _, m := range nodes[1:] {
+		var err error
+		for attempt := 0; attempt < 6; attempt++ {
+			if err = m.Join("hammer", time.Second); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	client := &http.Client{Transport: &http.Transport{}}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Publisher: keeps the data plane (and the trace ring) churning under
+	// the concurrent snapshot reads.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = rdv.Publish("hammer", []byte(fmt.Sprintf("p%d", i)))
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	const hammerers = 8
+	errs := make(chan error, hammerers)
+	for g := 0; g < hammerers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				srv := servers[(g+i)%len(servers)]
+				path := debugPaths[i%len(debugPaths)]
+				resp, err := client.Get("http://" + srv.Addr() + path)
+				if err != nil {
+					errs <- fmt.Errorf("GET %s: %w", path, err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+
+	time.Sleep(1500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Full teardown, then the goroutine count must return to (about) the
+	// pre-test baseline: servers, nodes, HTTP keep-alives all accounted for.
+	for _, srv := range servers {
+		_ = srv.Close()
+	}
+	for _, nd := range nodes {
+		_ = nd.Close()
+	}
+	client.CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d now vs %d baseline\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestStitchLiveClusterWithNackRecovery is the PR 9 acceptance test for
+// cross-node trace stitching: three separate node processes over real TCP,
+// each with its own debug HTTP server, a payload whose first delivery is
+// destroyed by the fault layer so the NACK/retransmit machinery must recover
+// it, and a Stitcher that pulls all three /debug/trace rings over HTTP and
+// merges them into one causally ordered timeline spanning every process —
+// including the recovery — with zero causal violations.
+func TestStitchLiveClusterWithNackRecovery(t *testing.T) {
+	cn := transport.NewChaosNetwork(42)
+	var nodes []*node.Node
+	var servers []*Server
+	for i := 0; i < 3; i++ {
+		tr, err := transport.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := node.DefaultConfig(10, coords.Point{float64(i), 0}, int64(i+1))
+		cfg.HeartbeatInterval = 150 * time.Millisecond
+		cfg.Tracer = trace.New(2048, nil)
+		nd := node.New(cn.Wrap(tr), cfg)
+		nd.Start()
+		var contacts []string
+		for _, prev := range nodes {
+			contacts = append(contacts, prev.Addr())
+		}
+		if err := nd.Bootstrap(contacts, 2*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+		srv, err := Start("127.0.0.1:0", nd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, srv)
+	}
+	defer func() {
+		for _, srv := range servers {
+			_ = srv.Close()
+		}
+		for _, nd := range nodes {
+			_ = nd.Close()
+		}
+	}()
+
+	rdv := nodes[0]
+	if err := rdv.CreateGroupMode("stitch", wire.Reliable); err != nil {
+		t.Fatal(err)
+	}
+	if err := rdv.Advertise("stitch"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	for _, m := range nodes[1:] {
+		var err error
+		for attempt := 0; attempt < 8; attempt++ {
+			if err = m.Join("stitch", time.Second); err == nil {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var mu sync.Mutex
+	got := map[string]int{}
+	for _, m := range nodes[1:] {
+		addr := m.Addr()
+		m.SetPayloadHandler(func(string, wire.PeerInfo, []byte) {
+			mu.Lock()
+			got[addr]++
+			mu.Unlock()
+		})
+	}
+
+	// Destroy the first copy: while the rules are up, everything the root
+	// sends toward either member is lost — the publish fan-out included.
+	// After the window lifts, only the NACK/digest recovery machinery can
+	// close the gap, so a delivered payload PROVES a recovery happened.
+	cn.SetLinkRule(rdv.Addr(), nodes[1].Addr(), transport.LinkRule{Drop: 1})
+	cn.SetLinkRule(rdv.Addr(), nodes[2].Addr(), transport.LinkRule{Drop: 1})
+	if err := rdv.Publish("stitch", []byte("recover-me")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(250 * time.Millisecond)
+	cn.SetLinkRule(rdv.Addr(), nodes[1].Addr(), transport.LinkRule{})
+	cn.SetLinkRule(rdv.Addr(), nodes[2].Addr(), transport.LinkRule{})
+
+	waitUntil(t, 20*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return got[nodes[1].Addr()] >= 1 && got[nodes[2].Addr()] >= 1
+	}, "members never recovered the dropped payload")
+
+	// Pull every process's trace ring over HTTP and stitch.
+	st := telemetry.NewStitcher()
+	for _, srv := range servers {
+		if _, err := st.FetchHTTP(nil, "http://"+srv.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(st.Nodes()); n != 3 {
+		t.Fatalf("stitcher collected %d nodes, want 3: %v", n, st.Nodes())
+	}
+
+	tl := st.Stitch(rdv.Addr(), telemetry.StitchFilter{Group: "stitch"})
+	if len(tl.Nodes) != 3 {
+		t.Fatalf("timeline spans %d nodes, want 3: %v", len(tl.Nodes), tl.Nodes)
+	}
+	kinds := map[trace.Kind]bool{}
+	deliverNodes := map[string]bool{}
+	for _, ev := range tl.Events {
+		kinds[ev.Kind] = true
+		if ev.Kind == trace.KindDeliver {
+			deliverNodes[ev.Node] = true
+		}
+	}
+	for _, want := range []trace.Kind{
+		trace.KindPublish, trace.KindSend, trace.KindRecv,
+		trace.KindDeliver, trace.KindNack, trace.KindRetransmit,
+	} {
+		if !kinds[want] {
+			t.Errorf("stitched timeline lacks a %q event: have %v", want, kinds)
+		}
+	}
+	if len(deliverNodes) < 2 {
+		t.Errorf("deliveries on %d nodes, want both members: %v", len(deliverNodes), deliverNodes)
+	}
+	if v := tl.CausalViolations(); v != 0 {
+		t.Errorf("stitched timeline has %d causal violations", v)
+	}
+
+	// The headline use case: one publish TraceID follows the payload across
+	// processes, and the retransmit that recovered it carries the same ID.
+	var pubID uint64
+	for _, ev := range tl.Events {
+		if ev.Kind == trace.KindPublish {
+			pubID = ev.TraceID
+			break
+		}
+	}
+	if pubID == 0 {
+		t.Fatal("publish event has no TraceID")
+	}
+	one := st.Stitch(rdv.Addr(), telemetry.StitchFilter{TraceID: pubID})
+	if len(one.Nodes) < 3 {
+		t.Errorf("TraceID %d timeline spans %v, want all 3 processes", pubID, one.Nodes)
+	}
+	oneKinds := map[trace.Kind]bool{}
+	for _, ev := range one.Events {
+		oneKinds[ev.Kind] = true
+	}
+	if !oneKinds[trace.KindRetransmit] {
+		t.Errorf("TraceID %d timeline lacks the recovery retransmit: %v", pubID, oneKinds)
+	}
+	if v := one.CausalViolations(); v != 0 {
+		t.Errorf("TraceID timeline has %d causal violations", v)
+	}
+}

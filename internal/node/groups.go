@@ -328,6 +328,9 @@ func (n *Node) onTreeLocked(gs *groupState) bool {
 // no longer hang under) are answered with a group-scoped leave so the sender
 // prunes its dead child edge.
 func (n *Node) handleBeacon(msg wire.Message) {
+	// Forwarded beacons re-gossip THIS node's health view, not the parent's
+	// slice, so each tree hop contributes its own round-robin pick.
+	health := n.telemetryHealth()
 	n.mu.Lock()
 	gs := n.groups[msg.GroupID]
 	if gs == nil || gs.rendezvous || gs.parent != msg.From.Addr {
@@ -387,6 +390,7 @@ func (n *Node) handleBeacon(msg wire.Message) {
 				// itself stays on the root→deputy hop.
 				Epoch:    gs.epoch,
 				Deputies: gs.deputies,
+				Health:   health,
 			},
 		})
 	}
@@ -394,6 +398,7 @@ func (n *Node) handleBeacon(msg wire.Message) {
 	for _, f := range fwds {
 		_ = n.send(f.to, f.msg)
 	}
+	n.countHealthSent(len(health), len(fwds))
 }
 
 func pathContains(path []string, addr string) bool {

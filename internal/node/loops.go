@@ -80,12 +80,18 @@ func (n *Node) dispatch(msg wire.Message) {
 	case wire.THeartbeat:
 		n.touchNeighbor(msg.From)
 		n.dhtObserve(msg.From)
+		n.observeHealth(msg)
+		// The ack gossips health back so digests spread both ways on every
+		// heartbeat exchange.
+		health := n.telemetryHealth()
 		_ = n.send(msg.From.Addr, wire.Message{
-			Type: wire.THeartbeatAck, From: n.selfInfo(), SentAt: msg.SentAt,
+			Type: wire.THeartbeatAck, From: n.selfInfo(), SentAt: msg.SentAt, Health: health,
 		})
+		n.countHealthSent(len(health), 1)
 	case wire.THeartbeatAck:
 		n.touchNeighbor(msg.From)
 		n.dhtObserve(msg.From)
+		n.observeHealth(msg)
 		if !msg.SentAt.IsZero() {
 			rttMs := float64(time.Since(msg.SentAt)) / float64(time.Millisecond)
 			n.metrics.heartbeatRTT.ObserveDurationMs(rttMs)
@@ -100,7 +106,12 @@ func (n *Node) dispatch(msg wire.Message) {
 	case wire.TPayload:
 		n.handlePayload(msg)
 	case wire.TBeacon:
+		n.observeHealth(msg)
 		n.handleBeacon(msg)
+	case wire.TTelemetry:
+		// Standalone digest exchange (tools and tests; the node itself
+		// piggybacks on heartbeats and beacons instead).
+		n.observeHealth(msg)
 	case wire.TNack:
 		n.handleNack(msg)
 	case wire.TDigest:
@@ -240,8 +251,11 @@ func (n *Node) heartbeatLoop() {
 			// than shatter the overlay on a false positive.
 			stalled := now.Sub(lastRun) > 2*n.cfg.HeartbeatInterval
 			lastRun = now
-			n.epoch(stalled)
 			epochs++
+			// Telemetry samples before the heartbeats go out so this epoch's
+			// piggyback carries the fresh digest.
+			n.telemetryEpoch(epochs)
+			n.epoch(stalled)
 			n.dhtEpoch(epochs)
 			if n.cfg.AdvertiseRefreshEpochs > 0 && epochs%n.cfg.AdvertiseRefreshEpochs == 0 {
 				n.refreshAdvertisements()
@@ -305,9 +319,11 @@ func (n *Node) epoch(stalled bool) {
 		n.stats.neighborsDead.Add(1)
 		orphaned = append(orphaned, n.removeNeighborAndOrphans(addr)...)
 	}
+	health := n.telemetryHealth()
 	for _, addr := range live {
-		_ = n.send(addr, wire.Message{Type: wire.THeartbeat, From: n.selfInfo(), SentAt: now})
+		_ = n.send(addr, wire.Message{Type: wire.THeartbeat, From: n.selfInfo(), SentAt: now, Health: health})
 	}
+	n.countHealthSent(len(health), len(live))
 	// Suspects get one extra mid-epoch probe: a lost heartbeat (or ack)
 	// must not cost a whole epoch of detection latency.
 	if len(newlySuspect) > 0 {
@@ -382,6 +398,7 @@ func (n *Node) epoch(stalled bool) {
 // roots. Each child's beacon carries its backup access points (siblings —
 // tree nodes guaranteed outside the child's subtree).
 func (n *Node) beaconGroups() {
+	health := n.telemetryHealth()
 	n.mu.Lock()
 	type beacon struct {
 		to  string
@@ -416,6 +433,7 @@ func (n *Node) beaconGroups() {
 				Backups:  n.backupsForChildLocked(gs, info),
 				Epoch:    gs.epoch,
 				Deputies: charter.Deputies,
+				Health:   health,
 			}
 			if roster[addr] {
 				msg.Charter = charter
@@ -431,6 +449,7 @@ func (n *Node) beaconGroups() {
 	for _, b := range beacons {
 		_ = n.send(b.to, b.msg)
 	}
+	n.countHealthSent(len(health), len(beacons))
 }
 
 // reattachAsync repairs dangling forwarder uplinks without asserting

@@ -21,6 +21,7 @@ import (
 	"groupcast/internal/dht"
 	"groupcast/internal/peer"
 	"groupcast/internal/reliable"
+	"groupcast/internal/telemetry"
 	"groupcast/internal/trace"
 	"groupcast/internal/transport"
 	"groupcast/internal/wire"
@@ -178,6 +179,31 @@ type Config struct {
 	// 0 uses the default of 30s.
 	PendingReqTTL time.Duration
 
+	// TelemetryEveryEpochs is how many heartbeat epochs pass between fleet
+	// telemetry samples: each sample refreshes the node's health digest (the
+	// piggyback on heartbeats and beacons) and appends one time-series
+	// history entry (0 uses 1; requires heartbeats to be enabled).
+	TelemetryEveryEpochs int
+	// TelemetryHistory is the time-series ring capacity in samples — how far
+	// back /debug/history reaches (0 uses 120).
+	TelemetryHistory int
+	// TelemetryGossip is how many OTHER nodes' digests ride each outgoing
+	// heartbeat/ack/beacon besides the node's own, cycled round-robin
+	// through the fleet view (0 uses 2 — sized to keep the piggyback under
+	// the 128-byte/beacon budget).
+	TelemetryGossip int
+	// TelemetryStaleEpochs is how many silent telemetry epochs mark a
+	// fleet-view entry stale and fire the stale SLO rule — the fleet's
+	// crash-stop detector (0 uses 2).
+	TelemetryStaleEpochs int
+	// SLO overrides the fleet alert thresholds and hysteresis dwells; the
+	// zero value uses the telemetry package defaults.
+	SLO telemetry.SLOConfig
+	// DisableTelemetry turns the fleet plane off entirely: no history, no
+	// fleet view, no SLO rules, and no Health field on outgoing messages
+	// (the wire encoding is then byte-identical to a pre-telemetry node's).
+	DisableTelemetry bool
+
 	// Tracer receives structured per-message trace events (see
 	// internal/trace). Nil disables tracing; the hot path then pays a single
 	// nil check per message. Metrics are independent of the tracer and
@@ -320,6 +346,9 @@ type Node struct {
 	// dht is the structured discovery plane (nil when DisableDHT). See
 	// dht.go.
 	dht *dhtState
+	// telemetry is the fleet telemetry plane (nil when DisableTelemetry).
+	// See telemetry.go.
+	telemetry *telemetryState
 
 	stop chan struct{}
 	done sync.WaitGroup
@@ -448,6 +477,18 @@ func New(tr transport.Transport, cfg Config) *Node {
 	if cfg.DHTQueryTimeout <= 0 {
 		cfg.DHTQueryTimeout = 250 * time.Millisecond
 	}
+	if cfg.TelemetryEveryEpochs < 1 {
+		cfg.TelemetryEveryEpochs = DefaultTelemetryEveryEpochs
+	}
+	if cfg.TelemetryHistory < 1 {
+		cfg.TelemetryHistory = DefaultTelemetryHistory
+	}
+	if cfg.TelemetryGossip < 1 {
+		cfg.TelemetryGossip = DefaultTelemetryGossip
+	}
+	if cfg.TelemetryStaleEpochs < 1 {
+		cfg.TelemetryStaleEpochs = DefaultTelemetryStaleEpochs
+	}
 	coord := cfg.Coord
 	if coord == nil {
 		coord = coords.Point{0, 0, 0}
@@ -495,6 +536,7 @@ func New(tr transport.Transport, cfg Config) *Node {
 		}
 	}
 	n.initObservability()
+	n.initTelemetry()
 	return n
 }
 
@@ -590,6 +632,11 @@ func (n *Node) Close() error {
 	close(n.stop)
 	err := n.tr.Close()
 	n.done.Wait()
+	// Flush and close the tracer's file sink only after every loop stopped
+	// recording, so a clean shutdown leaves a complete, fsynced trace file.
+	// The close error is counted into SinkErrors (surfaced via Stats); the
+	// transport error is the one callers act on.
+	_ = n.tracer.Close()
 	return err
 }
 

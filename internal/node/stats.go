@@ -81,6 +81,17 @@ type Stats struct {
 	DhtLookups   uint64
 	DhtFallbacks uint64
 	DhtStores    uint64
+	// TelemetryDigestsSent counts health digests piggybacked out on
+	// heartbeats, acks, and beacons; TelemetryDigestsReceived counts digests
+	// about other nodes taken in from peers (accepted or not).
+	TelemetryDigestsSent     uint64
+	TelemetryDigestsReceived uint64
+	// SLOAlerts counts SLO rules that entered the firing state in this
+	// node's fleet view (recoveries are not counted).
+	SLOAlerts uint64
+	// TraceWriteErrors counts failed or dropped writes on the tracer's file
+	// sink (0 without a -trace-file sink).
+	TraceWriteErrors uint64
 	// Transport reports the transport layer's drop accounting (inbox
 	// sheds, send failures, chaos-injected faults) when the node's
 	// transport exposes it; zero otherwise.
@@ -119,6 +130,10 @@ type statCounters struct {
 	dhtLookups   atomic.Uint64
 	dhtFallbacks atomic.Uint64
 	dhtStores    atomic.Uint64
+
+	telemetrySent atomic.Uint64
+	telemetryRecv atomic.Uint64
+	sloAlerts     atomic.Uint64
 }
 
 func (s *statCounters) onSend(t wire.Type) {
@@ -136,33 +151,37 @@ func (s *statCounters) onRecv(t wire.Type) {
 // Stats returns a snapshot of the node's message counters.
 func (n *Node) Stats() Stats {
 	out := Stats{
-		Sent:                  make(map[string]uint64),
-		Received:              make(map[string]uint64),
-		Delivered:             n.stats.delivered.Load(),
-		DuplicatesDropped:     n.stats.dupes.Load(),
-		Retries:               n.stats.retries.Load(),
-		Suspected:             n.stats.suspects.Load(),
-		NeighborsDeclaredDead: n.stats.neighborsDead.Load(),
-		RepairsViaBackup:      n.stats.repairBackup.Load(),
-		RepairsViaSearch:      n.stats.repairSearch.Load(),
-		SendErrors:            n.stats.sendErrors.Load(),
-		NacksSent:             n.stats.nacksSent.Load(),
-		NacksForwarded:        n.stats.nacksFwd.Load(),
-		Retransmits:           n.stats.retransmits.Load(),
-		GapsDetected:          n.stats.gapsOpen.Load(),
-		GapsRecovered:         n.stats.gapsRecovered.Load(),
-		GapsAbandoned:         n.stats.gapsAbandoned.Load(),
-		OutOfWindow:           n.stats.outOfWindow.Load(),
-		Promotions:            n.stats.promotions.Load(),
-		Demotions:             n.stats.demotions.Load(),
-		CharterReplications:   n.stats.charterRepl.Load(),
-		OrphansReabsorbed:     n.stats.orphansAbsorbed.Load(),
-		OverloadEpisodes:      n.stats.overloadEpisodes.Load(),
-		PublishRejects:        n.stats.publishRejects.Load(),
-		RelaySheds:            n.stats.relaySheds.Load(),
-		DhtLookups:            n.stats.dhtLookups.Load(),
-		DhtFallbacks:          n.stats.dhtFallbacks.Load(),
-		DhtStores:             n.stats.dhtStores.Load(),
+		Sent:                     make(map[string]uint64),
+		Received:                 make(map[string]uint64),
+		Delivered:                n.stats.delivered.Load(),
+		DuplicatesDropped:        n.stats.dupes.Load(),
+		Retries:                  n.stats.retries.Load(),
+		Suspected:                n.stats.suspects.Load(),
+		NeighborsDeclaredDead:    n.stats.neighborsDead.Load(),
+		RepairsViaBackup:         n.stats.repairBackup.Load(),
+		RepairsViaSearch:         n.stats.repairSearch.Load(),
+		SendErrors:               n.stats.sendErrors.Load(),
+		NacksSent:                n.stats.nacksSent.Load(),
+		NacksForwarded:           n.stats.nacksFwd.Load(),
+		Retransmits:              n.stats.retransmits.Load(),
+		GapsDetected:             n.stats.gapsOpen.Load(),
+		GapsRecovered:            n.stats.gapsRecovered.Load(),
+		GapsAbandoned:            n.stats.gapsAbandoned.Load(),
+		OutOfWindow:              n.stats.outOfWindow.Load(),
+		Promotions:               n.stats.promotions.Load(),
+		Demotions:                n.stats.demotions.Load(),
+		CharterReplications:      n.stats.charterRepl.Load(),
+		OrphansReabsorbed:        n.stats.orphansAbsorbed.Load(),
+		OverloadEpisodes:         n.stats.overloadEpisodes.Load(),
+		PublishRejects:           n.stats.publishRejects.Load(),
+		RelaySheds:               n.stats.relaySheds.Load(),
+		DhtLookups:               n.stats.dhtLookups.Load(),
+		DhtFallbacks:             n.stats.dhtFallbacks.Load(),
+		DhtStores:                n.stats.dhtStores.Load(),
+		TelemetryDigestsSent:     n.stats.telemetrySent.Load(),
+		TelemetryDigestsReceived: n.stats.telemetryRecv.Load(),
+		SLOAlerts:                n.stats.sloAlerts.Load(),
+		TraceWriteErrors:         n.tracer.SinkErrors(),
 	}
 	if dc, ok := n.tr.(transport.DropCounter); ok {
 		out.Transport = dc.DropStats()
@@ -218,6 +237,10 @@ func (s *Stats) Merge(other Stats) {
 	s.DhtLookups += other.DhtLookups
 	s.DhtFallbacks += other.DhtFallbacks
 	s.DhtStores += other.DhtStores
+	s.TelemetryDigestsSent += other.TelemetryDigestsSent
+	s.TelemetryDigestsReceived += other.TelemetryDigestsReceived
+	s.SLOAlerts += other.SLOAlerts
+	s.TraceWriteErrors += other.TraceWriteErrors
 	s.Transport.Add(other.Transport)
 }
 
@@ -232,33 +255,37 @@ func (s Stats) Delta(base Stats) Stats {
 		return a - b
 	}
 	out := Stats{
-		Sent:                  make(map[string]uint64),
-		Received:              make(map[string]uint64),
-		Delivered:             sub(s.Delivered, base.Delivered),
-		DuplicatesDropped:     sub(s.DuplicatesDropped, base.DuplicatesDropped),
-		Retries:               sub(s.Retries, base.Retries),
-		Suspected:             sub(s.Suspected, base.Suspected),
-		NeighborsDeclaredDead: sub(s.NeighborsDeclaredDead, base.NeighborsDeclaredDead),
-		RepairsViaBackup:      sub(s.RepairsViaBackup, base.RepairsViaBackup),
-		RepairsViaSearch:      sub(s.RepairsViaSearch, base.RepairsViaSearch),
-		SendErrors:            sub(s.SendErrors, base.SendErrors),
-		NacksSent:             sub(s.NacksSent, base.NacksSent),
-		NacksForwarded:        sub(s.NacksForwarded, base.NacksForwarded),
-		Retransmits:           sub(s.Retransmits, base.Retransmits),
-		GapsDetected:          sub(s.GapsDetected, base.GapsDetected),
-		GapsRecovered:         sub(s.GapsRecovered, base.GapsRecovered),
-		GapsAbandoned:         sub(s.GapsAbandoned, base.GapsAbandoned),
-		OutOfWindow:           sub(s.OutOfWindow, base.OutOfWindow),
-		Promotions:            sub(s.Promotions, base.Promotions),
-		Demotions:             sub(s.Demotions, base.Demotions),
-		CharterReplications:   sub(s.CharterReplications, base.CharterReplications),
-		OrphansReabsorbed:     sub(s.OrphansReabsorbed, base.OrphansReabsorbed),
-		OverloadEpisodes:      sub(s.OverloadEpisodes, base.OverloadEpisodes),
-		PublishRejects:        sub(s.PublishRejects, base.PublishRejects),
-		RelaySheds:            sub(s.RelaySheds, base.RelaySheds),
-		DhtLookups:            sub(s.DhtLookups, base.DhtLookups),
-		DhtFallbacks:          sub(s.DhtFallbacks, base.DhtFallbacks),
-		DhtStores:             sub(s.DhtStores, base.DhtStores),
+		Sent:                     make(map[string]uint64),
+		Received:                 make(map[string]uint64),
+		Delivered:                sub(s.Delivered, base.Delivered),
+		DuplicatesDropped:        sub(s.DuplicatesDropped, base.DuplicatesDropped),
+		Retries:                  sub(s.Retries, base.Retries),
+		Suspected:                sub(s.Suspected, base.Suspected),
+		NeighborsDeclaredDead:    sub(s.NeighborsDeclaredDead, base.NeighborsDeclaredDead),
+		RepairsViaBackup:         sub(s.RepairsViaBackup, base.RepairsViaBackup),
+		RepairsViaSearch:         sub(s.RepairsViaSearch, base.RepairsViaSearch),
+		SendErrors:               sub(s.SendErrors, base.SendErrors),
+		NacksSent:                sub(s.NacksSent, base.NacksSent),
+		NacksForwarded:           sub(s.NacksForwarded, base.NacksForwarded),
+		Retransmits:              sub(s.Retransmits, base.Retransmits),
+		GapsDetected:             sub(s.GapsDetected, base.GapsDetected),
+		GapsRecovered:            sub(s.GapsRecovered, base.GapsRecovered),
+		GapsAbandoned:            sub(s.GapsAbandoned, base.GapsAbandoned),
+		OutOfWindow:              sub(s.OutOfWindow, base.OutOfWindow),
+		Promotions:               sub(s.Promotions, base.Promotions),
+		Demotions:                sub(s.Demotions, base.Demotions),
+		CharterReplications:      sub(s.CharterReplications, base.CharterReplications),
+		OrphansReabsorbed:        sub(s.OrphansReabsorbed, base.OrphansReabsorbed),
+		OverloadEpisodes:         sub(s.OverloadEpisodes, base.OverloadEpisodes),
+		PublishRejects:           sub(s.PublishRejects, base.PublishRejects),
+		RelaySheds:               sub(s.RelaySheds, base.RelaySheds),
+		DhtLookups:               sub(s.DhtLookups, base.DhtLookups),
+		DhtFallbacks:             sub(s.DhtFallbacks, base.DhtFallbacks),
+		DhtStores:                sub(s.DhtStores, base.DhtStores),
+		TelemetryDigestsSent:     sub(s.TelemetryDigestsSent, base.TelemetryDigestsSent),
+		TelemetryDigestsReceived: sub(s.TelemetryDigestsReceived, base.TelemetryDigestsReceived),
+		SLOAlerts:                sub(s.SLOAlerts, base.SLOAlerts),
+		TraceWriteErrors:         sub(s.TraceWriteErrors, base.TraceWriteErrors),
 		Transport: transport.DropStats{
 			InboxSheds:      sub(s.Transport.InboxSheds, base.Transport.InboxSheds),
 			ControlSheds:    sub(s.Transport.ControlSheds, base.Transport.ControlSheds),

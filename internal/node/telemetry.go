@@ -1,0 +1,286 @@
+package node
+
+import (
+	"sync"
+	"time"
+
+	"groupcast/internal/telemetry"
+	"groupcast/internal/trace"
+	"groupcast/internal/transport"
+	"groupcast/internal/wire"
+)
+
+// This file wires the fleet telemetry plane (internal/telemetry) into the
+// live node. Once per telemetry epoch (a multiple of the heartbeat epoch)
+// the node samples itself into a compact wire.HealthDigest and a local
+// time-series History entry; the digest — plus a round-robin pick of other
+// nodes' digests — piggybacks on every outgoing heartbeat, heartbeat ack,
+// and beacon, so the fleet view spreads over the links the overlay already
+// maintains and converges without any dedicated traffic. Incoming digests
+// merge epoch-monotonically into the Fleet view and feed the SLO rules,
+// whose transitions land in the trace ring as KindAlert events.
+
+// Telemetry defaults. The gossip fan-in is sized so the piggyback (own
+// digest + TelemetryGossip others, ≤ ~58 bytes each with every field at
+// full width) stays under the 128-byte-per-beacon overhead budget gated by
+// BENCH_pr9.json. Raising TelemetryGossip buys faster fleet convergence in
+// large clusters (see `groupcast-sim -exp telemetry`) at more piggyback
+// bytes.
+const (
+	DefaultTelemetryEveryEpochs = 1
+	DefaultTelemetryHistory     = 120
+	DefaultTelemetryGossip      = 1
+	// DefaultTelemetryStaleEpochs is how many silent telemetry epochs mark a
+	// fleet-view entry stale (and fire the stale SLO rule) — 2 keeps
+	// crash-stop detection inside the 3-epoch budget while tolerating one
+	// lost piggyback.
+	DefaultTelemetryStaleEpochs = 2
+)
+
+// telemetryState is the node's half of the fleet plane: the epoch counter,
+// the freshest self digest (what piggybacks out), and the telemetry
+// package's primitives.
+type telemetryState struct {
+	mu    sync.Mutex
+	epoch uint64
+	self  wire.HealthDigest
+
+	history *telemetry.History
+	fleet   *telemetry.Fleet
+	slo     *telemetry.SLO
+}
+
+// initTelemetry builds the fleet plane. Called once from New, after the
+// metrics registry exists. No-op when DisableTelemetry.
+func (n *Node) initTelemetry() {
+	if n.cfg.DisableTelemetry {
+		return
+	}
+	ts := &telemetryState{
+		history: telemetry.NewHistory(n.cfg.TelemetryHistory),
+		fleet:   telemetry.NewFleet(n.self.Addr, 0),
+	}
+	// Alert transitions count into Stats and land in the trace ring; the
+	// callback runs under the SLO's lock so it must not call back into it.
+	ts.slo = telemetry.NewSLO(n.cfg.SLO, func(a telemetry.Alert) {
+		if a.Firing {
+			n.stats.sloAlerts.Add(1)
+		}
+		if n.tracer != nil {
+			rule := a.Rule
+			if !a.Firing {
+				rule += "-resolved"
+			}
+			n.tracer.Record(trace.Event{
+				Time:      time.Now(),
+				Node:      n.self.Addr,
+				Kind:      trace.KindAlert,
+				Msg:       rule,
+				Peer:      a.Node,
+				Value:     a.Value,
+				Threshold: a.Threshold,
+			})
+		}
+	})
+	n.telemetry = ts
+	ts.fleet.Observe(wire.HealthDigest{Addr: n.self.Addr}, time.Now())
+}
+
+// telemetryInterval is the wall-clock length of one telemetry epoch.
+func (n *Node) telemetryInterval() time.Duration {
+	return n.cfg.HeartbeatInterval * time.Duration(n.cfg.TelemetryEveryEpochs)
+}
+
+// telemetryStaleAfter is the staleness window applied to fleet snapshots.
+func (n *Node) telemetryStaleAfter() time.Duration {
+	return time.Duration(n.cfg.TelemetryStaleEpochs) * n.telemetryInterval()
+}
+
+// telemetryEpoch runs once per heartbeat epoch from the heartbeat loop:
+// sample self into a fresh digest + history entry, then sweep the fleet view
+// for staleness. Gated to every TelemetryEveryEpochs epochs.
+func (n *Node) telemetryEpoch(epochs int) {
+	ts := n.telemetry
+	if ts == nil {
+		return
+	}
+	if e := n.cfg.TelemetryEveryEpochs; e > 1 && epochs%e != 0 {
+		return
+	}
+	now := time.Now()
+	d := n.buildDigest()
+	ts.mu.Lock()
+	ts.epoch++
+	d.Epoch = ts.epoch
+	ts.self = d
+	epoch := ts.epoch
+	ts.mu.Unlock()
+	ts.fleet.Observe(d, now)
+	ts.slo.Observe(d, now)
+
+	// History sample: the registry snapshot plus the data-plane counters the
+	// registry doesn't hold, so /debug/history shows delivery and shedding
+	// trajectories alongside latency quantiles.
+	snap := n.metrics.reg.Snapshot()
+	if snap.Counters == nil {
+		snap.Counters = make(map[string]int64)
+	}
+	snap.Counters["delivered"] = int64(n.stats.delivered.Load())
+	snap.Counters["publish_rejects"] = int64(n.stats.publishRejects.Load())
+	snap.Counters["relay_sheds"] = int64(n.stats.relaySheds.Load())
+	snap.Counters["send_errors"] = int64(n.stats.sendErrors.Load())
+	snap.Counters["retransmits"] = int64(n.stats.retransmits.Load())
+	snap.Counters["slo_alerts"] = int64(n.stats.sloAlerts.Load())
+	ts.history.Observe(epoch, now, snap)
+
+	// Staleness sweep: a node whose digest stopped advancing past the window
+	// is the fleet's crash-stop signal — raise (or clear) the stale rule.
+	for _, nh := range ts.fleet.Snapshot(now, n.telemetryStaleAfter()) {
+		if nh.Self {
+			continue
+		}
+		ts.slo.MarkStale(nh.Addr, nh.Stale, now.Sub(nh.LastSeen), now)
+	}
+}
+
+// buildDigest samples this node into a health digest (Epoch is filled by the
+// caller). Must be called without n.mu held.
+func (n *Node) buildDigest() wire.HealthDigest {
+	d := wire.HealthDigest{Addr: n.self.Addr}
+	// Utility: mean Eq. 6 selection preference over this node's tree links —
+	// the same per-link numbers /debug/tree reports.
+	var sum float64
+	var links int
+	for _, td := range n.TreeDetails() {
+		for _, l := range td.Links {
+			sum += l.Utility
+			links++
+		}
+	}
+	if links > 0 {
+		d.Utility = sum / float64(links)
+	}
+	n.overload.mu.Lock()
+	d.Pressure = n.overload.pressure
+	n.overload.mu.Unlock()
+	d.Degraded = n.Overloaded()
+	d.P99Ms = n.metrics.publishDeliver.Snapshot().Quantile(0.99)
+	if qr, ok := n.tr.(transport.QueueReporter); ok {
+		d.Inbox = uint64(qr.QueueDepth())
+	}
+	d.Delivered = n.stats.delivered.Load()
+	shed := n.stats.publishRejects.Load() + n.stats.relaySheds.Load()
+	if dc, ok := n.tr.(transport.DropCounter); ok {
+		shed += dc.DropStats().InboxSheds
+	}
+	d.Shed = shed
+	return d
+}
+
+// telemetryHealth returns the digests to piggyback on one outgoing
+// heartbeat, ack, or beacon: the node's own freshest digest plus a
+// round-robin pick of others, or nil before the first sample (and when
+// telemetry is disabled — the wire field is then absent and the encoding is
+// byte-identical to a pre-telemetry node's).
+func (n *Node) telemetryHealth() []wire.HealthDigest {
+	ts := n.telemetry
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	self := ts.self
+	ts.mu.Unlock()
+	if self.Epoch == 0 {
+		return nil
+	}
+	return append([]wire.HealthDigest{self}, ts.fleet.GossipPick(n.cfg.TelemetryGossip)...)
+}
+
+// observeHealth merges the digests riding an inbound message into the fleet
+// view. Accepted (epoch-advancing) digests also feed the SLO rules.
+func (n *Node) observeHealth(msg wire.Message) {
+	ts := n.telemetry
+	if ts == nil || len(msg.Health) == 0 {
+		return
+	}
+	now := time.Now()
+	for _, d := range msg.Health {
+		if d.Addr == n.self.Addr {
+			continue // our own digest gossiped back
+		}
+		n.stats.telemetryRecv.Add(1)
+		if ts.fleet.Observe(d, now) {
+			ts.slo.Observe(d, now)
+		}
+	}
+}
+
+// countHealthSent tallies digests piggybacked out on sends.
+func (n *Node) countHealthSent(digests, links int) {
+	if digests > 0 && links > 0 {
+		n.stats.telemetrySent.Add(uint64(digests * links))
+	}
+}
+
+// FleetView returns this node's eventually consistent view of the fleet,
+// sorted by address with staleness marked (nil when telemetry is disabled).
+func (n *Node) FleetView() []telemetry.NodeHealth {
+	ts := n.telemetry
+	if ts == nil {
+		return nil
+	}
+	return ts.fleet.Snapshot(time.Now(), n.telemetryStaleAfter())
+}
+
+// TelemetryHistory returns the node's buffered time-series samples, oldest
+// first (nil when telemetry is disabled).
+func (n *Node) TelemetryHistory() []telemetry.Sample {
+	ts := n.telemetry
+	if ts == nil {
+		return nil
+	}
+	return ts.history.Snapshot()
+}
+
+// SLOActive returns the currently firing SLO alerts across the fleet view
+// (nil when telemetry is disabled).
+func (n *Node) SLOActive() []telemetry.Alert {
+	ts := n.telemetry
+	if ts == nil {
+		return nil
+	}
+	return ts.slo.Active()
+}
+
+// ClusterView is the /debug/cluster document: this node's fleet view, the
+// firing alerts, and the plane's effective configuration.
+type ClusterView struct {
+	Addr    string `json:"addr"`
+	Enabled bool   `json:"enabled"`
+	// Epoch is this node's own telemetry epoch counter.
+	Epoch        uint64                 `json:"epoch,omitempty"`
+	IntervalMs   float64                `json:"interval_ms,omitempty"`
+	StaleAfterMs float64                `json:"stale_after_ms,omitempty"`
+	SLO          telemetry.SLOConfig    `json:"slo"`
+	Nodes        []telemetry.NodeHealth `json:"nodes,omitempty"`
+	Alerts       []telemetry.Alert      `json:"alerts,omitempty"`
+}
+
+// ClusterView snapshots the fleet plane for /debug/cluster and
+// groupcast-top.
+func (n *Node) ClusterView() ClusterView {
+	ts := n.telemetry
+	cv := ClusterView{Addr: n.self.Addr, Enabled: ts != nil}
+	if ts == nil {
+		return cv
+	}
+	ts.mu.Lock()
+	cv.Epoch = ts.epoch
+	ts.mu.Unlock()
+	cv.IntervalMs = float64(n.telemetryInterval()) / float64(time.Millisecond)
+	cv.StaleAfterMs = float64(n.telemetryStaleAfter()) / float64(time.Millisecond)
+	cv.SLO = ts.slo.Config()
+	cv.Nodes = n.FleetView()
+	cv.Alerts = ts.slo.Active()
+	return cv
+}

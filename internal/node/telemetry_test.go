@@ -1,0 +1,197 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"groupcast/internal/coords"
+	"groupcast/internal/telemetry"
+	"groupcast/internal/trace"
+	"groupcast/internal/transport"
+	"groupcast/internal/wire"
+)
+
+// buildTelemetryCluster boots n nodes on an in-memory fabric with fast
+// heartbeats and a group tree rooted at node 0, so digests ride both the
+// heartbeat and beacon planes.
+func buildTelemetryCluster(t *testing.T, count int) []*Node {
+	t.Helper()
+	net := transport.NewMemNetwork()
+	var nodes []*Node
+	for i := 0; i < count; i++ {
+		cfg := DefaultConfig(10, coords.Point{float64(i), 0}, int64(i+1))
+		cfg.HeartbeatInterval = 40 * time.Millisecond
+		cfg.OverloadSampleInterval = 20 * time.Millisecond
+		cfg.Tracer = trace.New(256, nil)
+		nd := New(net.NextEndpoint(), cfg)
+		nd.Start()
+		var contacts []string
+		for _, prev := range nodes {
+			contacts = append(contacts, prev.Addr())
+		}
+		if err := nd.Bootstrap(contacts, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			_ = nd.Close()
+		}
+	})
+	rdv := nodes[0]
+	if err := rdv.CreateGroupMode("tg", wire.Reliable); err != nil {
+		t.Fatal(err)
+	}
+	if err := rdv.Advertise("tg"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	for _, m := range nodes[1:] {
+		var err error
+		for attempt := 0; attempt < 6; attempt++ {
+			if err = m.Join("tg", time.Second); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nodes
+}
+
+// TestTelemetryFleetConverges proves the gossiped fleet view: every node
+// ends up holding a fresh, epoch-advancing digest for every other node
+// purely from heartbeat/beacon piggybacks, and the digest counters move.
+func TestTelemetryFleetConverges(t *testing.T) {
+	nodes := buildTelemetryCluster(t, 4)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		converged := true
+		for _, nd := range nodes {
+			view := nd.FleetView()
+			fresh := 0
+			for _, nh := range view {
+				if nh.Epoch > 0 && !nh.Stale {
+					fresh++
+				}
+			}
+			if fresh < len(nodes) {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			break
+		}
+		if time.Now().After(deadline) {
+			for _, nd := range nodes {
+				t.Logf("%s view: %+v", nd.Addr(), nd.FleetView())
+			}
+			t.Fatal("fleet views did not converge to all-fresh in 5s")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, nd := range nodes {
+		st := nd.Stats()
+		if st.TelemetryDigestsSent == 0 || st.TelemetryDigestsReceived == 0 {
+			t.Errorf("%s digest counters idle: sent=%d recv=%d",
+				nd.Addr(), st.TelemetryDigestsSent, st.TelemetryDigestsReceived)
+		}
+		if len(nd.TelemetryHistory()) == 0 {
+			t.Errorf("%s has no history samples", nd.Addr())
+		}
+		cv := nd.ClusterView()
+		if !cv.Enabled || cv.Epoch == 0 || len(cv.Nodes) < len(nodes) {
+			t.Errorf("%s ClusterView = %+v", nd.Addr(), cv)
+		}
+	}
+}
+
+// TestTelemetryCrashDetection proves the crash-stop path end to end inside
+// one process: kill one member and the survivors' fleet views mark it stale
+// and fire the stale SLO alert within the staleness window.
+func TestTelemetryCrashDetection(t *testing.T) {
+	nodes := buildTelemetryCluster(t, 3)
+	victim := nodes[2].Addr()
+
+	// Wait until both survivors know the victim fresh.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		known := 0
+		for _, nd := range nodes[:2] {
+			for _, nh := range nd.FleetView() {
+				if nh.Addr == victim && nh.Epoch > 0 && !nh.Stale {
+					known++
+				}
+			}
+		}
+		if known == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("survivors never learned the victim's digest")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	_ = nodes[2].Close()
+
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		alerted := 0
+		for _, nd := range nodes[:2] {
+			for _, a := range nd.SLOActive() {
+				if a.Rule == telemetry.RuleStale && a.Node == victim {
+					alerted++
+				}
+			}
+		}
+		if alerted == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			for _, nd := range nodes[:2] {
+				t.Logf("%s alerts: %+v view: %+v", nd.Addr(), nd.SLOActive(), nd.FleetView())
+			}
+			t.Fatal("stale alert for the crashed node never fired on both survivors")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// The alert must also be in the trace ring as a structured event.
+	found := false
+	for _, ev := range nodes[0].TraceEvents(0) {
+		if ev.Kind == trace.KindAlert && ev.Msg == telemetry.RuleStale && ev.Peer == victim {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no KindAlert stale event in the survivor's trace ring")
+	}
+	if nodes[0].Stats().SLOAlerts == 0 {
+		t.Error("SLOAlerts counter did not move")
+	}
+}
+
+// TestTelemetryDisabled pins the opt-out: no fleet state, no Health on the
+// wire, and the heartbeat encoding is byte-identical to a pre-telemetry
+// node's.
+func TestTelemetryDisabled(t *testing.T) {
+	net := transport.NewMemNetwork()
+	cfg := DefaultConfig(10, coords.Point{0, 0}, 1)
+	cfg.DisableTelemetry = true
+	nd := New(net.NextEndpoint(), cfg)
+	nd.Start()
+	defer nd.Close()
+	if nd.FleetView() != nil || nd.TelemetryHistory() != nil || nd.SLOActive() != nil {
+		t.Fatal("disabled telemetry still returns state")
+	}
+	if h := nd.telemetryHealth(); h != nil {
+		t.Fatalf("disabled telemetry still piggybacks %d digests", len(h))
+	}
+	if cv := nd.ClusterView(); cv.Enabled {
+		t.Fatal("ClusterView claims enabled")
+	}
+}

@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"groupcast/internal/wire"
+)
+
+// NodeHealth is one fleet-view entry: the newest digest seen for a node plus
+// the view-local bookkeeping the operator needs (when it was learned, and
+// whether it has gone stale — the fleet's crash-stop signal, since a dead
+// node's epoch counter stops advancing and relays of its old digest no
+// longer refresh LastSeen).
+type NodeHealth struct {
+	wire.HealthDigest
+	// LastSeen is when this view first accepted the digest's epoch (not when
+	// it was last relayed — a circulating stale digest must not look fresh).
+	LastSeen time.Time `json:"last_seen"`
+	// Stale marks entries whose digest stopped advancing for longer than the
+	// staleness window at snapshot time.
+	Stale bool `json:"stale,omitempty"`
+	// Self marks the viewing node's own row.
+	Self bool `json:"self,omitempty"`
+}
+
+type fleetEntry struct {
+	d        wire.HealthDigest
+	lastSeen time.Time
+}
+
+// Fleet is one node's eventually consistent view of every node it has heard
+// a health digest from — directly (heartbeat/beacon piggyback from a
+// neighbor) or transitively (digests gossiped through intermediaries). It
+// converges the same way the overlay itself does: per-node epoch counters
+// make digest application commutative and idempotent, so any gossip order
+// yields the same view.
+type Fleet struct {
+	mu       sync.Mutex
+	self     string
+	nodes    map[string]*fleetEntry
+	gossipAt int
+	maxNodes int
+}
+
+// DefaultFleetMaxNodes bounds a fleet view's memory: beyond this many
+// distinct node addresses, the longest-unseen entry is evicted.
+const DefaultFleetMaxNodes = 1024
+
+// NewFleet returns an empty view for the node at self. maxNodes <= 0 uses
+// DefaultFleetMaxNodes.
+func NewFleet(self string, maxNodes int) *Fleet {
+	if maxNodes <= 0 {
+		maxNodes = DefaultFleetMaxNodes
+	}
+	return &Fleet{self: self, nodes: make(map[string]*fleetEntry), maxNodes: maxNodes}
+}
+
+// Observe merges one digest into the view and reports whether it advanced
+// anything. Only a strictly higher epoch for its node is accepted: replays
+// and stale relays are dropped without refreshing LastSeen, which is what
+// lets staleness detect a crashed node even while its last digest still
+// circulates.
+func (f *Fleet) Observe(d wire.HealthDigest, now time.Time) bool {
+	if d.Addr == "" {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if e, ok := f.nodes[d.Addr]; ok {
+		if d.Epoch <= e.d.Epoch {
+			return false
+		}
+		e.d = d
+		e.lastSeen = now
+		return true
+	}
+	if len(f.nodes) >= f.maxNodes {
+		f.evictOldestLocked()
+	}
+	f.nodes[d.Addr] = &fleetEntry{d: d, lastSeen: now}
+	return true
+}
+
+func (f *Fleet) evictOldestLocked() {
+	var oldest string
+	var oldestAt time.Time
+	for addr, e := range f.nodes {
+		if addr == f.self {
+			continue
+		}
+		if oldest == "" || e.lastSeen.Before(oldestAt) {
+			oldest, oldestAt = addr, e.lastSeen
+		}
+	}
+	if oldest != "" {
+		delete(f.nodes, oldest)
+	}
+}
+
+// Snapshot returns the view sorted by node address, marking entries whose
+// digest has not advanced within staleAfter (0 disables stale marking).
+func (f *Fleet) Snapshot(now time.Time, staleAfter time.Duration) []NodeHealth {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]NodeHealth, 0, len(f.nodes))
+	for addr, e := range f.nodes {
+		nh := NodeHealth{HealthDigest: e.d, LastSeen: e.lastSeen, Self: addr == f.self}
+		if staleAfter > 0 && now.Sub(e.lastSeen) > staleAfter {
+			nh.Stale = true
+		}
+		out = append(out, nh)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Get returns the current entry for one node address.
+func (f *Fleet) Get(addr string) (wire.HealthDigest, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e, ok := f.nodes[addr]
+	if !ok {
+		return wire.HealthDigest{}, false
+	}
+	return e.d, true
+}
+
+// GossipPick selects up to k digests of OTHER nodes to piggyback on an
+// outgoing heartbeat or beacon, cycling round-robin through the view (sorted
+// by address) so every entry keeps propagating even when k is much smaller
+// than the fleet. The caller prepends the node's own fresh digest itself.
+func (f *Fleet) GossipPick(k int) []wire.HealthDigest {
+	if k <= 0 {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	addrs := make([]string, 0, len(f.nodes))
+	for addr := range f.nodes {
+		if addr != f.self {
+			addrs = append(addrs, addr)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil
+	}
+	sort.Strings(addrs)
+	if k > len(addrs) {
+		k = len(addrs)
+	}
+	out := make([]wire.HealthDigest, 0, k)
+	for i := 0; i < k; i++ {
+		addr := addrs[(f.gossipAt+i)%len(addrs)]
+		out = append(out, f.nodes[addr].d)
+	}
+	f.gossipAt = (f.gossipAt + k) % len(addrs)
+	return out
+}
+
+// Len counts the nodes in the view.
+func (f *Fleet) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.nodes)
+}

@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"groupcast/internal/metrics"
+)
+
+// This file renders a metrics.RegistrySnapshot in the Prometheus text
+// exposition format (version 0.0.4) using only the standard library, so any
+// stock Prometheus/VictoriaMetrics scraper can pull a node via
+// /debug/metrics?format=prom. Mapping:
+//
+//   - every metric is prefixed "groupcast_" and has invalid characters
+//     folded to '_';
+//   - counters → TYPE counter, gauges → TYPE gauge;
+//   - FixedHistogram snapshots → TYPE histogram with the non-cumulative
+//     buckets re-accumulated into Prometheus's cumulative le-labeled series,
+//     an explicit le="+Inf" bucket (finite buckets + overflow), and the
+//     _sum/_count series;
+//   - the optional labels (e.g. node address) are rendered on every sample.
+//
+// Output is fully sorted so successive scrapes of an idle node are
+// byte-identical — the property every other serialization in this repo pins.
+
+// promPrefix namespaces every exposed metric.
+const promPrefix = "groupcast_"
+
+// promName folds a registry metric name into a legal Prometheus metric name:
+// [a-zA-Z0-9_:], everything else becomes '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(promPrefix) + len(name))
+	b.WriteString(promPrefix)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a sorted, escaped label set: `{k="v",...}` or "" when
+// empty. extra ("le" for histogram buckets) is appended last.
+func promLabels(labels map[string]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promName(k)[len(promPrefix):])
+		b.WriteString(`="`)
+		b.WriteString(promEscape(labels[k]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// promFloat formats a sample value (Go's shortest representation, which the
+// format accepts).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm writes the snapshot as Prometheus text exposition. labels (may
+// be nil) are attached to every sample — the node serves its own address as
+// an `instance`-style label so multi-node scrapes stay distinguishable
+// behind one proxy.
+func WriteProm(w io.Writer, snap metrics.RegistrySnapshot, labels map[string]string) error {
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n",
+			pn, pn, promLabels(labels, "", ""), snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %s\n",
+			pn, pn, promLabels(labels, "", ""), promFloat(snap.Gauges[name])); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		var cum uint64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				pn, promLabels(labels, "le", promFloat(b.Le)), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.Overflow
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			pn, promLabels(labels, "le", "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+			pn, promLabels(labels, "", ""), promFloat(h.Sum),
+			pn, promLabels(labels, "", ""), h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ package trace
 import (
 	"encoding/json"
 	"io"
+	"os"
 	"sync"
 	"time"
 )
@@ -46,6 +47,11 @@ const (
 	// KindRelay is used by the offline simulator for one modeled relay hop
 	// (queue + handle + wire in one event).
 	KindRelay Kind = "relay"
+	// KindAlert is a structured SLO alert from the telemetry plane
+	// (internal/telemetry): a rule crossed its threshold (or recovered).
+	// Msg names the rule, Peer the subject node, Value/Threshold the
+	// measurement against the bound.
+	KindAlert Kind = "alert"
 )
 
 // Event is one structured observation. Identity fields (TraceID, Group,
@@ -94,6 +100,10 @@ type Event struct {
 	// AgeUS is the time since the payload's origin timestamp — the
 	// cumulative publish→here latency.
 	AgeUS int64 `json:"age_us,omitempty"`
+	// Value and Threshold carry an SLO alert's measured value and the bound
+	// it crossed (KindAlert events only).
+	Value     float64 `json:"value,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
 }
 
 // Sink receives recorded events. Implementations must be safe for
@@ -189,6 +199,77 @@ func (s *NDJSON) Errors() uint64 {
 	return s.errors
 }
 
+// FileSink streams events as NDJSON to a file and — unlike a bare NDJSON
+// over an os.File — owns the descriptor: Close fsyncs and closes it, so a
+// clean node shutdown leaves a durable, complete trace file. Write and sync
+// failures are counted (never returned on the record path; tracing must not
+// fail the data plane) and surfaced through Errors for the node's Stats.
+type FileSink struct {
+	mu     sync.Mutex
+	f      *os.File
+	enc    *json.Encoder
+	errors uint64
+	closed bool
+}
+
+// OpenFileSink opens (appending, creating if needed) the NDJSON trace file.
+func OpenFileSink(path string) (*FileSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return NewFileSink(f), nil
+}
+
+// NewFileSink wraps an already-open file. The sink takes ownership: Close
+// closes it.
+func NewFileSink(f *os.File) *FileSink {
+	return &FileSink{f: f, enc: json.NewEncoder(f)}
+}
+
+// Record writes one event as a JSON line. Records after Close are dropped
+// and counted as errors.
+func (s *FileSink) Record(ev Event) {
+	s.mu.Lock()
+	if s.closed || s.enc.Encode(ev) != nil {
+		s.errors++
+	}
+	s.mu.Unlock()
+}
+
+// Errors counts failed or dropped writes so far.
+func (s *FileSink) Errors() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.errors
+}
+
+// Close fsyncs and closes the file. Idempotent; a sync or close failure is
+// returned and counted.
+func (s *FileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if serr := s.f.Sync(); serr != nil {
+		err = serr
+	}
+	if cerr := s.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		s.errors++
+	}
+	return err
+}
+
+// errorCounter is implemented by sinks that count failed writes (NDJSON,
+// FileSink).
+type errorCounter interface{ Errors() uint64 }
+
 // Tracer is what a node holds: a bounded ring (always, so the introspection
 // endpoint can serve recent events) plus an optional secondary sink (the
 // NDJSON file). A nil *Tracer means tracing is disabled.
@@ -224,3 +305,28 @@ func (t *Tracer) Events(n int) []Event {
 // Len counts the buffered events; Total counts everything ever recorded.
 func (t *Tracer) Len() int      { return t.ring.Len() }
 func (t *Tracer) Total() uint64 { return t.ring.Total() }
+
+// SinkErrors counts the extra sink's failed writes (0 without a sink, or
+// with one that doesn't count).
+func (t *Tracer) SinkErrors() uint64 {
+	if t == nil || t.sink == nil {
+		return 0
+	}
+	if ec, ok := t.sink.(errorCounter); ok {
+		return ec.Errors()
+	}
+	return 0
+}
+
+// Close flushes and closes the extra sink when it is closable (the file
+// sink fsyncs). Safe on a nil tracer, idempotent, and the ring stays
+// readable afterwards.
+func (t *Tracer) Close() error {
+	if t == nil || t.sink == nil {
+		return nil
+	}
+	if c, ok := t.sink.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}

@@ -5,6 +5,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -163,5 +165,75 @@ func TestNDJSONOmitsZeroFields(t *testing.T) {
 		if bytes.Contains(buf.Bytes(), []byte(fmt.Sprintf("%q:", field))) {
 			t.Errorf("zero field %s serialized in %s", field, line)
 		}
+	}
+}
+
+func TestFileSinkFsyncAndClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.ndjson")
+	sink, err := OpenFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(8, sink)
+	tr.Record(Event{Node: "a", Kind: KindPublish, TraceID: 1})
+	tr.Record(Event{Node: "a", Kind: KindAlert, Msg: "slo-latency", Value: 9.5, Threshold: 5})
+	if err := tr.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Idempotent: a second close (node Close called twice) is a no-op.
+	if err := tr.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("trace file holds %d lines, want 2: %s", len(lines), data)
+	}
+	var alert Event
+	if err := json.Unmarshal(lines[1], &alert); err != nil {
+		t.Fatal(err)
+	}
+	if alert.Kind != KindAlert || alert.Value != 9.5 || alert.Threshold != 5 {
+		t.Fatalf("alert event did not round-trip: %+v", alert)
+	}
+	if tr.SinkErrors() != 0 {
+		t.Fatalf("SinkErrors = %d on the clean path", tr.SinkErrors())
+	}
+	// The ring outlives the sink: introspection still works after Close.
+	if tr.Len() != 2 {
+		t.Fatalf("ring lost events after Close: %d", tr.Len())
+	}
+}
+
+func TestFileSinkCountsWritesAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.ndjson")
+	sink, err := OpenFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sink.Record(Event{Node: "a", Kind: KindSend})
+	sink.Record(Event{Node: "a", Kind: KindSend})
+	if got := sink.Errors(); got != 2 {
+		t.Fatalf("Errors = %d after 2 dropped records, want 2", got)
+	}
+}
+
+func TestTracerCloseWithoutSink(t *testing.T) {
+	var tr *Tracer
+	if err := tr.Close(); err != nil {
+		t.Fatalf("nil tracer close: %v", err)
+	}
+	if tr.SinkErrors() != 0 {
+		t.Fatal("nil tracer reports sink errors")
+	}
+	tr = New(4, nil)
+	if err := tr.Close(); err != nil {
+		t.Fatalf("sinkless close: %v", err)
 	}
 }

@@ -117,6 +117,7 @@ const (
 	bitPath
 	bitBackups
 	bitTarget
+	bitHealth
 	fieldCount
 )
 
@@ -211,6 +212,30 @@ func appendDigestEntries(dst []byte, es []DigestEntry) []byte {
 	return dst
 }
 
+// appendHealth encodes a health-digest list: count, then per digest the
+// reporter address, epoch, the three float summaries, the three varint
+// counters, and a flags byte (bit 0 = degraded).
+func appendHealth(dst []byte, hs []HealthDigest) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(hs)))
+	for i := range hs {
+		h := &hs[i]
+		dst = appendString(dst, h.Addr)
+		dst = binary.AppendUvarint(dst, h.Epoch)
+		dst = appendF64(dst, h.Utility)
+		dst = appendF64(dst, h.Pressure)
+		dst = appendF64(dst, h.P99Ms)
+		dst = binary.AppendUvarint(dst, h.Inbox)
+		dst = binary.AppendUvarint(dst, h.Delivered)
+		dst = binary.AppendUvarint(dst, h.Shed)
+		var flags byte
+		if h.Degraded {
+			flags |= 1
+		}
+		dst = append(dst, flags)
+	}
+	return dst
+}
+
 func appendCharter(dst []byte, c *Charter) ([]byte, error) {
 	dst = appendString(dst, c.GroupID)
 	dst = append(dst, byte(c.Mode))
@@ -268,6 +293,7 @@ func presence(msg *Message) uint64 {
 	set(bitPath, len(msg.Path) > 0)
 	set(bitBackups, len(msg.Backups) > 0)
 	set(bitTarget, len(msg.Target) > 0)
+	set(bitHealth, len(msg.Health) > 0)
 	return bits
 }
 
@@ -380,6 +406,9 @@ func appendBody(dst []byte, msg *Message) ([]byte, error) {
 	}
 	if bits&(1<<bitTarget) != 0 {
 		dst = appendByteSlice(dst, msg.Target)
+	}
+	if bits&(1<<bitHealth) != 0 {
+		dst = appendHealth(dst, msg.Health)
 	}
 	return dst, nil
 }
@@ -644,6 +673,36 @@ func (c *bcursor) digestEntries() []DigestEntry {
 	return es
 }
 
+func (c *bcursor) health() []HealthDigest {
+	n := c.uvarint()
+	if c.err != nil || n == 0 {
+		return nil
+	}
+	// Each encoded digest is ≥ 29 bytes (3 fixed floats + flags + minimal
+	// varints); a count claiming more than the remaining frame is hostile.
+	if n > uint64(len(c.data)-c.off)/29+1 {
+		c.fail()
+		return nil
+	}
+	hs := make([]HealthDigest, n)
+	for i := range hs {
+		h := &hs[i]
+		h.Addr = c.str()
+		h.Epoch = c.uvarint()
+		h.Utility = c.f64()
+		h.Pressure = c.f64()
+		h.P99Ms = c.f64()
+		h.Inbox = c.uvarint()
+		h.Delivered = c.uvarint()
+		h.Shed = c.uvarint()
+		h.Degraded = c.u8()&1 != 0
+		if c.err != nil {
+			return nil
+		}
+	}
+	return hs
+}
+
 func (c *bcursor) charter(ch *Charter) {
 	ch.GroupID = c.str()
 	ch.Mode = DeliveryMode(c.u8())
@@ -764,6 +823,9 @@ func decodeBody(body []byte, typ byte, msg *Message, intern *internTable) error 
 	}
 	if bits&(1<<bitTarget) != 0 {
 		msg.Target = c.byteSlice()
+	}
+	if bits&(1<<bitHealth) != 0 {
+		msg.Health = c.health()
 	}
 	if c.err != nil {
 		*msg = Message{}

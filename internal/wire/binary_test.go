@@ -62,6 +62,15 @@ func testMessages() []Message {
 			Rendezvous: peers[0], Mode: Reliable, Epoch: 4,
 			Charter: Charter{GroupID: "g", Mode: Reliable, Epoch: 4, Deputies: peers}},
 		{Type: TDhtStoreAck, From: peers[1], ReqID: 33, GroupID: "g", Epoch: 4},
+		{Type: THeartbeat, From: peers[0], SentAt: time.Unix(1700000002, 789),
+			Health: []HealthDigest{
+				{Addr: "10.0.0.1:7001", Epoch: 12, Utility: 0.5, Pressure: 0.25,
+					P99Ms: 4.5, Inbox: 3, Delivered: 1 << 33, Shed: 2, Degraded: true}}},
+		{Type: TTelemetry, From: peers[1],
+			Health: []HealthDigest{
+				{Addr: "10.0.0.2:7002", Epoch: 9, Delivered: 100},
+				{Addr: "10.0.0.1:7001", Epoch: 11, Utility: 1, Pressure: 1,
+					P99Ms: 250, Inbox: 64, Delivered: 7, Shed: 1 << 40}}},
 	}
 }
 

@@ -10,6 +10,7 @@ func TestClassify(t *testing.T) {
 		TProbe, TProbeResp, TConnect, TBackConnect, TBackAccept,
 		TAdvertise, TJoin, TJoinAck, TSearch, TSearchHit,
 		TBeacon, TLeave, THeartbeat, THeartbeatAck, TNack, TDigest, THandoff,
+		TTelemetry,
 	}
 	for _, typ := range controlTypes {
 		for _, mode := range []DeliveryMode{BestEffort, Reliable, ReliableOrdered} {

@@ -45,6 +45,14 @@ func fuzzSeeds(tb testing.TB) [][]byte {
 		{Type: TDhtStore, From: peers[0], ReqID: 23, GroupID: "g",
 			Rendezvous: peers[1], Mode: Reliable, Epoch: 4,
 			Charter: Charter{GroupID: "g", Epoch: 4}},
+		{Type: TTelemetry, From: peers[0],
+			Health: []HealthDigest{
+				{Addr: "10.0.0.1:7001", Epoch: 12, Utility: 0.5, Pressure: 0.25,
+					P99Ms: 4.5, Inbox: 3, Delivered: 4100, Shed: 2, Degraded: true},
+				{Addr: "10.0.0.2:7002", Epoch: 9, Delivered: 100}}},
+		{Type: THeartbeat, From: peers[1], SentAt: time.Unix(1700000003, 0),
+			Health: []HealthDigest{
+				{Addr: "10.0.0.2:7002", Epoch: 9, Pressure: 1, Degraded: true}}},
 	}
 	// Both wire versions of every shape: the sniffing decoder must hold its
 	// contract against hostile mutations of either layout.

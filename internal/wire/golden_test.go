@@ -89,6 +89,16 @@ func goldenMessages() []struct {
 				Deputies: []PeerInfo{p2}}}},
 		{"dht-store-ack", Message{Type: TDhtStoreAck, From: p2, ReqID: 23,
 			GroupID: "chat", Epoch: 3}},
+		{"telemetry", Message{Type: TTelemetry, From: p1,
+			Health: []HealthDigest{
+				{Addr: "10.0.0.1:7000", Epoch: 12, Utility: 0.5, Pressure: 0.25,
+					P99Ms: 4.5, Inbox: 3, Delivered: 4100, Shed: 2, Degraded: true},
+				{Addr: "10.0.0.2:7000", Epoch: 11, Utility: 0.75,
+					Delivered: 900}}}},
+		{"heartbeat-health", Message{Type: THeartbeat, From: p1, SentAt: t0,
+			Health: []HealthDigest{
+				{Addr: "10.0.0.1:7000", Epoch: 12, Utility: 0.5, Pressure: 0.25,
+					P99Ms: 4.5, Inbox: 3, Delivered: 4100, Shed: 2}}}},
 		{"zero", Message{}},
 	}
 }

@@ -46,6 +46,13 @@ const (
 	TDhtFindValueResp // record hit (Rendezvous/Epoch/Charter) or contact miss (Neighbors)
 	TDhtStore         // replicate a group record onto one of the k closest nodes
 	TDhtStoreAck      // store acknowledgement echoing the retained epoch
+
+	// TTelemetry is a standalone health-digest exchange (internal/telemetry):
+	// the same Health payload that piggybacks on heartbeats and beacons, sent
+	// on its own when a node has digests to gossip but no heartbeat due (or a
+	// collector asks for a push). Control class, never shed by the priority
+	// inbox before best-effort traffic.
+	TTelemetry
 )
 
 // String names the message type.
@@ -99,6 +106,8 @@ func (t Type) String() string {
 		return "dht-store"
 	case TDhtStoreAck:
 		return "dht-store-ack"
+	case TTelemetry:
+		return "telemetry"
 	default:
 		return fmt.Sprintf("type(%d)", int(t))
 	}
@@ -178,6 +187,38 @@ type Charter struct {
 	Deputies []PeerInfo
 	// HighWater lists per-source publish high-water marks, sorted by source.
 	HighWater []DigestEntry
+}
+
+// HealthDigest is one node's compact self-report for the gossiped fleet
+// view (internal/telemetry): identity, the reporter's beacon epoch, the
+// utility/pressure/latency summary of its local state, and the cumulative
+// delivery/shed counters the SLO rules derive ratios from. Digests ride
+// heartbeats, beacons, and TTelemetry messages; each is ~40-60 bytes on the
+// wire (see docs/WIRE.md, Health digest layout).
+type HealthDigest struct {
+	// Addr is the reporting node (digests are relayed, so the message sender
+	// and the digest subject differ on gossiped entries).
+	Addr string `json:"addr"`
+	// Epoch is the reporter's own beacon-epoch counter at sampling time.
+	// Receivers keep only the highest epoch per node, which makes the fleet
+	// view eventually consistent without any ordering on the gossip paths.
+	Epoch uint64 `json:"epoch"`
+	// Utility is the mean Eq. 6 selection preference across the reporter's
+	// tree links (0 when it has none).
+	Utility float64 `json:"utility"`
+	// Pressure is the overload controller's last pressure sample in [0, 1].
+	Pressure float64 `json:"pressure"`
+	// P99Ms is the p99 publish→deliver latency in milliseconds.
+	P99Ms float64 `json:"p99_ms"`
+	// Inbox is the inbound queue depth at sampling time.
+	Inbox uint64 `json:"inbox"`
+	// Delivered counts payloads handed to the application (cumulative).
+	Delivered uint64 `json:"delivered"`
+	// Shed counts work dropped under pressure: transport inbox sheds plus
+	// admission-control rejects plus relay sheds (cumulative).
+	Shed uint64 `json:"shed"`
+	// Degraded reports the overload controller's hysteresis state.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // PeerInfo is the identifier quadruplet of Section 3.3:
@@ -292,4 +333,9 @@ type Message struct {
 	// toward (arbitrary targets cover bucket refresh and self-lookups;
 	// value lookups derive their key from GroupID instead).
 	Target []byte
+
+	// Health carries gossiped health digests (the sender's own plus a
+	// bounded sample of its fleet view) on heartbeats, beacons, and
+	// TTelemetry messages. See internal/telemetry.
+	Health []HealthDigest
 }
