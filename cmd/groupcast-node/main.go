@@ -63,6 +63,7 @@ func run() error {
 		traceFile = flag.String("trace-file", "", "append trace events as NDJSON to this file (enables tracing)")
 		wireVer   = flag.String("wire", "binary", "wire protocol version to speak: binary or gob (legacy; inbound frames of either version are always accepted, see docs/WIRE.md)")
 		discovery = flag.String("discovery", "dht", "group discovery plane: dht (Kademlia lookup with ripple fallback) or ripple (flood-only, see docs/DISCOVERY.md)")
+		stateFile = flag.String("state-file", "", "durable state file for crash-restart recovery: checkpoints identity, charters, reliable high-water marks and the routing snapshot, and resumes from them on restart (see docs/ARCHITECTURE.md)")
 	)
 	flag.Parse()
 
@@ -103,6 +104,7 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown -discovery %q (want dht or ripple)", *discovery)
 	}
+	cfg.StatePath = *stateFile
 
 	status := func(format string, args ...any) {
 		if !*quiet {
@@ -150,6 +152,14 @@ func run() error {
 		return fmt.Errorf("bootstrap: %w", err)
 	}
 	status("connected to %d neighbours", n.NumNeighbors())
+
+	if rv := n.RecoveryView(); rv.Restored {
+		status("restored state from %s (epoch %d, %d groups)",
+			rv.Path, rv.RestoredEpoch, len(rv.RestoredGroups))
+		if err := n.RecoverGroups(5 * time.Second); err != nil {
+			status("recovery: %v (continuing as a fresh join)", err)
+		}
+	}
 
 	groupID := ""
 	switch {

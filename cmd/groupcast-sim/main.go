@@ -40,7 +40,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("groupcast-sim", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment: table1, fig1..fig17, sweep, ablation-{twolayer,backup,churn,fraction}, ablations, dot, timed, resilience, goodput, tracepath, succession, overload, discovery, telemetry, all")
+		exp     = fs.String("exp", "all", "experiment: table1, fig1..fig17, sweep, ablation-{twolayer,backup,churn,fraction}, ablations, dot, timed, resilience, goodput, tracepath, succession, overload, discovery, telemetry, churn, all")
 		seed    = fs.Int64("seed", 1, "random seed")
 		sizes   = fs.String("sizes", "1000,2000,4000,8000,16000,32000", "sweep overlay sizes")
 		groups  = fs.Int("groups", 10, "groups per overlay in the sweep")
@@ -145,6 +145,8 @@ func run(args []string, w io.Writer) error {
 			return experiments.RunDiscovery(w, *seed, *workers)
 		case "telemetry":
 			return experiments.RunTelemetry(w, *seed, *workers)
+		case "churn":
+			return experiments.RunChurn(w, *seed, *workers)
 		case "sweep":
 			for _, fig := range experiments.SweepFigures() {
 				fig(w, rows)

@@ -1,0 +1,85 @@
+package dht
+
+import (
+	"testing"
+	"time"
+)
+
+func TestChurnEstimatorRate(t *testing.T) {
+	e := NewChurnEstimator(16 * time.Second) // 1s slots
+	base := time.Unix(1000, 0)
+
+	if r := e.Rate(base); r != 0 {
+		t.Fatalf("empty estimator rate = %v, want 0", r)
+	}
+
+	// 32 events spread over the window → 2 events/second.
+	for i := 0; i < 16; i++ {
+		e.Note(2, base.Add(time.Duration(i)*time.Second))
+	}
+	now := base.Add(15 * time.Second)
+	if r := e.Rate(now); r != 2 {
+		t.Fatalf("steady rate = %v, want 2", r)
+	}
+
+	// A burst decays smoothly: half the window later only half the slots
+	// still count, one full window later none do.
+	half := now.Add(8 * time.Second)
+	if r := e.Rate(half); r != 1 {
+		t.Fatalf("rate after half-window = %v, want 1", r)
+	}
+	if r := e.Rate(now.Add(17 * time.Second)); r != 0 {
+		t.Fatalf("rate after full window = %v, want 0", r)
+	}
+
+	// Zero and negative notes are ignored.
+	e.Note(0, half)
+	e.Note(-3, half)
+	if r := e.Rate(half); r != 1 {
+		t.Fatalf("rate after no-op notes = %v, want 1", r)
+	}
+}
+
+func TestChurnEstimatorReusesStaleSlots(t *testing.T) {
+	e := NewChurnEstimator(16 * time.Second)
+	base := time.Unix(2000, 0)
+	e.Note(100, base)
+	// A note one full ring later lands in the same ring entry; the stale
+	// count must be discarded, not accumulated.
+	later := base.Add(16 * time.Second)
+	e.Note(1, later)
+	want := 1.0 / 16.0
+	if r := e.Rate(later); r != want {
+		t.Fatalf("rate after ring wrap = %v, want %v", r, want)
+	}
+}
+
+func TestAdaptiveEpochs(t *testing.T) {
+	const calm, storm = 0.01, 0.2
+	cases := []struct {
+		name    string
+		rate    float64
+		relaxed int
+		tight   int
+		want    int
+	}{
+		{"calm uses relaxed", 0.0, 40, 5, 40},
+		{"at calm threshold", calm, 40, 5, 40},
+		{"storm uses tight", 0.5, 40, 5, 5},
+		{"at storm threshold", storm, 40, 5, 5},
+		{"midpoint interpolates", (calm + storm) / 2, 40, 5, 22},
+		{"tight floors at 1", 1.0, 40, 0, 1},
+		{"relaxed clamped to tight", 0.0, 3, 5, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := AdaptiveEpochs(tc.rate, calm, storm, tc.relaxed, tc.tight); got != tc.want {
+				t.Fatalf("AdaptiveEpochs(%v) = %d, want %d", tc.rate, got, tc.want)
+			}
+		})
+	}
+	// Degenerate thresholds (storm <= calm) always pick the tight cadence.
+	if got := AdaptiveEpochs(0, 0.2, 0.2, 40, 5); got != 5 {
+		t.Fatalf("degenerate thresholds = %d, want 5", got)
+	}
+}

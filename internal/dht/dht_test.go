@@ -185,20 +185,70 @@ func TestStoreEpochGuard(t *testing.T) {
 		t.Fatal("higher-address tiebreak accepted")
 	}
 
-	// Expiry: the record dies TTL after its last refresh, and an old epoch
-	// may then re-enter (its publisher is the only root left republishing).
+	// Expiry: the record dies TTL after its last refresh, but its lineage
+	// ordering outlives the TTL — a stale lower-epoch echo landing between
+	// expiry and the sweep must not resurrect a dead root's record.
 	end := later.Add(2 * time.Minute)
 	if _, ok := s.Get(key, end); ok {
 		t.Fatal("expired record still served")
 	}
-	if !s.Put(key, rec("z", 1), end) {
-		t.Fatal("post-expiry record rejected")
+	if s.Put(key, rec("z", 1), end) {
+		t.Fatal("stale lower-epoch echo resurrected an expired record")
+	}
+	// The surviving lineage itself may refresh straight over the expired
+	// entry without waiting for a sweep.
+	if !s.Put(key, rec("a", 2), end) {
+		t.Fatal("owner refresh over an expired record rejected")
 	}
 	if n := s.Sweep(end.Add(3 * time.Minute)); n != 1 {
 		t.Fatalf("Sweep removed %d records, want 1", n)
 	}
 	if s.Len() != 0 {
 		t.Fatalf("Len = %d after sweep", s.Len())
+	}
+	// Once the sweep (or an explicit Delete) cleared the entry, the slate is
+	// clean and any epoch enters — a re-created group starts over at 1.
+	if !s.Put(key, rec("z", 1), end.Add(4*time.Minute)) {
+		t.Fatal("post-sweep record rejected")
+	}
+}
+
+// TestStoreExpireRePutOrdering is the regression test for the lookup/cache
+// resurrection bug: a record that expires between a lookup and its
+// cache-fill used to be overwritable by ANY record — including a stale
+// gossip echo carrying the dead root's lower epoch — because the epoch guard
+// was skipped for expired-but-unswept entries. The guard must hold until the
+// entry is actually removed.
+func TestStoreExpireRePutOrdering(t *testing.T) {
+	s := NewStore(time.Second)
+	key := KeyID("grp")
+	now := time.Unix(1700000000, 0)
+	successor := Record{GroupID: "grp", Rendezvous: wire.PeerInfo{Addr: "new-root"}, Epoch: 3}
+	corpse := Record{GroupID: "grp", Rendezvous: wire.PeerInfo{Addr: "old-root"}, Epoch: 2}
+
+	if !s.Put(key, successor, now) {
+		t.Fatal("successor record rejected")
+	}
+	// TTL passes without a refresh; the entry is expired but not yet swept.
+	expired := now.Add(2 * time.Second)
+	if _, ok := s.Get(key, expired); ok {
+		t.Fatal("expired record still served")
+	}
+	// The stale echo of the pre-succession record arrives (e.g. a slow
+	// FindValue reply cached by a caller). It must not be retained.
+	if s.Put(key, corpse, expired) {
+		t.Fatal("expire→re-Put resurrected the dead root's record")
+	}
+	if got, ok := s.Get(key, expired); ok {
+		t.Fatalf("Get served %+v after expiry", got)
+	}
+	// The successor's own republish still lands.
+	if !s.Put(key, successor, expired) {
+		t.Fatal("successor republish rejected over its own expired record")
+	}
+	got, ok := s.Get(key, expired)
+	if !ok || got.Rendezvous.Addr != "new-root" || got.Epoch != 3 {
+		t.Fatalf("Get = %+v, %v; want the epoch-3 successor", got, ok)
 	}
 }
 

@@ -41,14 +41,17 @@ func NewStore(ttl time.Duration) *Store {
 // on an equal epoch the same rendezvous refreshes its own record and a
 // different rendezvous wins only with the lexicographically lower address.
 // Older epochs are rejected outright — that is what stops a root that slept
-// through its own succession from resurrecting itself in the DHT. Returns
-// whether r was retained.
+// through its own succession from resurrecting itself in the DHT. The guard
+// applies even when the held record has expired but not yet been swept: a
+// dead root's lineage ordering outlives its TTL, so a stale gossip echo that
+// lands between expiry and the sweep cannot resurrect a lower-epoch record
+// (Get refuses the expired entry either way, and Sweep/Delete still clear
+// it). Returns whether r was retained.
 func (s *Store) Put(key ID, r Record, now time.Time) bool {
 	r.StoredAt = now
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	old, ok := s.m[key]
-	if ok && !s.expiredLocked(old, now) {
+	if old, ok := s.m[key]; ok {
 		switch {
 		case r.Epoch > old.Epoch:
 		case r.Epoch < old.Epoch:

@@ -134,6 +134,22 @@ func (t *Table) Closest(target ID, n int) []Contact {
 	return all
 }
 
+// Contacts returns every tabled contact, nearest bucket last, sorted by
+// address within each bucket — a deterministic snapshot for the recovery
+// state file (a restarting node seeds its bootstrap from it).
+func (t *Table) Contacts() []Contact {
+	t.mu.Lock()
+	all := make([]Contact, 0, t.size)
+	for i := range t.buckets {
+		start := len(all)
+		all = append(all, t.buckets[i]...)
+		b := all[start:]
+		sort.Slice(b, func(x, y int) bool { return b[x].Info.Addr < b[y].Info.Addr })
+	}
+	t.mu.Unlock()
+	return all
+}
+
 // Len is the number of tabled contacts.
 func (t *Table) Len() int {
 	t.mu.Lock()

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// This file is the churn-survival harness. Run with
+// BENCH_JSON=$PWD/BENCH_pr10.json; it re-runs the churn study at a fixed
+// seed and enforces three gates on the committed numbers:
+//
+//  1. Record availability under churn: with adaptive pacing and restart
+//     recovery, lookup probes must find the group record at least
+//     availMidBudget of the time at the mid churn tier.
+//  2. Restart-rejoin cost: a recovered restart's mean rejoin message cost
+//     must stay within rejoinFactorBudget of a fresh (amnesiac) join — the
+//     state file must never make rejoining *more* expensive.
+//  3. Adaptive vs fixed: at the highest churn tier adaptive pacing must
+//     beat the fixed cadence on record availability — the reason the
+//     adaptive plane exists.
+
+const (
+	availMidBudget     = 0.999
+	rejoinFactorBudget = 2.0
+	churnHarnessSeed   = 42
+)
+
+type pr10Cell struct {
+	Rate       float64 `json:"rate"`
+	Pacing     string  `json:"pacing"`
+	Recovery   bool    `json:"recovery"`
+	Restarts   int     `json:"restarts"`
+	Avail      float64 `json:"avail"`
+	Delivery   float64 `json:"delivery"`
+	RejoinMsgs float64 `json:"rejoin_msgs"`
+	RejoinTTR  float64 `json:"rejoin_ttr_epochs"`
+	MaintMsgs  float64 `json:"maint_msgs_per_epoch"`
+	Violations int     `json:"violations"`
+}
+
+type pr10Gates struct {
+	AvailMid          float64 `json:"avail_mid_adaptive"`
+	AvailMidBudget    float64 `json:"avail_mid_budget"`
+	RejoinFactor      float64 `json:"rejoin_factor"`
+	RejoinBudget      float64 `json:"rejoin_budget"`
+	AvailStormAdapt   float64 `json:"avail_storm_adaptive"`
+	AvailStormFixed   float64 `json:"avail_storm_fixed"`
+	InvariantFindings int     `json:"invariant_findings"`
+}
+
+type pr10Report struct {
+	GeneratedUnix int64      `json:"generated_unix"`
+	GoVersion     string     `json:"go_version"`
+	GOOS          string     `json:"goos"`
+	GOARCH        string     `json:"goarch"`
+	Seed          int64      `json:"seed"`
+	Cells         []pr10Cell `json:"cells"`
+	Gates         pr10Gates  `json:"gates"`
+}
+
+// TestWriteBenchJSON runs the churn-survival harness, writes the results to
+// the path in $BENCH_JSON (committed as BENCH_pr10.json), and enforces the
+// availability, rejoin-cost and adaptive-vs-fixed gates.
+func TestWriteBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		t.Skip("set BENCH_JSON=<output path> to run the churn harness")
+	}
+	rates := churnRates()
+	rows, err := ChurnStudy(rates, churnHarnessSeed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := pr10Report{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		Seed:          churnHarnessSeed,
+	}
+	for _, r := range rows {
+		pacing := "fixed"
+		if r.Adaptive {
+			pacing = "adaptive"
+		}
+		report.Cells = append(report.Cells, pr10Cell{
+			Rate: r.Rate, Pacing: pacing, Recovery: r.Recovery,
+			Restarts: r.Restarts, Avail: r.Avail, Delivery: r.Delivery,
+			RejoinMsgs: r.RejoinMsgs, RejoinTTR: r.RejoinTTR,
+			MaintMsgs: r.MaintMsgs, Violations: r.Violations,
+		})
+		report.Gates.InvariantFindings += r.Violations
+	}
+
+	mid := findChurnRow(t, rows, rates[1], true, true)
+	report.Gates.AvailMid = mid.Avail
+	report.Gates.AvailMidBudget = availMidBudget
+	if mid.Avail < availMidBudget {
+		t.Errorf("mid-tier adaptive availability %.4f below budget %.4f", mid.Avail, availMidBudget)
+	}
+
+	// Rejoin factor: recovered restart vs fresh (amnesiac) join, worst tier.
+	report.Gates.RejoinBudget = rejoinFactorBudget
+	for _, rate := range rates {
+		on, off := findChurnRow(t, rows, rate, true, true), findChurnRow(t, rows, rate, true, false)
+		factor := on.RejoinMsgs / off.RejoinMsgs
+		if factor > report.Gates.RejoinFactor {
+			report.Gates.RejoinFactor = factor
+		}
+		if factor > rejoinFactorBudget {
+			t.Errorf("rate=%v: recovered rejoin costs %.1f msgs, %.2fx a fresh join's %.1f (budget %.1fx)",
+				rate, on.RejoinMsgs, factor, off.RejoinMsgs, rejoinFactorBudget)
+		}
+	}
+
+	storm := rates[len(rates)-1]
+	a, f := findChurnRow(t, rows, storm, true, true), findChurnRow(t, rows, storm, false, true)
+	report.Gates.AvailStormAdapt, report.Gates.AvailStormFixed = a.Avail, f.Avail
+	if a.Avail <= f.Avail {
+		t.Errorf("storm-tier availability: adaptive %.4f not above fixed %.4f", a.Avail, f.Avail)
+	}
+	if report.Gates.InvariantFindings != 0 {
+		t.Errorf("invariant checker reported %d findings across the grid", report.Gates.InvariantFindings)
+	}
+	t.Logf("gates: avail-mid %.4f (budget %.3f), rejoin factor %.2fx (budget %.1fx), storm avail adaptive %.4f vs fixed %.4f",
+		report.Gates.AvailMid, availMidBudget, report.Gates.RejoinFactor,
+		rejoinFactorBudget, a.Avail, f.Avail)
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// findChurnRow picks the cell for one (rate, pacing, recovery) arm.
+func findChurnRow(t *testing.T, rows []ChurnRow, rate float64, adaptive, recovery bool) ChurnRow {
+	t.Helper()
+	for _, r := range rows {
+		if r.Rate == rate && r.Adaptive == adaptive && r.Recovery == recovery {
+			return r
+		}
+	}
+	t.Fatalf("no row for rate=%v adaptive=%v recovery=%v", rate, adaptive, recovery)
+	return ChurnRow{}
+}
+
+func TestChurnStudyProperties(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rates := churnRates()
+	rows, err := ChurnStudy(rates, 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(rates)*4 {
+		t.Fatalf("rows = %d, want %d", len(rows), len(rates)*4)
+	}
+	for _, r := range rows {
+		// The invariant checker must be clean in every arm: churn may cost
+		// availability or delivery, never correctness.
+		if r.Violations != 0 {
+			t.Errorf("rate=%v adaptive=%v recovery=%v: %d invariant violations",
+				r.Rate, r.Adaptive, r.Recovery, r.Violations)
+		}
+		if r.Avail < 0 || r.Avail > 1 || r.Delivery < 0 || r.Delivery > 1 {
+			t.Errorf("rate=%v: ratios out of range: %+v", r.Rate, r)
+		}
+	}
+	storm := rates[len(rates)-1]
+
+	// Adaptive pacing must beat the fixed cadence on record availability
+	// under storm churn — tightened republish plus eviction rescue is the
+	// whole point of the adaptive plane.
+	if a, f := findChurnRow(t, rows, storm, true, true), findChurnRow(t, rows, storm, false, true); a.Avail <= f.Avail {
+		t.Errorf("storm availability: adaptive %v not above fixed %v", a.Avail, f.Avail)
+	}
+	if a := findChurnRow(t, rows, rates[1], true, true); a.Avail < 0.999 {
+		t.Errorf("mid-tier adaptive availability %v, want >= 0.999", a.Avail)
+	}
+
+	// Restart recovery must make rejoin cheaper than the amnesiac bootstrap
+	// (the state file exists to skip re-bootstrapping) and recover missed
+	// traffic the amnesiac arm loses for good.
+	for _, rate := range rates {
+		on, off := findChurnRow(t, rows, rate, true, true), findChurnRow(t, rows, rate, true, false)
+		if on.RejoinMsgs >= off.RejoinMsgs {
+			t.Errorf("rate=%v rejoin msgs: recovered %v not below amnesiac %v",
+				rate, on.RejoinMsgs, off.RejoinMsgs)
+		}
+		if on.RejoinTTR >= off.RejoinTTR {
+			t.Errorf("rate=%v rejoin TTR: recovered %v not below amnesiac %v",
+				rate, on.RejoinTTR, off.RejoinTTR)
+		}
+		if on.Delivery < off.Delivery {
+			t.Errorf("rate=%v delivery: recovered %v below amnesiac %v",
+				rate, on.Delivery, off.Delivery)
+		}
+	}
+
+	// At calm the adaptive cadence relaxes: maintenance spend must not
+	// exceed the fixed arm's.
+	if a, f := findChurnRow(t, rows, rates[0], true, true), findChurnRow(t, rows, rates[0], false, true); a.MaintMsgs > f.MaintMsgs {
+		t.Errorf("calm maintenance: adaptive %v above fixed %v", a.MaintMsgs, f.MaintMsgs)
+	}
+}
+
+func TestChurnStudyDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	a, err := ChurnStudy([]float64{0.5}, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChurnStudy([]float64{0.5}, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs across worker counts:\n 1: %+v\n 8: %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunChurnWriter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var buf bytes.Buffer
+	if err := RunChurn(&buf, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, col := range []string{"avail", "delivery", "rejoin-ms", "viol"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("output lacks %q column:\n%s", col, out)
+		}
+	}
+	var again bytes.Buffer
+	if err := RunChurn(&again, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out {
+		t.Fatal("RunChurn output differs across worker counts")
+	}
+}

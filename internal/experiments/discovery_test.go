@@ -11,7 +11,7 @@ func TestDiscoveryStudyScaling(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
-	rows, err := DiscoveryStudy([]int{256, 1024}, []float64{1.2}, 24, 80, 1, 0)
+	rows, err := DiscoveryStudy([]int{256, 1024}, []float64{1.2}, []float64{0}, 24, 80, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,11 +44,11 @@ func TestDiscoveryStudyDeterministicAcrossWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
-	a, err := DiscoveryStudy([]int{256}, []float64{1.2, 2.0}, 16, 48, 7, 1)
+	a, err := DiscoveryStudy([]int{256}, []float64{1.2, 2.0}, []float64{0, 0.25}, 16, 48, 7, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := DiscoveryStudy([]int{256}, []float64{1.2, 2.0}, 16, 48, 7, 8)
+	b, err := DiscoveryStudy([]int{256}, []float64{1.2, 2.0}, []float64{0, 0.25}, 16, 48, 7, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,9 +68,40 @@ func TestRunDiscoveryWriter(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, col := range []string{"dht-msgs", "rip-msgs", "dht-hit"} {
+	for _, col := range []string{"dht-msgs", "rip-msgs", "dht-hit", "churn", "hold-load"} {
 		if !strings.Contains(out, col) {
 			t.Fatalf("output lacks %q column:\n%s", col, out)
 		}
+	}
+}
+
+func TestDiscoveryStudyChurnAxis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rows, err := DiscoveryStudy([]int{512}, []float64{1.2}, []float64{0, 0.25}, 24, 96, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	calm, churned := rows[0], rows[1]
+	if calm.Churn != 0 || churned.Churn != 0.25 {
+		t.Fatalf("churn axis ordering wrong: %+v", rows)
+	}
+	// k-replication keeps the DHT near-perfect with a quarter of the fleet
+	// down (all 8 holders down at once is a ~1e-5 event); the lookup may
+	// just have to route around failures, costing extra queries.
+	if churned.DhtHit < 0.99 {
+		t.Errorf("churned dht hit %v, want >= 0.99", churned.DhtHit)
+	}
+	if churned.DhtMsgs < calm.DhtMsgs {
+		t.Errorf("churn made lookups cheaper: %v < %v", churned.DhtMsgs, calm.DhtMsgs)
+	}
+	// Hot groups concentrate serves on their k holders, so the per-holder
+	// load column must be populated whenever lookups hit.
+	if calm.DhtHit > 0 && calm.HolderLoad <= 0 {
+		t.Errorf("holder load %v with dht hit %v", calm.HolderLoad, calm.DhtHit)
 	}
 }

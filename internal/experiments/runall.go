@@ -49,6 +49,7 @@ func RunAll(w io.Writer, cfg SweepConfig, seed int64, workers int) error {
 		func(buf io.Writer) error { return RunOverload(buf, seed, 1) },
 		func(buf io.Writer) error { return RunDiscovery(buf, seed, 1) },
 		func(buf io.Writer) error { return RunTelemetry(buf, seed, 1) },
+		func(buf io.Writer) error { return RunChurn(buf, seed, 1) },
 	}
 	bufs, err := mapOrdered(workers, len(sections), func(i int) (*bytes.Buffer, error) {
 		var buf bytes.Buffer

@@ -12,6 +12,7 @@
 //	/debug/overlay  neighbour table with liveness and coordinates
 //	/debug/overload overload controller state + per-peer circuit breakers
 //	/debug/dht      discovery-plane snapshot: routing table, records, counters
+//	/debug/recovery crash–restart plane: state-file status, restore + churn rate
 //	/debug/trace    recent trace events, newest last (?n= caps the count)
 //	/debug/cluster  gossiped fleet view: per-node health digests + SLO alerts
 //	/debug/history  local telemetry time series, oldest sample first
@@ -82,6 +83,12 @@ func Handler(n *node.Node) http.Handler {
 	})
 	mux.HandleFunc("/debug/overlay", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, n.OverlayView())
+	})
+	mux.HandleFunc("/debug/recovery", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"addr":     n.Addr(),
+			"recovery": n.RecoveryView(),
+		})
 	})
 	mux.HandleFunc("/debug/dht", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]any{

@@ -148,6 +148,15 @@ func TestEndpointsServeJSONOverTCP(t *testing.T) {
 		t.Errorf("/debug/dht id = %q, want a 40-hex-digit node ID", dv["id"])
 	}
 
+	recDoc := get("/debug/recovery")
+	rv, ok := recDoc["recovery"].(map[string]any)
+	if !ok {
+		t.Fatalf("/debug/recovery has no recovery object: %v", recDoc)
+	}
+	if enabled, _ := rv["enabled"].(bool); enabled {
+		t.Errorf("/debug/recovery enabled = %v, want false without StatePath", rv["enabled"])
+	}
+
 	tr := get("/debug/trace?n=50")
 	if tracing, _ := tr["tracing"].(bool); !tracing {
 		t.Errorf("/debug/trace tracing = %v, want true", tr["tracing"])

@@ -163,6 +163,7 @@ var debugPaths = []string{
 	"/debug/overlay",
 	"/debug/overload",
 	"/debug/dht",
+	"/debug/recovery",
 	"/debug/trace?n=50",
 	"/debug/cluster",
 	"/debug/history",

@@ -30,6 +30,10 @@ type dhtState struct {
 	id    dht.ID
 	table *dht.Table
 	store *dht.Store
+	// churn estimates the observed churn rate (bucket evictions, neighbour
+	// removals, record expiries per second) that drives adaptive maintenance
+	// pacing.
+	churn *dht.ChurnEstimator
 
 	mu sync.Mutex
 	// pinging single-flights the ping-before-evict probe per stale contact;
@@ -37,6 +41,11 @@ type dhtState struct {
 	// must not stack a second one behind it).
 	pinging map[string]bool
 	storing map[string]bool
+	// republishAt / refreshAt are the next heartbeat-epoch counts at which
+	// the periodic republish and self-lookup are due; dhtEpoch advances them
+	// by the current (possibly churn-adapted) cadence after each firing.
+	republishAt int
+	refreshAt   int
 }
 
 // dhtEnabled reports whether the discovery plane is on.
@@ -69,20 +78,16 @@ func (n *Node) dhtObserve(info wire.PeerInfo) {
 		delete(d.pinging, cand.Info.Addr)
 		d.mu.Unlock()
 	}
-	select {
-	case <-n.stop:
-		release()
-		return
-	default:
-	}
-	n.done.Add(1)
-	go func() {
-		defer n.done.Done()
+	if !n.spawn(func() {
 		defer release()
 		if _, _, err := n.dhtQuery(cand, d.id, ""); err != nil {
 			d.table.Evict(cand, c)
+			n.dhtNoteChurn(1)
+			n.dhtRescue(cand.Info.Addr)
 		}
-	}()
+	}) {
+		release()
+	}
 }
 
 // dhtQuery issues one DHT RPC against contact c and waits for its reply:
@@ -238,25 +243,149 @@ func (n *Node) dhtRepublishAsync(groupID string) {
 		delete(d.storing, groupID)
 		d.mu.Unlock()
 	}
-	select {
-	case <-n.stop:
-		release()
-		return
-	default:
-	}
-	n.done.Add(1)
-	go func() {
-		defer n.done.Done()
+	if !n.spawn(func() {
 		defer release()
 		n.dhtStoreCharter(groupID)
-	}()
+	}) {
+		release()
+	}
+}
+
+// dhtNoteChurn feeds observed churn events (bucket evictions, neighbour
+// removals, record expiries) into the sliding-window estimator that drives
+// adaptive maintenance pacing.
+func (n *Node) dhtNoteChurn(events int) {
+	if d := n.dht; d != nil {
+		d.churn.Note(events, time.Now())
+	}
+}
+
+// DhtChurnRate returns the observed churn rate in events per second over
+// the estimator's sliding window (0 when the DHT is disabled).
+func (n *Node) DhtChurnRate() float64 {
+	d := n.dht
+	if d == nil {
+		return 0
+	}
+	return d.churn.Rate(time.Now())
+}
+
+// Adaptive-pacing thresholds, in churn events observed per heartbeat epoch:
+// at or below calm the maintenance cadence relaxes to 2× the configured
+// epochs, at or above storm it tightens to ¼ of them (and rescue-republish
+// reacts to individual evictions in between the periodic rounds).
+const (
+	DefaultDHTChurnCalm  = 0.01
+	DefaultDHTChurnStorm = 0.2
+)
+
+// dhtCadence returns the current republish and refresh cadences in epochs.
+// Fixed pacing returns the configured values; adaptive pacing (the default)
+// maps the observed churn rate between a relaxed cadence when calm and a
+// tight one under storm — bounding record-loss probability under churn
+// without paying storm-level maintenance traffic in a quiet overlay.
+func (n *Node) dhtCadence(now time.Time) (republish, refresh int) {
+	republish, refresh = n.cfg.DHTRepublishEpochs, n.cfg.DHTRefreshEpochs
+	d := n.dht
+	if d == nil || n.cfg.DHTFixedPacing || n.cfg.HeartbeatInterval <= 0 {
+		return republish, refresh
+	}
+	perEpoch := d.churn.Rate(now) * n.cfg.HeartbeatInterval.Seconds()
+	republish = dht.AdaptiveEpochs(perEpoch, DefaultDHTChurnCalm, DefaultDHTChurnStorm,
+		2*republish, republish/4)
+	refresh = dht.AdaptiveEpochs(perEpoch, DefaultDHTChurnCalm, DefaultDHTChurnStorm,
+		2*refresh, refresh/4)
+	return republish, refresh
+}
+
+// dhtRescue re-replicates held records whose replica set just lost a member:
+// when the evicted or removed peer was (in this node's view) among the k
+// closest to a held record's key, the record is re-pushed so the replica set
+// heals now instead of waiting out the owner's next periodic republish. Owned
+// charters go through the full republish (fresh lookup, k stores); records
+// held for remote owners are cheaply re-pushed to the k closest contacts in
+// the local table — the receivers' epoch guards make over-pushing safe.
+// Rescue is part of adaptive maintenance and is disabled by DHTFixedPacing.
+func (n *Node) dhtRescue(lostAddr string) {
+	d := n.dht
+	if d == nil || n.cfg.DHTFixedPacing || lostAddr == "" {
+		return
+	}
+	lost := dht.NodeID(lostAddr)
+	for _, rec := range d.store.Snapshot() {
+		key := dht.KeyID(rec.GroupID)
+		closest := d.table.Closest(key, n.cfg.DHTBucketSize)
+		inSet := len(closest) < n.cfg.DHTBucketSize
+		if !inSet {
+			inSet = dht.Closer(key, lost, closest[len(closest)-1].ID)
+		}
+		if !inSet {
+			continue
+		}
+		if rec.Rendezvous.Addr == n.self.Addr {
+			n.stats.dhtRescues.Add(1)
+			n.dhtRepublishAsync(rec.GroupID)
+			continue
+		}
+		gid := rec.GroupID
+		d.mu.Lock()
+		if d.storing[gid] {
+			d.mu.Unlock()
+			continue
+		}
+		d.storing[gid] = true
+		d.mu.Unlock()
+		release := func() {
+			d.mu.Lock()
+			delete(d.storing, gid)
+			d.mu.Unlock()
+		}
+		rec := rec
+		if !n.spawn(func() {
+			defer release()
+			n.dhtPushRecord(rec)
+		}) {
+			release()
+			return
+		}
+		n.stats.dhtRescues.Add(1)
+	}
+}
+
+// dhtPushRecord re-pushes one held record to the k contacts closest to its
+// key in the local table — no iterative lookup, so a rescue costs at most k
+// messages. Used when a replica holder drops out of the k-closest set.
+func (n *Node) dhtPushRecord(rec dht.Record) {
+	d := n.dht
+	if d == nil {
+		return
+	}
+	key := dht.KeyID(rec.GroupID)
+	msg := wire.Message{
+		Type:       wire.TDhtStore,
+		From:       n.selfInfo(),
+		GroupID:    rec.GroupID,
+		Rendezvous: rec.Rendezvous,
+		Mode:       rec.Mode,
+		Epoch:      rec.Epoch,
+		Charter:    rec.Charter,
+	}
+	for i, c := range d.table.Closest(key, n.cfg.DHTBucketSize) {
+		if i >= n.cfg.DHTBucketSize {
+			break
+		}
+		m := msg
+		m.ReqID = n.nextMsgID()
+		_ = n.send(c.Info.Addr, m)
+	}
 }
 
 // dhtEpoch is the discovery plane's share of one heartbeat epoch: fold the
 // live neighbour set into the routing table (bucket maintenance piggybacks
 // on the beacons the node already runs), expire dead records, republish
-// owned charters every DHTRepublishEpochs, and refresh the table with a
-// background self-lookup every DHTRefreshEpochs.
+// owned charters and refresh the table with a background self-lookup on the
+// churn-adapted cadence (the configured DHTRepublishEpochs/DHTRefreshEpochs
+// under fixed pacing).
 func (n *Node) dhtEpoch(epochs int) {
 	d := n.dht
 	if d == nil {
@@ -273,8 +402,22 @@ func (n *Node) dhtEpoch(epochs int) {
 	for _, info := range infos {
 		n.dhtObserve(info)
 	}
-	d.store.Sweep(time.Now())
-	if n.cfg.DHTRepublishEpochs > 0 && epochs%n.cfg.DHTRepublishEpochs == 0 {
+	now := time.Now()
+	if swept := d.store.Sweep(now); swept > 0 {
+		n.dhtNoteChurn(swept)
+	}
+	republishEvery, refreshEvery := n.dhtCadence(now)
+	d.mu.Lock()
+	republishDue := epochs >= d.republishAt
+	if republishDue {
+		d.republishAt = epochs + republishEvery
+	}
+	refreshDue := epochs >= d.refreshAt
+	if refreshDue {
+		d.refreshAt = epochs + refreshEvery
+	}
+	d.mu.Unlock()
+	if republishDue {
 		n.mu.Lock()
 		var gids []string
 		for gid, gs := range n.groups {
@@ -287,17 +430,8 @@ func (n *Node) dhtEpoch(epochs int) {
 			n.dhtRepublishAsync(gid)
 		}
 	}
-	if n.cfg.DHTRefreshEpochs > 0 && epochs%n.cfg.DHTRefreshEpochs == 0 {
-		select {
-		case <-n.stop:
-			return
-		default:
-		}
-		n.done.Add(1)
-		go func() {
-			defer n.done.Done()
-			_ = n.dhtLookup(d.id, "")
-		}()
+	if refreshDue {
+		n.spawn(func() { _ = n.dhtLookup(d.id, "") })
 	}
 }
 

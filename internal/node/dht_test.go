@@ -3,6 +3,7 @@ package node
 import (
 	"math/rand"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -282,5 +283,55 @@ func TestDhtChurnSoak(t *testing.T) {
 	}
 	buf := make([]byte, 1<<20)
 	t.Fatalf("goroutine leak after shutdown: %d -> %d\n%s",
+		baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}
+
+// TestDhtRepublishStopRace pins the Leave/Close-vs-republish race: a DHT
+// republish whose single-flight goroutine is being launched while the node
+// shuts down must never slip past Close's final done.Wait. The old
+// check-stop-then-Add launch pattern had exactly that window; spawn closes
+// it by refusing work under the same lock Close sets closed under. Run with
+// -race.
+func TestDhtRepublishStopRace(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 8; round++ {
+		c := newDhtCluster(t, 3, int64(1000+round), nil)
+		rdv := c.nodes[0]
+		const gid = "stop-race"
+		if err := rdv.CreateGroupMode(gid, wire.BestEffort); err != nil {
+			t.Fatal(err)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rdv.dhtRepublishAsync(gid)
+			}
+		}()
+		// Leave mid-hammer (the republish in flight now targets a group the
+		// node no longer owns), then tear the whole cluster down under it.
+		_ = rdv.Leave(gid)
+		for _, nd := range c.nodes {
+			_ = nd.Close()
+		}
+		close(stop)
+		wg.Wait()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+3 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutines leaked past Close: baseline %d, now %d\n%s",
 		baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
 }

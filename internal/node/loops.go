@@ -239,7 +239,9 @@ func (n *Node) heartbeatLoop() {
 	defer n.done.Done()
 	ticker := time.NewTicker(n.cfg.HeartbeatInterval)
 	defer ticker.Stop()
-	epochs := 0
+	// Resume above the persisted epoch so restart-side counters (telemetry
+	// digests, DHT maintenance schedule) stay monotonic across the crash.
+	epochs := n.epochBase
 	lastRun := time.Now()
 	for {
 		select {
@@ -262,6 +264,11 @@ func (n *Node) heartbeatLoop() {
 			}
 			if n.cfg.DigestEveryEpochs > 0 && epochs%n.cfg.DigestEveryEpochs == 0 {
 				n.digestGroups()
+			}
+			n.epochNow.Store(int64(epochs))
+			if n.cfg.StatePath != "" && epochs%n.cfg.StateSaveEpochs == 0 {
+				e := epochs
+				n.spawn(func() { n.saveState(e) })
 			}
 		case <-n.stop:
 			return
@@ -475,16 +482,18 @@ func (n *Node) repairAsync(groupIDs []string, asMember bool) {
 		}
 		n.rejoining[gid] = true
 		n.mu.Unlock()
-		n.done.Add(1)
-		go func() {
-			defer n.done.Done()
-			defer func() {
-				n.mu.Lock()
-				delete(n.rejoining, gid)
-				n.mu.Unlock()
-			}()
+		release := func() {
+			n.mu.Lock()
+			delete(n.rejoining, gid)
+			n.mu.Unlock()
+		}
+		if !n.spawn(func() {
+			defer release()
 			n.repairAttachment(gid, asMember)
-		}()
+		}) {
+			release()
+			return
+		}
 	}
 }
 

@@ -14,12 +14,14 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"groupcast/internal/coords"
 	"groupcast/internal/core"
 	"groupcast/internal/dht"
 	"groupcast/internal/peer"
+	"groupcast/internal/recovery"
 	"groupcast/internal/reliable"
 	"groupcast/internal/telemetry"
 	"groupcast/internal/trace"
@@ -123,6 +125,27 @@ type Config struct {
 	// DHTQueryTimeout bounds one DHT RPC round trip; a silent contact is
 	// treated as failed and the lookup routes around it (0 uses 250ms).
 	DHTQueryTimeout time.Duration
+	// DHTFixedPacing pins republish/refresh to the configured epoch counts
+	// and disables rescue-republish — the pre-adaptive behaviour, kept as an
+	// ablation knob for the churn experiments. By default the cadence adapts
+	// to the observed churn rate (see dhtCadence) between 2× the configured
+	// epochs when calm and ¼ of them under storm.
+	DHTFixedPacing bool
+	// DHTChurnWindow is the sliding window the churn estimator averages
+	// bucket evictions, neighbour removals, and record expiries over
+	// (0 uses max(25×HeartbeatInterval, 2s)).
+	DHTChurnWindow time.Duration
+
+	// StatePath enables crash–restart recovery: the node periodically
+	// persists a small state file (identity, group charters, reliable
+	// high-water marks, DHT contacts) there via atomic rename, and New reloads
+	// it when the file's identity matches the transport address — a restarted
+	// node then resumes FIFO streams instead of rejoining amnesiac. Empty
+	// disables persistence. See internal/recovery.
+	StatePath string
+	// StateSaveEpochs is how many heartbeat epochs pass between state-file
+	// saves (0 uses 5; requires StatePath and heartbeats).
+	StateSaveEpochs int
 
 	// DeliveryMode is the data-plane reliability level for groups this node
 	// creates (BestEffort, Reliable, or ReliableOrdered). Members inherit a
@@ -350,6 +373,16 @@ type Node struct {
 	// See telemetry.go.
 	telemetry *telemetryState
 
+	// recovered is the state reloaded from StatePath (nil on a fresh start);
+	// epochBase resumes the heartbeat epoch counter above the persisted
+	// value; saving single-flights state writes; epochNow/lastSaveAt feed
+	// the final Close snapshot and /debug/recovery. See recovery.go.
+	recovered  *recovery.State
+	epochBase  int
+	saving     atomic.Bool
+	epochNow   atomic.Int64
+	lastSaveAt atomic.Int64
+
 	stop chan struct{}
 	done sync.WaitGroup
 }
@@ -477,6 +510,15 @@ func New(tr transport.Transport, cfg Config) *Node {
 	if cfg.DHTQueryTimeout <= 0 {
 		cfg.DHTQueryTimeout = 250 * time.Millisecond
 	}
+	if cfg.DHTChurnWindow <= 0 {
+		cfg.DHTChurnWindow = 25 * cfg.HeartbeatInterval
+		if cfg.DHTChurnWindow < 2*time.Second {
+			cfg.DHTChurnWindow = 2 * time.Second
+		}
+	}
+	if cfg.StateSaveEpochs < 1 {
+		cfg.StateSaveEpochs = 5
+	}
 	if cfg.TelemetryEveryEpochs < 1 {
 		cfg.TelemetryEveryEpochs = DefaultTelemetryEveryEpochs
 	}
@@ -528,15 +570,21 @@ func New(tr transport.Transport, cfg Config) *Node {
 	if !cfg.DisableDHT {
 		id := dht.NodeID(n.self.Addr)
 		n.dht = &dhtState{
-			id:      id,
-			table:   dht.NewTable(id, cfg.DHTBucketSize),
-			store:   dht.NewStore(cfg.DHTRecordTTL),
-			pinging: make(map[string]bool),
-			storing: make(map[string]bool),
+			id:          id,
+			table:       dht.NewTable(id, cfg.DHTBucketSize),
+			store:       dht.NewStore(cfg.DHTRecordTTL),
+			churn:       dht.NewChurnEstimator(cfg.DHTChurnWindow),
+			pinging:     make(map[string]bool),
+			storing:     make(map[string]bool),
+			republishAt: cfg.DHTRepublishEpochs,
+			refreshAt:   cfg.DHTRefreshEpochs,
 		}
 	}
 	n.initObservability()
 	n.initTelemetry()
+	// Crash–restart recovery: reload the durable state last, once the DHT
+	// table and telemetry epoch counter exist to be seeded.
+	n.loadState()
 	return n
 }
 
@@ -614,6 +662,29 @@ func (n *Node) Start() {
 	go n.overloadLoop()
 }
 
+// spawn launches f on a tracked background goroutine, refusing once the
+// node has begun closing. The closed check and the WaitGroup increment
+// happen under n.mu — the same lock Close sets closed under before draining
+// the WaitGroup — so a goroutine can never be added after Close started
+// waiting. (The check-stop-then-Add pattern this replaces raced Close: a
+// goroutine admitted between the stop check and done.Add could outlive
+// Close and leak.) Reports whether f was launched; cleanup the caller
+// prepared (e.g. releasing a single-flight slot) must run on false.
+func (n *Node) spawn(f func()) bool {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return false
+	}
+	n.done.Add(1)
+	n.mu.Unlock()
+	go func() {
+		defer n.done.Done()
+		f()
+	}()
+	return true
+}
+
 // Close stops the node: it notifies neighbours, stops its goroutines, and
 // closes the transport.
 func (n *Node) Close() error {
@@ -632,6 +703,9 @@ func (n *Node) Close() error {
 	close(n.stop)
 	err := n.tr.Close()
 	n.done.Wait()
+	// Final state snapshot after every loop stopped mutating, so a clean
+	// shutdown persists the freshest high-water marks for the next start.
+	n.saveState(int(n.epochNow.Load()))
 	// Flush and close the tracer's file sink only after every loop stopped
 	// recording, so a clean shutdown leaves a complete, fsynced trace file.
 	// The close error is counted into SinkErrors (surfaced via Stats); the
@@ -881,6 +955,8 @@ func (n *Node) removeNeighborAndOrphans(addr string) (orphaned []string) {
 	// routing table waiting for a ping-before-evict round.
 	if n.dht != nil {
 		n.dht.table.Remove(dht.NodeID(addr), addr)
+		n.dhtNoteChurn(1)
+		n.dhtRescue(addr)
 	}
 	return orphaned
 }

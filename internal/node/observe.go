@@ -84,6 +84,15 @@ func (n *Node) initObservability() {
 		reg.Gauge("dht_records", func() float64 {
 			return float64(n.dht.store.Len())
 		})
+		// The adaptive maintenance signal: observed churn events per second.
+		reg.Gauge("dht_churn_rate", func() float64 {
+			return n.DhtChurnRate()
+		})
+	}
+	if n.cfg.StatePath != "" {
+		reg.Gauge("state_saves", func() float64 {
+			return float64(n.stats.stateSaves.Load())
+		})
 	}
 	if qr, ok := n.tr.(transport.QueueReporter); ok {
 		reg.Gauge(MetricRecvQueueDepth, func() float64 {

@@ -1,0 +1,263 @@
+package node
+
+import (
+	"sort"
+	"time"
+
+	"groupcast/internal/dht"
+	"groupcast/internal/recovery"
+	"groupcast/internal/reliable"
+	"groupcast/internal/wire"
+)
+
+// This file is the live half of crash–restart recovery (internal/recovery
+// holds the durable state-file format): New reloads the state file when its
+// identity matches the transport address, the heartbeat loop re-persists it
+// every StateSaveEpochs, Close writes a final snapshot, and RecoverGroups
+// rejoins the reloaded groups — members through the normal ad-path → DHT →
+// ripple join with their receive windows pre-seeded from the persisted
+// high-water marks, rendezvous groups by re-advertising and re-replicating
+// their charter records (a deputy promoted while the node was down wins the
+// epoch comparison and demotes us, exactly like a partition heal).
+
+// loadState reloads the recovery state during New. Any load error — missing
+// file, corruption, wrong version — means a fresh start; a state file saved
+// under a different address is somebody else's and is ignored (it will be
+// overwritten at the next save).
+func (n *Node) loadState() {
+	if n.cfg.StatePath == "" {
+		return
+	}
+	st, err := recovery.Load(n.cfg.StatePath)
+	if err != nil || st.Addr != n.self.Addr {
+		return
+	}
+	n.restoreState(st)
+}
+
+// restoreState applies a reloaded state: seed the DHT routing table from the
+// contact snapshot, resume the epoch counters above the persisted value, and
+// rebuild each group's membership state with its reliable windows seeded at
+// the persisted high-water marks. Runs during New, before any loop starts.
+// msgSeqRestartSlack is added to the persisted message-ID counter on
+// restore, covering IDs consumed between the last save and the crash. A
+// restart that reused a first-life message ID would have its searches and
+// advertisement floods silently swallowed by peers' seen-ID dedup caches.
+const msgSeqRestartSlack = 1 << 16
+
+func (n *Node) restoreState(st *recovery.State) {
+	now := time.Now()
+	n.recovered = st
+	n.epochBase = int(st.Epoch)
+	n.msgSeq = st.MsgSeq + msgSeqRestartSlack
+	if n.dht != nil {
+		for _, c := range st.Contacts {
+			if c.Addr == "" || c.Addr == n.self.Addr {
+				continue
+			}
+			n.dht.table.Observe(dht.Contact{ID: dht.NodeID(c.Addr), Info: c})
+		}
+		// The maintenance schedule rides the epoch counter; re-anchor it so
+		// the first republish lands one cadence after the restart, not
+		// epochBase epochs in the past.
+		n.dht.mu.Lock()
+		n.dht.republishAt = n.epochBase + n.cfg.DHTRepublishEpochs
+		n.dht.refreshAt = n.epochBase + n.cfg.DHTRefreshEpochs
+		n.dht.mu.Unlock()
+	}
+	if ts := n.telemetry; ts != nil {
+		// Health digests resume above the persisted epoch, so every fleet
+		// view accepts the post-restart lineage without forgiveness.
+		ts.mu.Lock()
+		ts.epoch = st.Epoch
+		ts.mu.Unlock()
+	}
+	for _, g := range st.Groups {
+		if g.GroupID == "" || n.groups[g.GroupID] != nil {
+			continue
+		}
+		gs := newGroupState(g.Mode)
+		gs.member = g.Member
+		gs.rendezvous = g.Rendezvous
+		gs.promoted = g.Promoted
+		gs.epoch = g.Epoch
+		gs.rdvInfo = g.RdvInfo
+		gs.deputies = append([]wire.PeerInfo(nil), g.Deputies...)
+		gs.charter = g.Charter
+		// Succession and beacon-grace clocks restart at the reload: a held
+		// charter must re-observe genuine beacon silence before promoting,
+		// and an orphaned membership gets the full grace to re-attach.
+		gs.lastBeacon = now
+		gs.lastRoot = now
+		if g.Rendezvous {
+			gs.rdvInfo = n.selfInfoLocked()
+			gs.rootPath = []string{}
+			n.adSeen[g.GroupID] = adState{
+				rendezvous: gs.rdvInfo, mode: g.Mode, epoch: g.Epoch,
+			}
+		}
+		if g.PubHigh > 0 {
+			// Resume FIFO numbering above the persisted publish high-water
+			// mark — subscribers' windows treat a restart at sequence 1 as
+			// ancient duplicates and drop the whole stream.
+			gs.pub = reliable.NewSendBuffer(n.cfg.ReliableCache)
+			gs.pub.Seed(g.PubHigh)
+		}
+		ordered := g.Mode == wire.ReliableOrdered
+		reliableMode := g.Mode != wire.BestEffort
+		for _, s := range g.Sources {
+			if s.Source == "" || s.Source == n.self.Addr || s.High == 0 ||
+				len(gs.recv) >= maxSourcesPerGroup {
+				continue
+			}
+			w := reliable.NewSourceWindow(n.cfg.ReliableWindow, n.cfg.ReliableCache,
+				ordered, reliableMode)
+			w.Seed(s.High)
+			w.Info = wire.PeerInfo{Addr: s.Source}
+			w.LastActive = now
+			gs.recv[s.Source] = w
+		}
+		n.groups[g.GroupID] = gs
+	}
+	n.stats.stateRestores.Add(1)
+}
+
+// RecoverGroups rejoins every group reloaded from the state file, after
+// Start and Bootstrap: member groups re-attach through the normal join path
+// (their seeded windows resume the FIFO streams; digest anti-entropy
+// recovers anything published while the node was down), rendezvous groups
+// re-advertise and re-replicate their charter record. Returns the first
+// rejoin error; every group is still attempted. Nil when nothing was
+// recovered.
+func (n *Node) RecoverGroups(timeout time.Duration) error {
+	st := n.recovered
+	if st == nil {
+		return nil
+	}
+	var firstErr error
+	for _, g := range st.Groups {
+		switch {
+		case g.Rendezvous:
+			n.dhtRepublishAsync(g.GroupID)
+			if err := n.Advertise(g.GroupID); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		case g.Member:
+			if err := n.Join(g.GroupID, timeout); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// captureState snapshots the node into a durable recovery state. epochs is
+// the heartbeat loop's current counter (persisted so the restart resumes
+// above it).
+func (n *Node) captureState(epochs int) *recovery.State {
+	n.mu.Lock()
+	st := &recovery.State{
+		Addr:     n.self.Addr,
+		Coord:    append([]float64(nil), n.self.Coord...),
+		Capacity: n.self.Capacity,
+		Epoch:    uint64(epochs),
+		MsgSeq:   n.msgSeq,
+		SavedAt:  time.Now(),
+	}
+	gids := make([]string, 0, len(n.groups))
+	for gid := range n.groups {
+		gids = append(gids, gid)
+	}
+	sort.Strings(gids)
+	for _, gid := range gids {
+		gs := n.groups[gid]
+		g := recovery.GroupState{
+			GroupID:    gid,
+			Mode:       gs.mode,
+			Epoch:      gs.epoch,
+			Member:     gs.member,
+			Rendezvous: gs.rendezvous,
+			Promoted:   gs.promoted,
+			RdvInfo:    gs.rdvInfo,
+			Deputies:   append([]wire.PeerInfo(nil), gs.deputies...),
+			Charter:    gs.charter,
+		}
+		if gs.pub != nil {
+			g.PubHigh = gs.pub.High()
+		}
+		for src, w := range gs.recv {
+			if h := w.High(); h > 0 {
+				g.Sources = append(g.Sources, wire.DigestEntry{Source: src, High: h})
+			}
+		}
+		sort.Slice(g.Sources, func(i, j int) bool {
+			return g.Sources[i].Source < g.Sources[j].Source
+		})
+		st.Groups = append(st.Groups, g)
+	}
+	n.mu.Unlock()
+	if n.dht != nil {
+		for _, c := range n.dht.table.Contacts() {
+			st.Contacts = append(st.Contacts, c.Info)
+		}
+	}
+	return st
+}
+
+// saveState persists the recovery state file (single-flighted: a slow disk
+// must not stack writers behind the heartbeat loop). Failed saves are
+// dropped — the previous file stays intact thanks to the atomic rename, and
+// the next epoch retries.
+func (n *Node) saveState(epochs int) {
+	if n.cfg.StatePath == "" {
+		return
+	}
+	if !n.saving.CompareAndSwap(false, true) {
+		return
+	}
+	defer n.saving.Store(false)
+	st := n.captureState(epochs)
+	if err := recovery.Save(n.cfg.StatePath, st); err == nil {
+		n.stats.stateSaves.Add(1)
+		n.lastSaveAt.Store(st.SavedAt.UnixNano())
+	}
+}
+
+// RecoveryView is the crash–restart plane's introspection snapshot, served
+// by /debug/recovery.
+type RecoveryView struct {
+	Enabled bool   `json:"enabled"`
+	Path    string `json:"path,omitempty"`
+	// Restored reports whether this process reloaded a matching state file;
+	// RestoredEpoch and RestoredGroups describe what it carried.
+	Restored       bool     `json:"restored"`
+	RestoredEpoch  uint64   `json:"restored_epoch,omitempty"`
+	RestoredGroups []string `json:"restored_groups,omitempty"`
+	// Saves counts state-file writes; LastSaveAt is the newest one.
+	Saves      uint64    `json:"saves"`
+	LastSaveAt time.Time `json:"last_save_at,omitempty"`
+	// ChurnRate is the DHT's observed churn estimate in events per second —
+	// the signal the adaptive maintenance pacing keys off.
+	ChurnRate float64 `json:"churn_rate"`
+}
+
+// RecoveryView snapshots the crash–restart plane.
+func (n *Node) RecoveryView() RecoveryView {
+	v := RecoveryView{
+		Enabled:   n.cfg.StatePath != "",
+		Path:      n.cfg.StatePath,
+		Saves:     n.stats.stateSaves.Load(),
+		ChurnRate: n.DhtChurnRate(),
+	}
+	if at := n.lastSaveAt.Load(); at != 0 {
+		v.LastSaveAt = time.Unix(0, at)
+	}
+	if st := n.recovered; st != nil {
+		v.Restored = true
+		v.RestoredEpoch = st.Epoch
+		for _, g := range st.Groups {
+			v.RestoredGroups = append(v.RestoredGroups, g.GroupID)
+		}
+	}
+	return v
+}

@@ -81,6 +81,14 @@ type Stats struct {
 	DhtLookups   uint64
 	DhtFallbacks uint64
 	DhtStores    uint64
+	// DhtRescues counts rescue re-replications: a held record re-pushed (or a
+	// charter republished early) because one of its replica holders was
+	// evicted from the k-closest set.
+	DhtRescues uint64
+	// StateSaves counts recovery state-file writes; StateRestores counts
+	// restarts that reloaded a matching state file (0 or 1 per process).
+	StateSaves    uint64
+	StateRestores uint64
 	// TelemetryDigestsSent counts health digests piggybacked out on
 	// heartbeats, acks, and beacons; TelemetryDigestsReceived counts digests
 	// about other nodes taken in from peers (accepted or not).
@@ -130,6 +138,10 @@ type statCounters struct {
 	dhtLookups   atomic.Uint64
 	dhtFallbacks atomic.Uint64
 	dhtStores    atomic.Uint64
+	dhtRescues   atomic.Uint64
+
+	stateSaves    atomic.Uint64
+	stateRestores atomic.Uint64
 
 	telemetrySent atomic.Uint64
 	telemetryRecv atomic.Uint64
@@ -178,6 +190,9 @@ func (n *Node) Stats() Stats {
 		DhtLookups:               n.stats.dhtLookups.Load(),
 		DhtFallbacks:             n.stats.dhtFallbacks.Load(),
 		DhtStores:                n.stats.dhtStores.Load(),
+		DhtRescues:               n.stats.dhtRescues.Load(),
+		StateSaves:               n.stats.stateSaves.Load(),
+		StateRestores:            n.stats.stateRestores.Load(),
 		TelemetryDigestsSent:     n.stats.telemetrySent.Load(),
 		TelemetryDigestsReceived: n.stats.telemetryRecv.Load(),
 		SLOAlerts:                n.stats.sloAlerts.Load(),
@@ -237,6 +252,9 @@ func (s *Stats) Merge(other Stats) {
 	s.DhtLookups += other.DhtLookups
 	s.DhtFallbacks += other.DhtFallbacks
 	s.DhtStores += other.DhtStores
+	s.DhtRescues += other.DhtRescues
+	s.StateSaves += other.StateSaves
+	s.StateRestores += other.StateRestores
 	s.TelemetryDigestsSent += other.TelemetryDigestsSent
 	s.TelemetryDigestsReceived += other.TelemetryDigestsReceived
 	s.SLOAlerts += other.SLOAlerts
@@ -282,6 +300,9 @@ func (s Stats) Delta(base Stats) Stats {
 		DhtLookups:               sub(s.DhtLookups, base.DhtLookups),
 		DhtFallbacks:             sub(s.DhtFallbacks, base.DhtFallbacks),
 		DhtStores:                sub(s.DhtStores, base.DhtStores),
+		DhtRescues:               sub(s.DhtRescues, base.DhtRescues),
+		StateSaves:               sub(s.StateSaves, base.StateSaves),
+		StateRestores:            sub(s.StateRestores, base.StateRestores),
 		TelemetryDigestsSent:     sub(s.TelemetryDigestsSent, base.TelemetryDigestsSent),
 		TelemetryDigestsReceived: sub(s.TelemetryDigestsReceived, base.TelemetryDigestsReceived),
 		SLOAlerts:                sub(s.SLOAlerts, base.SLOAlerts),

@@ -83,6 +83,11 @@ func (n *Node) initTelemetry() {
 		}
 	})
 	n.telemetry = ts
+	// Restart forgiveness: a node that crashed, lost its state file, and
+	// came back with reset epoch counters would otherwise be rejected by
+	// every fleet view until eviction. 3× the staleness window is long past
+	// any delayed relay of its old digests.
+	ts.fleet.SetForgiveAfter(3 * n.telemetryStaleAfter())
 	ts.fleet.Observe(wire.HealthDigest{Addr: n.self.Addr}, time.Now())
 }
 

@@ -1,0 +1,305 @@
+// Package recovery is the crash–restart persistence layer: a small durable
+// state file each node rewrites periodically and reloads on startup, so a
+// bounced process rejoins its groups with the same identity, resumes FIFO
+// sequence numbering, and seeds its receive windows from the persisted
+// high-water marks instead of rejoining amnesiac.
+//
+// The file is deliberately tiny — identity, group charters and roles,
+// per-source high-water marks, and a DHT routing-table snapshot; never
+// payloads. The body reuses the internal/wire binary codec (TRecoveryState
+// frames), wrapped in a versioned, checksummed header, and is written via
+// temp-file + atomic rename so a crash mid-save leaves the previous state
+// intact. Load is corruption-tolerant by contract: a truncated, bit-flipped,
+// wrong-version, or empty file returns an error and the caller falls back to
+// a clean fresh join — never a panic, never a poisoned window.
+package recovery
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"groupcast/internal/wire"
+)
+
+// File header: magic, format version, body checksum, body length. The body
+// is a sequence of TRecoveryState wire frames.
+const (
+	magic      = "GCRS" // GroupCast Recovery State
+	version    = 1
+	headerLen  = len(magic) + 1 + 4 + 4 // magic + version + crc32 + length
+	maxBodyLen = 16 << 20               // sanity bound; real files are ~KBs
+)
+
+// Errors a loader can return. All of them mean "start fresh"; they are
+// distinguishable for logging and tests only.
+var (
+	ErrNoState    = errors.New("recovery: no state file")
+	ErrCorrupt    = errors.New("recovery: state file corrupt")
+	ErrBadVersion = errors.New("recovery: unsupported state-file version")
+)
+
+// Group-role flag bits packed into the per-group frame's TTL field.
+const (
+	flagMember = 1 << iota
+	flagRendezvous
+	flagPromoted
+)
+
+// State is everything a node persists for crash–restart recovery.
+type State struct {
+	// Addr is the identity the state was saved under. A loaded state whose
+	// Addr differs from the restarting node's transport address belongs to
+	// someone else (copied file, reused path) and must be ignored.
+	Addr string
+	// Coord/Capacity restore the node's advertised identity quadruplet.
+	Coord    []float64
+	Capacity float64
+	// Epoch is the node's heartbeat-epoch counter at save time. The restart
+	// resumes counting above it so the node's post-restart health digests
+	// outrank its pre-crash ones in every fleet view (and the telemetry
+	// plane can recognise the reset as a restart, not a rollback).
+	Epoch uint64
+	// SavedAt timestamps the save (informational; /debug/recovery).
+	SavedAt time.Time
+	// MsgSeq is the node's message-ID counter at save time. Message IDs fold
+	// the (stable) address with this counter, and peers hold a seen-ID dedup
+	// cache — a restart that reset the counter would reuse its first-life
+	// IDs and have its searches and advertisement floods silently dropped by
+	// every peer that remembers them. The restart resumes above MsgSeq (plus
+	// slack for IDs consumed after the last save).
+	MsgSeq uint64
+	// Contacts snapshots the DHT routing table — the restart's bootstrap
+	// seed list, so rejoining costs O(log N) lookups even if the original
+	// bootstrap contacts died while the node was down.
+	Contacts []wire.PeerInfo
+	// Groups carries one entry per group the node was part of.
+	Groups []GroupState
+}
+
+// GroupState is one group's persisted membership state.
+type GroupState struct {
+	GroupID string
+	Mode    wire.DeliveryMode
+	// Epoch is the group root's succession epoch as last seen.
+	Epoch      uint64
+	Member     bool
+	Rendezvous bool
+	// Promoted marks a rendezvous that took the group over via succession.
+	Promoted bool
+	// RdvInfo is the last-known root identity — the rejoin's first target
+	// before falling back to DHT resolve and ripple search.
+	RdvInfo  wire.PeerInfo
+	Deputies []wire.PeerInfo
+	// Charter is the replicated charter this node held as a deputy (zero
+	// Epoch = none).
+	Charter wire.Charter
+	// PubHigh is this node's own publish high-water mark; the restarted
+	// publisher seeds its send buffer above it so the FIFO stream continues
+	// instead of restarting at 1 (which subscribers would drop as stale).
+	PubHigh uint64
+	// Sources lists per-source receive high-water marks; the restarted
+	// subscriber seeds its windows from them and recovers only post-crash
+	// traffic via digest anti-entropy.
+	Sources []wire.DigestEntry
+}
+
+// Save atomically writes st to path: encode to a temp file in the same
+// directory, fsync, rename over the target. A crash at any point leaves
+// either the old state or the new one, never a torn file.
+func Save(path string, st *State) error {
+	body, err := encodeBody(st)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, headerLen+len(body))
+	buf = append(buf, magic...)
+	buf = append(buf, version)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(body))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(body)))
+	buf = append(buf, body...)
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err == nil {
+		err = tmp.Sync()
+	} else {
+		_ = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmpName, path)
+	}
+	if err != nil {
+		_ = os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// Load reads and validates the state file at path. Any defect — missing
+// file, short header, wrong magic or version, length mismatch, checksum
+// mismatch, undecodable body — returns a nil State and an error wrapping
+// one of ErrNoState / ErrBadVersion / ErrCorrupt; the caller starts fresh.
+func Load(path string) (*State, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNoState
+		}
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if len(raw) < headerLen {
+		return nil, fmt.Errorf("%w: %d-byte file, want at least %d-byte header",
+			ErrCorrupt, len(raw), headerLen)
+	}
+	if string(raw[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := raw[len(magic)]; v != version {
+		return nil, fmt.Errorf("%w: version %d, support %d", ErrBadVersion, v, version)
+	}
+	sum := binary.BigEndian.Uint32(raw[len(magic)+1:])
+	bodyLen := binary.BigEndian.Uint32(raw[len(magic)+5:])
+	body := raw[headerLen:]
+	if uint32(len(body)) != bodyLen || bodyLen > maxBodyLen {
+		return nil, fmt.Errorf("%w: body length %d, header says %d",
+			ErrCorrupt, len(body), bodyLen)
+	}
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	st, err := decodeBody(body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return st, nil
+}
+
+// Remove deletes the state file (a clean Leave-everything shutdown may call
+// it; a missing file is not an error).
+func Remove(path string) error {
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// encodeBody renders the state as wire frames: one identity frame, then one
+// frame per group. Field reuse is documented on wire.TRecoveryState.
+func encodeBody(st *State) ([]byte, error) {
+	id := wire.Message{
+		Type: wire.TRecoveryState,
+		From: wire.PeerInfo{
+			Addr:     st.Addr,
+			Coord:    st.Coord,
+			Capacity: st.Capacity,
+		},
+		Epoch:     st.Epoch,
+		Seq:       st.MsgSeq,
+		SentAt:    st.SavedAt,
+		Neighbors: st.Contacts,
+	}
+	body, err := wire.EncodeMessage(&id)
+	if err != nil {
+		return nil, err
+	}
+	for i := range st.Groups {
+		g := &st.Groups[i]
+		var flags int
+		if g.Member {
+			flags |= flagMember
+		}
+		if g.Rendezvous {
+			flags |= flagRendezvous
+		}
+		if g.Promoted {
+			flags |= flagPromoted
+		}
+		m := wire.Message{
+			Type:       wire.TRecoveryState,
+			GroupID:    g.GroupID,
+			Mode:       g.Mode,
+			Epoch:      g.Epoch,
+			TTL:        flags,
+			Rendezvous: g.RdvInfo,
+			Deputies:   g.Deputies,
+			Charter:    g.Charter,
+			Seq:        g.PubHigh,
+			Digest:     g.Sources,
+		}
+		body, err = wire.AppendMessage(body, &m)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return body, nil
+}
+
+// decodeBody parses the frame sequence back into a State.
+func decodeBody(body []byte) (*State, error) {
+	fr := wire.NewFrameReader(bytes.NewReader(body))
+	var msgs []wire.Message
+	for {
+		var m wire.Message
+		if err := fr.ReadMessage(&m); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, err
+		}
+		msgs = append(msgs, m)
+	}
+	if len(msgs) == 0 {
+		return nil, errors.New("empty body")
+	}
+	for i := range msgs {
+		if msgs[i].Type != wire.TRecoveryState {
+			return nil, fmt.Errorf("frame %d: type %v, want recovery-state", i, msgs[i].Type)
+		}
+	}
+	id := msgs[0]
+	if id.From.Addr == "" {
+		return nil, errors.New("identity frame missing address")
+	}
+	st := &State{
+		Addr:     id.From.Addr,
+		Coord:    id.From.Coord,
+		Capacity: id.From.Capacity,
+		Epoch:    id.Epoch,
+		MsgSeq:   id.Seq,
+		SavedAt:  id.SentAt,
+		Contacts: id.Neighbors,
+	}
+	for _, m := range msgs[1:] {
+		if m.GroupID == "" {
+			return nil, errors.New("group frame missing group id")
+		}
+		st.Groups = append(st.Groups, GroupState{
+			GroupID:    m.GroupID,
+			Mode:       m.Mode,
+			Epoch:      m.Epoch,
+			Member:     m.TTL&flagMember != 0,
+			Rendezvous: m.TTL&flagRendezvous != 0,
+			Promoted:   m.TTL&flagPromoted != 0,
+			RdvInfo:    m.Rendezvous,
+			Deputies:   m.Deputies,
+			Charter:    m.Charter,
+			PubHigh:    m.Seq,
+			Sources:    m.Digest,
+		})
+	}
+	return st, nil
+}

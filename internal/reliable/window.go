@@ -38,6 +38,17 @@ func (b *SendBuffer) NextItem(item Item) uint64 {
 // High returns the highest sequence allocated so far (0 before the first).
 func (b *SendBuffer) High() uint64 { return b.seq }
 
+// Seed resumes numbering after a restart: the next allocated sequence will
+// be high+1, so subscribers see one continuous FIFO stream across the
+// publisher's crash. No payloads are retained for the pre-restart range (a
+// NACK for them is answered by whoever cached the relays, or abandoned).
+// No-op when the buffer has already allocated past high.
+func (b *SendBuffer) Seed(high uint64) {
+	if high > b.seq {
+		b.seq = high
+	}
+}
+
 // Get returns the retained payload for seq, if still buffered.
 func (b *SendBuffer) Get(seq uint64) ([]byte, bool) { return b.cache.Get(seq) }
 
@@ -147,6 +158,23 @@ func NewSourceWindow(span, cacheCap int, ordered, reliableMode bool) *SourceWind
 		w.pending = make(map[uint64]Delivery)
 	}
 	return w
+}
+
+// Seed primes a freshly built window with a persisted high-water mark: every
+// sequence at or below high counts as already received and released, and the
+// next in-order release is high+1. Unlike NoteAdvertised — which would open
+// the whole [1, high] range as gaps and trigger a full resync — Seed records
+// the pre-restart history as delivered, so a restarted subscriber resumes the
+// FIFO stream exactly where it left off and recovers only traffic published
+// after the crash (the digest anti-entropy surfaces that). No-op on a window
+// that has already observed traffic.
+func (w *SourceWindow) Seed(high uint64) {
+	if high == 0 || w.high > 0 {
+		return
+	}
+	w.high = high
+	w.pruned = high
+	w.next = high + 1
 }
 
 // Configured reports whether the window was built with the given mode flags

@@ -217,3 +217,48 @@ func TestPayloadCacheRingSemantics(t *testing.T) {
 		t.Fatalf("Cap=%d Len=%d", c.Cap(), c.Len())
 	}
 }
+
+func TestSendBufferSeedResumesNumbering(t *testing.T) {
+	b := NewSendBuffer(4)
+	b.Seed(30)
+	if b.High() != 30 {
+		t.Fatalf("High after Seed = %d, want 30", b.High())
+	}
+	if got := b.Next([]byte("x")); got != 31 {
+		t.Fatalf("Next after Seed = %d, want 31", got)
+	}
+	// Seeding backwards must never rewind the sequencer.
+	b.Seed(5)
+	if got := b.Next([]byte("y")); got != 32 {
+		t.Fatalf("Next after backward Seed = %d, want 32", got)
+	}
+}
+
+func TestWindowSeedResumesWithoutResync(t *testing.T) {
+	now := time.Now()
+	w := NewSourceWindow(64, 16, true, true)
+	w.Seed(30)
+	if w.High() != 30 {
+		t.Fatalf("High after Seed = %d, want 30", w.High())
+	}
+	// The persisted history must not reopen as gaps, and the next in-order
+	// sequence must release immediately.
+	res := observe(w, 31, now)
+	if !res.Fresh || res.GapsOpened != 0 || len(res.Deliver) != 1 || res.Deliver[0].Seq != 31 {
+		t.Fatalf("first post-restart arrival: %+v", res)
+	}
+	// Pre-restart sequences are already-released history, not fresh traffic.
+	if res := observe(w, 30, now); res.Fresh || res.OutOfWindow != 1 {
+		t.Fatalf("pre-restart duplicate: %+v", res)
+	}
+	// A skip after the seed still opens gaps and holds ordering as usual.
+	res = observe(w, 34, now)
+	if res.GapsOpened != 2 || len(res.Deliver) != 0 {
+		t.Fatalf("post-seed skip: %+v", res)
+	}
+	// Seed on a window that has observed traffic is a no-op.
+	w.Seed(100)
+	if w.High() != 34 {
+		t.Fatalf("Seed on live window moved high to %d", w.High())
+	}
+}

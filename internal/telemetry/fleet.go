@@ -42,6 +42,12 @@ type Fleet struct {
 	nodes    map[string]*fleetEntry
 	gossipAt int
 	maxNodes int
+	// forgiveAfter is the restart-forgiveness window: a digest whose epoch
+	// regresses is normally a stale relay and is dropped, but when the held
+	// entry has been silent longer than this, the regression is read as the
+	// node having restarted with reset counters (its state file lost) and the
+	// fresh lineage is adopted. 0 disables forgiveness.
+	forgiveAfter time.Duration
 }
 
 // DefaultFleetMaxNodes bounds a fleet view's memory: beyond this many
@@ -57,11 +63,25 @@ func NewFleet(self string, maxNodes int) *Fleet {
 	return &Fleet{self: self, nodes: make(map[string]*fleetEntry), maxNodes: maxNodes}
 }
 
+// SetForgiveAfter arms restart forgiveness: an epoch-regressing digest for a
+// node whose entry has been silent longer than d replaces the entry instead
+// of being dropped. Set it to a multiple of the staleness window — long
+// enough that a merely delayed relay of an old digest cannot win, short
+// enough that a node that crashed, lost its state file, and rejoined with
+// reset counters is not evicted from fleet views until maxNodes pressure.
+func (f *Fleet) SetForgiveAfter(d time.Duration) {
+	f.mu.Lock()
+	f.forgiveAfter = d
+	f.mu.Unlock()
+}
+
 // Observe merges one digest into the view and reports whether it advanced
 // anything. Only a strictly higher epoch for its node is accepted: replays
 // and stale relays are dropped without refreshing LastSeen, which is what
 // lets staleness detect a crashed node even while its last digest still
-// circulates.
+// circulates. The one exception is restart forgiveness (SetForgiveAfter): a
+// regressing epoch for a long-silent entry means the node came back with
+// reset counters, and the restarted lineage is adopted.
 func (f *Fleet) Observe(d wire.HealthDigest, now time.Time) bool {
 	if d.Addr == "" {
 		return false
@@ -70,7 +90,10 @@ func (f *Fleet) Observe(d wire.HealthDigest, now time.Time) bool {
 	defer f.mu.Unlock()
 	if e, ok := f.nodes[d.Addr]; ok {
 		if d.Epoch <= e.d.Epoch {
-			return false
+			restarted := f.forgiveAfter > 0 && now.Sub(e.lastSeen) > f.forgiveAfter
+			if !restarted {
+				return false
+			}
 		}
 		e.d = d
 		e.lastSeen = now

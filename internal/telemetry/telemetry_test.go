@@ -404,3 +404,37 @@ func TestStitchReadNDJSON(t *testing.T) {
 		t.Fatal("malformed NDJSON line did not error")
 	}
 }
+
+// TestFleetRestartForgiveness pins the crash–restart exception to epoch
+// monotonicity: a regressing epoch for a long-silent entry means the node
+// came back with reset counters, and the fresh lineage is adopted — while a
+// regressing digest for a recently live entry is still a stale relay and is
+// dropped.
+func TestFleetRestartForgiveness(t *testing.T) {
+	f := NewFleet("a:1", 0)
+	f.SetForgiveAfter(10 * time.Second)
+	t0 := time.Unix(1700000000, 0)
+	if !f.Observe(wire.HealthDigest{Addr: "b:1", Epoch: 50, Pressure: 0.5}, t0) {
+		t.Fatal("first b digest rejected")
+	}
+	// 5s later (inside the window): epoch 2 is a stale relay, not a restart.
+	if f.Observe(wire.HealthDigest{Addr: "b:1", Epoch: 2}, t0.Add(5*time.Second)) {
+		t.Fatal("regressing digest accepted inside the forgiveness window")
+	}
+	// 11s of silence: the same regression now reads as an observed restart.
+	if !f.Observe(wire.HealthDigest{Addr: "b:1", Epoch: 2, Pressure: 0.1}, t0.Add(11*time.Second)) {
+		t.Fatal("restart lineage rejected after the forgiveness window")
+	}
+	if d, ok := f.Get("b:1"); !ok || d.Epoch != 2 || d.Pressure != 0.1 {
+		t.Fatalf("Get(b:1) = %+v, %v; want the restarted digest", d, ok)
+	}
+	// The adopted lineage advances normally from its reset counter.
+	if !f.Observe(wire.HealthDigest{Addr: "b:1", Epoch: 3}, t0.Add(12*time.Second)) {
+		t.Fatal("post-restart advance rejected")
+	}
+	// Forgiveness off: regressions are always stale relays.
+	f.SetForgiveAfter(0)
+	if f.Observe(wire.HealthDigest{Addr: "b:1", Epoch: 1}, t0.Add(time.Hour)) {
+		t.Fatal("regression accepted with forgiveness disabled")
+	}
+}

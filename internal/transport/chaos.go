@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -155,6 +156,49 @@ func orAll(s string) string {
 		return "*"
 	}
 	return s
+}
+
+// ChurnSchedule generates a continuous-churn fault script: a seeded Poisson
+// process of crash–revive pairs over the given addresses. Crashes arrive
+// with exponential inter-arrival times at ratePerSec across the whole fleet;
+// each victim is drawn uniformly from the nodes still up and revives after
+// downtime. The schedule is a pure function of its arguments — the same
+// seed yields the same byte-identical fault sequence regardless of how many
+// workers later replay it — and composes with PlaySchedule like any other
+// script. A non-positive rate, empty address list, or non-positive duration
+// yields an empty schedule.
+func ChurnSchedule(seed int64, addrs []string, ratePerSec float64, downtime, duration time.Duration) []FaultEvent {
+	if ratePerSec <= 0 || len(addrs) == 0 || duration <= 0 || downtime < 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(mixSeed(seed, "churn")))
+	downUntil := make(map[string]time.Duration)
+	var events []FaultEvent
+	for at := time.Duration(0); ; {
+		// Exponential inter-arrival: -ln(U)/λ, U ∈ (0,1].
+		u := rng.Float64()
+		if u == 0 {
+			u = 1
+		}
+		at += time.Duration(-math.Log(u) / ratePerSec * float64(time.Second))
+		if at >= duration {
+			return events
+		}
+		// Draw among the nodes still up at this offset; when the whole fleet
+		// happens to be down, the arrival is skipped (nothing left to kill).
+		up := make([]string, 0, len(addrs))
+		for _, a := range addrs {
+			if downUntil[a] <= at {
+				up = append(up, a)
+			}
+		}
+		if len(up) == 0 {
+			continue
+		}
+		victim := up[rng.Intn(len(up))]
+		downUntil[victim] = at + downtime
+		events = append(events, CrashAt(at, victim), ReviveAt(at+downtime, victim))
+	}
 }
 
 type linkKey struct{ from, to string }

@@ -312,3 +312,73 @@ func TestMemNetworkDropStatsCounters(t *testing.T) {
 		t.Fatalf("no sheds recorded after overflow: %+v", ds)
 	}
 }
+
+func TestChurnScheduleDeterministicAndPaired(t *testing.T) {
+	addrs := []string{"a", "b", "c", "d"}
+	const rate, down, dur = 50.0, 30 * time.Millisecond, 2 * time.Second
+	ev := ChurnSchedule(9, addrs, rate, down, dur)
+	if len(ev) == 0 || len(ev)%2 != 0 {
+		t.Fatalf("events = %d, want a non-empty crash/revive pairing", len(ev))
+	}
+	again := ChurnSchedule(9, addrs, rate, down, dur)
+	if len(again) != len(ev) {
+		t.Fatalf("same seed produced %d then %d events", len(ev), len(again))
+	}
+	for i := range ev {
+		if ev[i].At != again[i].At || ev[i].Desc != again[i].Desc {
+			t.Fatalf("event %d differs across runs: %v vs %v", i, ev[i], again[i])
+		}
+	}
+	if other := ChurnSchedule(10, addrs, rate, down, dur); len(other) == len(ev) {
+		same := true
+		for i := range ev {
+			if ev[i].At != other[i].At || ev[i].Desc != other[i].Desc {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced an identical schedule")
+		}
+	}
+	// Every crash pairs with a revive exactly downtime later, all crashes
+	// land inside the duration, and a down node is never re-crashed before
+	// its revive.
+	downUntil := make(map[string]time.Duration)
+	for i := 0; i < len(ev); i += 2 {
+		crash, revive := ev[i], ev[i+1]
+		if !containsStr(crash.Desc, "crash-stop") || !containsStr(revive.Desc, "revive") {
+			t.Fatalf("pair %d = %q / %q", i/2, crash.Desc, revive.Desc)
+		}
+		if crash.At >= dur {
+			t.Fatalf("crash at %v beyond duration %v", crash.At, dur)
+		}
+		if revive.At != crash.At+down {
+			t.Fatalf("revive at %v, want crash %v + downtime %v", revive.At, crash.At, down)
+		}
+		var victim string
+		for _, a := range addrs {
+			if containsStr(crash.Desc, `"`+a+`"`) || containsStr(crash.Desc, " "+a) {
+				victim = a
+			}
+		}
+		if victim == "" {
+			t.Fatalf("no victim recognised in %q", crash.Desc)
+		}
+		if downUntil[victim] > crash.At {
+			t.Fatalf("%s re-crashed at %v while down until %v", victim, crash.At, downUntil[victim])
+		}
+		downUntil[victim] = revive.At
+	}
+
+	// Degenerate inputs yield no schedule.
+	if ev := ChurnSchedule(1, nil, rate, down, dur); ev != nil {
+		t.Fatalf("empty fleet schedule = %v", ev)
+	}
+	if ev := ChurnSchedule(1, addrs, 0, down, dur); ev != nil {
+		t.Fatalf("zero-rate schedule = %v", ev)
+	}
+	if ev := ChurnSchedule(1, addrs, rate, -down, dur); ev != nil {
+		t.Fatalf("negative-downtime schedule = %v", ev)
+	}
+}

@@ -53,6 +53,15 @@ const (
 	// collector asks for a push). Control class, never shed by the priority
 	// inbox before best-effort traffic.
 	TTelemetry
+
+	// TRecoveryState frames never cross the network: they are the on-disk
+	// record format of the crash-restart state file (internal/recovery),
+	// reusing the wire codec so the durable layout rides the same versioning
+	// and fuzzing the protocol does. One identity frame (From, Epoch,
+	// Neighbors = DHT contact snapshot) followed by one frame per group
+	// (GroupID, Mode, Epoch, Rendezvous, Deputies, Charter, Seq = publish
+	// high-water, Digest = per-source receive high-waters, TTL = role flags).
+	TRecoveryState
 )
 
 // String names the message type.
@@ -108,6 +117,8 @@ func (t Type) String() string {
 		return "dht-store-ack"
 	case TTelemetry:
 		return "telemetry"
+	case TRecoveryState:
+		return "recovery-state"
 	default:
 		return fmt.Sprintf("type(%d)", int(t))
 	}
